@@ -1,0 +1,43 @@
+#ifndef BLUSIM_BENCH_BENCH_COMMON_H_
+#define BLUSIM_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "harness/runner.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace blusim::bench {
+
+// Shared configuration for every reproduced experiment. The database is a
+// laptop-scale rendition of the paper's 100 GB BD Insights instance; the
+// device memory is proportioned so the same capacity effects appear
+// (12 of 46 ROLAP queries exceed it, figure 9 runs near capacity).
+struct BenchSetup {
+  workload::ScaleConfig scale;
+  core::EngineConfig gpu_on;
+  core::EngineConfig gpu_off;
+  int reps = 1;
+};
+
+// Reads the standard setup, honoring env overrides:
+//   BLUSIM_SCALE_ROWS  store_sales row count (default 200000)
+//   BLUSIM_REPS        repetitions per query  (default 1; paper used 5)
+BenchSetup MakeSetup();
+
+// Generates the database once (expensive) and caches it per process.
+const workload::Database& GetDatabase(const BenchSetup& setup);
+
+// Convenience: engine over the shared database.
+std::unique_ptr<core::Engine> MakeBenchEngine(const BenchSetup& setup,
+                                              bool gpu);
+
+// Sum of a result list's elapsed times in simulated ms.
+double TotalMs(const std::vector<harness::QueryRunResult>& results);
+
+}  // namespace blusim::bench
+
+#endif  // BLUSIM_BENCH_BENCH_COMMON_H_

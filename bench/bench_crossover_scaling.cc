@@ -1,0 +1,117 @@
+// Scaling study: where does the CPU/GPU crossover fall? Sweeps the input
+// row count of a representative group-by query and reports serial elapsed
+// time for the CPU chain vs the device path, plus which side the T1/T2
+// router would pick. This is the quantitative basis for the paper's
+// threshold design (section 4.1: "for queries with a small number of
+// input rows, using the GPU would be slower").
+//
+// Also writes results/crossover.csv for plotting.
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "groupby/gpu_groupby.h"
+#include "harness/monitor_report.h"
+#include "harness/report.h"
+#include "runtime/cpu_groupby.h"
+
+using namespace blusim;
+
+namespace {
+
+std::shared_ptr<columnar::Table> MakeTable(uint64_t rows, uint64_t groups) {
+  columnar::Schema schema;
+  schema.AddField({"k", columnar::DataType::kInt32, false});
+  schema.AddField({"v", columnar::DataType::kInt64, false});
+  schema.AddField({"d", columnar::DataType::kFloat64, false});
+  auto t = std::make_shared<columnar::Table>(schema);
+  Rng rng(rows);
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(rng.Below(groups)));
+    t->column(1).AppendInt64(rng.Range(0, 100));
+    t->column(2).AppendDouble(rng.NextDouble());
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  harness::PrintExperimentHeader(
+      "Scaling study", "CPU/GPU crossover for group-by/aggregation");
+
+  gpusim::HostSpec host;
+  gpusim::DeviceSpec device_spec;  // full 12 GB K40
+  gpusim::SimDevice device(0, device_spec, host, 2);
+  gpusim::PinnedHostPool pinned(512ULL << 20);
+  runtime::ThreadPool pool(2);
+  groupby::GpuModerator moderator;
+  gpusim::CostModel cost(host, device_spec);
+
+  mkdir("results", 0755);
+  harness::CsvWriter csv("results/crossover.csv");
+  csv.Row({"rows", "groups", "cpu_ms", "gpu_ms", "winner"});
+
+  harness::ReportTable table({"Rows", "Groups", "CPU @dop24 (ms)",
+                              "GPU path (ms)", "Winner", "Router (T1=100k)"});
+  core::RouterThresholds thresholds;  // paper-scale defaults
+
+  for (uint64_t rows : {10000ULL, 50000ULL, 100000ULL, 200000ULL, 500000ULL,
+                        1000000ULL, 2000000ULL}) {
+    const uint64_t groups = std::max<uint64_t>(16, rows / 40);
+    auto t = MakeTable(rows, groups);
+    runtime::GroupBySpec spec;
+    spec.key_columns = {0};
+    spec.aggregates = {{runtime::AggFn::kSum, 1, "s"},
+                       {runtime::AggFn::kSum, 2, "s2"},
+                       {runtime::AggFn::kMin, 2, "m"},
+                       {runtime::AggFn::kCount, -1, "n"}};
+    auto plan = runtime::GroupByPlan::Make(*t, spec);
+    if (!plan.ok()) return 1;
+
+    // CPU chain (really executed; elapsed modeled at dop 24).
+    auto cpu_out = runtime::CpuGroupBy::Execute(plan.value(), &pool);
+    if (!cpu_out.ok()) return 1;
+    const SimTime cpu_elapsed = static_cast<SimTime>(
+        static_cast<double>(cost.HostGroupByTime(
+            rows, cpu_out->num_groups,
+            static_cast<int>(plan->slots().size()), 1)) /
+        cost.HostParallelFactor(24));
+
+    // Device path (really executed; staging+transfer+kernel modeled).
+    groupby::GpuGroupByStats stats;
+    auto gpu_out = groupby::GpuGroupBy::Execute(
+        plan.value(), &device, &pinned, &pool, &moderator, nullptr, {},
+        &stats);
+    if (!gpu_out.ok()) return 1;
+    // Staging runs at full degree on an idle box.
+    const SimTime gpu_elapsed =
+        static_cast<SimTime>(static_cast<double>(stats.stage_time) /
+                             cost.HostParallelFactor(24)) +
+        stats.transfer_in + stats.table_init + stats.kernel_time +
+        stats.transfer_out;
+
+    const bool gpu_wins = gpu_elapsed < cpu_elapsed;
+    core::OptimizerEstimates est{rows, groups};
+    const core::ExecutionPath routed =
+        core::ChooseGroupByPath(est, thresholds, true);
+    table.AddRow({std::to_string(rows), std::to_string(groups),
+                  harness::FormatMs(cpu_elapsed),
+                  harness::FormatMs(gpu_elapsed),
+                  gpu_wins ? "GPU" : "CPU",
+                  core::ExecutionPathName(routed)});
+    csv.Row({std::to_string(rows), std::to_string(groups),
+             harness::FormatMs(cpu_elapsed), harness::FormatMs(gpu_elapsed),
+             gpu_wins ? "GPU" : "CPU"});
+  }
+  table.Print();
+  std::printf(
+      "\nThe router's T1 threshold should sit near the measured crossover\n"
+      "so small queries never pay the transfer + launch overhead\n"
+      "(section 4.1, figure 3). Results also written to "
+      "results/crossover.csv.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 7: per-query execution times during the serial Cognos
+// ROLAP run, GPU on vs off. Paper shape: long-running queries benefit from
+// offload; short queries (e.g. Q1, Q4) see no benefit.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/report.h"
+
+using namespace blusim;
+
+int main() {
+  bench::BenchSetup setup = bench::MakeSetup();
+  harness::PrintExperimentHeader(
+      "Figure 7", "Query execution time for Cognos ROLAP benchmark");
+
+  auto all = workload::MakeRolapQueries(bench::GetDatabase(setup));
+  std::vector<workload::WorkloadQuery> queries(all.begin(), all.begin() + 34);
+
+  auto gpu_engine = bench::MakeBenchEngine(setup, true);
+  auto cpu_engine = bench::MakeBenchEngine(setup, false);
+  harness::SerialRunOptions options;
+  options.reps = setup.reps;
+
+  auto off = harness::RunSerial(cpu_engine.get(), queries, options);
+  auto on = harness::RunSerial(gpu_engine.get(), queries, options);
+  if (!off.ok() || !on.ok()) {
+    std::fprintf(stderr, "run failed: %s %s\n",
+                 off.status().ToString().c_str(),
+                 on.status().ToString().c_str());
+    return 1;
+  }
+
+  harness::ReportTable table(
+      {"Query", "GPU Off (ms)", "GPU On (ms)", "Gain", "Path"});
+  std::vector<std::string> labels;
+  std::vector<double> base_ms, gpu_ms;
+  int improved = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double o = static_cast<double>((*off)[i].elapsed) / 1000.0;
+    const double g = static_cast<double>((*on)[i].elapsed) / 1000.0;
+    if (g < o) ++improved;
+    table.AddRow({queries[i].spec.name, harness::FormatMs((*off)[i].elapsed),
+                  harness::FormatMs((*on)[i].elapsed),
+                  harness::FormatPct((o - g) / o),
+                  (*on)[i].gpu_used ? "GPU" : "CPU"});
+    labels.push_back("Q" + std::to_string(i + 1));
+    base_ms.push_back(o);
+    gpu_ms.push_back(g);
+  }
+  table.Print();
+  harness::PrintBarPairs(labels, base_ms, gpu_ms, "ms");
+
+  const double q1_gain =
+      (base_ms[0] - gpu_ms[0]) / std::max(base_ms[0], 1e-9);
+  const double q4_gain =
+      (base_ms[3] - gpu_ms[3]) / std::max(base_ms[3], 1e-9);
+  std::printf(
+      "\nPaper: most queries improve with GPU; short queries (Q1, Q4) show\n"
+      "no benefit. Measured: %d/34 queries improved; Q1 gain %s, Q4 gain "
+      "%s.\n",
+      improved, harness::FormatPct(q1_gain).c_str(),
+      harness::FormatPct(q4_gain).c_str());
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Command-line explorer for the BD Insights / Cognos ROLAP workloads:
+//
+//   bdi_cli list [simple|intermediate|complex|rolap|heavy]
+//   bdi_cli explain <query-name>          SQL + evaluator chain + routing
+//   bdi_cli run <query-name> [--no-gpu]   execute and show profile
+//   bdi_cli monitor                       run the complex set, dump the
+//                                         per-device monitor (section 2.3)
+//
+// Environment: BLUSIM_SCALE_ROWS overrides the store_sales row count.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "harness/monitor_report.h"
+#include "harness/runner.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+using namespace blusim;
+
+namespace {
+
+workload::ScaleConfig Scale() {
+  workload::ScaleConfig scale;
+  const char* rows = std::getenv("BLUSIM_SCALE_ROWS");
+  scale.store_sales_rows =
+      rows ? std::strtoull(rows, nullptr, 10) : 100000;
+  scale.customers = scale.store_sales_rows / 12;
+  scale.items = std::max<uint64_t>(200, scale.store_sales_rows / 60);
+  return scale;
+}
+
+core::EngineConfig Config(const workload::ScaleConfig& scale, bool gpu) {
+  core::EngineConfig config;
+  config.gpu_enabled = gpu;
+  config.cpu_threads = 2;
+  config.device_spec =
+      config.device_spec.WithMemory(std::max<uint64_t>(
+          8ULL << 20, scale.store_sales_rows * 96));
+  config.thresholds.t1_min_rows = scale.store_sales_rows * 2 / 5;
+  config.sort_min_gpu_rows =
+      static_cast<uint32_t>(scale.store_sales_rows / 8);
+  return config;
+}
+
+std::vector<workload::WorkloadQuery> AllQueries(
+    const workload::Database& db) {
+  auto queries = workload::MakeBdiQueries(db);
+  auto rolap = workload::MakeRolapQueries(db);
+  auto heavy = workload::MakeHandwrittenHeavyQueries(db);
+  queries.insert(queries.end(), rolap.begin(), rolap.end());
+  queries.insert(queries.end(), heavy.begin(), heavy.end());
+  return queries;
+}
+
+const workload::WorkloadQuery* Find(
+    const std::vector<workload::WorkloadQuery>& queries,
+    const std::string& name) {
+  for (const auto& q : queries) {
+    if (q.spec.name == name) return &q;
+  }
+  return nullptr;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bdi_cli list [class] | explain <name> | run <name> "
+               "[--no-gpu] | monitor\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+
+  const workload::ScaleConfig scale = Scale();
+  auto db = workload::GenerateDatabase(scale);
+  if (!db.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = AllQueries(*db);
+
+  if (cmd == "list") {
+    const std::string want = argc > 2 ? argv[2] : "";
+    for (const auto& q : queries) {
+      const std::string cls = workload::QueryClassName(q.qclass);
+      if (!want.empty() && cls.find(want) == std::string::npos) continue;
+      std::printf("%-12s %-18s fact=%s%s\n", q.spec.name.c_str(),
+                  cls.c_str(), q.spec.fact_table.c_str(),
+                  q.gpu_eligible ? "  [gpu-eligible]" : "");
+    }
+    return 0;
+  }
+
+  if (cmd == "explain" && argc > 2) {
+    const workload::WorkloadQuery* q = Find(queries, argv[2]);
+    if (q == nullptr) {
+      std::fprintf(stderr, "no query named %s (try 'list')\n", argv[2]);
+      return 1;
+    }
+    const auto& fact = *db->at(q->spec.fact_table);
+    std::printf("%s\n\n", core::DescribeQuery(q->spec, fact).c_str());
+    if (q->spec.groupby.has_value()) {
+      auto plan = runtime::GroupByPlan::Make(fact, *q->spec.groupby);
+      if (plan.ok()) {
+        std::printf("CPU chain (figure 1):\n  %s\n\n",
+                    core::RenderGroupByChain(plan.value(),
+                                             core::ExecutionPath::kCpu)
+                        .c_str());
+        std::printf("GPU chain (figure 2):\n  %s\n",
+                    core::RenderGroupByChain(plan.value(),
+                                             core::ExecutionPath::kGpu)
+                        .c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (cmd == "run" && argc > 2) {
+    const bool gpu = !(argc > 3 && std::strcmp(argv[3], "--no-gpu") == 0);
+    const workload::WorkloadQuery* q = Find(queries, argv[2]);
+    if (q == nullptr) {
+      std::fprintf(stderr, "no query named %s (try 'list')\n", argv[2]);
+      return 1;
+    }
+    auto engine = harness::MakeEngine(*db, Config(scale, gpu));
+    auto result = engine->Execute(q->spec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu result rows, %.2f simulated ms (%s)\n",
+                q->spec.name.c_str(), result->table->num_rows(),
+                static_cast<double>(result->profile.total_elapsed) / 1000.0,
+                result->profile.gpu_used ? "GPU offload used"
+                                         : "CPU only");
+    for (const auto& phase : result->profile.phases) {
+      if (phase.kind == core::PhaseRecord::Kind::kGpu) {
+        std::printf("  [GPU%d] %-20s %8.2f ms  %6.1f MB\n", phase.device_id,
+                    phase.label.c_str(),
+                    static_cast<double>(phase.device_time) / 1000.0,
+                    static_cast<double>(phase.device_mem) / (1 << 20));
+      } else {
+        std::printf("  [CPU ] %-20s %8.2f ms  dop=%d\n", phase.label.c_str(),
+                    static_cast<double>(phase.cpu_work) / 1000.0 /
+                        engine->cost_model().HostParallelFactor(phase.dop),
+                    phase.dop);
+      }
+    }
+    return 0;
+  }
+
+  if (cmd == "monitor") {
+    auto engine = harness::MakeEngine(*db, Config(scale, true));
+    auto complex = workload::FilterByClass(queries,
+                                           workload::QueryClass::kComplex);
+    harness::SerialRunOptions options;
+    auto r = harness::RunSerial(engine.get(), complex, options);
+    if (!r.ok()) return 1;
+    std::printf("Ran %zu complex queries; device monitor:\n", r->size());
+    harness::PrintDeviceMonitorReport(engine.get());
+    return 0;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,99 @@
+// The figure-3 right branch, upgraded: inputs larger than a single
+// device's memory are range-partitioned across both GPUs and merged on
+// the host (paper section 2.2 describes the mechanism; the prototype ran
+// such queries on the CPU — enable_partitioned_gpu turns the full path
+// on). Compares three configurations on the same oversize query:
+//
+//   1. baseline        (gpu_enabled = false)        -> CPU chain
+//   2. paper prototype (partitioned path disabled)  -> router sends the
+//                                                      oversize query to
+//                                                      the CPU
+//   3. extension       (enable_partitioned_gpu)     -> chunks on 2 GPUs
+//
+//   $ ./build/examples/partitioned_oversize
+
+#include <cstdio>
+
+#include "core/engine.h"
+
+using namespace blusim;
+
+namespace {
+
+std::shared_ptr<columnar::Table> MakeFact(uint64_t rows) {
+  columnar::Schema schema;
+  schema.AddField({"customer", columnar::DataType::kInt32, false});
+  schema.AddField({"amount", columnar::DataType::kFloat64, false});
+  schema.AddField({"units", columnar::DataType::kInt64, false});
+  auto t = std::make_shared<columnar::Table>(schema);
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>((i * 2654435761u) %
+                                                  20000));
+    t->column(1).AppendDouble(static_cast<double>(i % 991) * 0.5);
+    t->column(2).AppendInt64(static_cast<int64_t>(i % 7));
+  }
+  return t;
+}
+
+core::EngineConfig Config(bool gpu, bool partitioned) {
+  core::EngineConfig config;
+  config.gpu_enabled = gpu;
+  config.enable_partitioned_gpu = partitioned;
+  config.cpu_threads = 2;
+  // Deliberately small devices: the 600k-row input cannot fit one chunk.
+  config.device_spec = config.device_spec.WithMemory(8ULL << 20);
+  config.thresholds.t1_min_rows = 50000;
+  return config;
+}
+
+void Run(const char* label, const core::EngineConfig& config,
+         const std::shared_ptr<columnar::Table>& fact) {
+  core::Engine engine(config);
+  if (!engine.RegisterTable("sales", fact).ok()) return;
+  core::QuerySpec q;
+  q.fact_table = "sales";
+  runtime::GroupBySpec g;
+  g.key_columns = {0};
+  g.aggregates = {{runtime::AggFn::kSum, 1, "revenue"},
+                  {runtime::AggFn::kSum, 2, "units"},
+                  {runtime::AggFn::kCount, -1, "n"}};
+  q.groupby = g;
+  auto r = engine.Execute(q);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 r.status().ToString().c_str());
+    return;
+  }
+  int gpu_phases = 0;
+  for (const auto& p : r->profile.phases) {
+    if (p.kind == core::PhaseRecord::Kind::kGpu) ++gpu_phases;
+  }
+  std::printf("%-28s path=%-11s  %6.2f sim-ms  %zu groups  %d device "
+              "chunk(s)\n",
+              label, core::ExecutionPathName(r->profile.groupby_path),
+              static_cast<double>(r->profile.total_elapsed) / 1000.0,
+              r->table->num_rows(), gpu_phases);
+}
+
+}  // namespace
+
+int main() {
+  auto fact = MakeFact(600000);
+  std::printf("600000-row group-by on devices that hold at most ~150k rows "
+              "each:\n\n");
+  Run("1. DB2 BLU baseline", Config(false, false), fact);
+  Run("2. paper prototype", Config(true, false), fact);
+  Run("3. partitioned extension", Config(true, true), fact);
+  std::printf(
+      "\nConfigurations 1 and 2 agree: figure 3's PARTITIONED branch is\n"
+      "executed on the CPU by the prototype. Configuration 3 splits the\n"
+      "input into chunks that fit the devices, runs them on both GPUs and\n"
+      "merges the partial groups on the host (section 2.2's mechanism).\n"
+      "Note the serial elapsed time is HIGHER: each chunk pays transfer +\n"
+      "launch + table-init again, which is exactly why the paper kept\n"
+      "oversize queries on the CPU. The partitioned path still pays off\n"
+      "under concurrency, where it frees the CPU for other streams while\n"
+      "staying within device memory.\n");
+  return 0;
+}

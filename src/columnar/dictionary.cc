@@ -1,0 +1,65 @@
+#include "columnar/dictionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace blusim::columnar {
+
+int32_t Dictionary::GetOrInsert(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+int32_t Dictionary::Find(const std::string& value) const {
+  auto it = index_.find(value);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Decode(int32_t code) const {
+  BLUSIM_CHECK(code >= 0 && static_cast<size_t>(code) < values_.size());
+  return values_[static_cast<size_t>(code)];
+}
+
+std::vector<int32_t> Dictionary::EncodeColumn(const Column& column) {
+  const std::vector<std::string>& data = column.string_data();
+  std::vector<int32_t> codes;
+  codes.reserve(data.size());
+  for (const std::string& s : data) codes.push_back(GetOrInsert(s));
+  return codes;
+}
+
+std::vector<int32_t> Dictionary::Sort() {
+  std::vector<int32_t> order(values_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return values_[static_cast<size_t>(a)] < values_[static_cast<size_t>(b)];
+  });
+  // order[new_code] = old_code; invert to old -> new.
+  std::vector<int32_t> old_to_new(values_.size());
+  std::vector<std::string> sorted(values_.size());
+  for (size_t new_code = 0; new_code < order.size(); ++new_code) {
+    const int32_t old_code = order[new_code];
+    old_to_new[static_cast<size_t>(old_code)] = static_cast<int32_t>(new_code);
+    sorted[new_code] = values_[static_cast<size_t>(old_code)];
+  }
+  values_ = std::move(sorted);
+  index_.clear();
+  for (size_t i = 0; i < values_.size(); ++i) {
+    index_.emplace(values_[i], static_cast<int32_t>(i));
+  }
+  return old_to_new;
+}
+
+DictionaryColumn DictionaryColumn::FromColumn(const Column& column) {
+  DictionaryColumn out;
+  out.codes_ = out.dict_.EncodeColumn(column);
+  return out;
+}
+
+}  // namespace blusim::columnar

@@ -1,0 +1,66 @@
+#ifndef BLUSIM_COLUMNAR_DICTIONARY_H_
+#define BLUSIM_COLUMNAR_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/column.h"
+
+namespace blusim::columnar {
+
+// Order-preserving dictionary encoding for string columns, the core BLU
+// compression idea: the engine operates on fixed-width codes instead of
+// variable-length strings, which is also what makes string group-by keys
+// GPU-friendly (codes are 32-bit integers the kernels can CAS).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Returns the code for `value`, inserting it if new.
+  int32_t GetOrInsert(const std::string& value);
+
+  // Code for `value`, or -1 if absent.
+  int32_t Find(const std::string& value) const;
+
+  const std::string& Decode(int32_t code) const;
+  size_t size() const { return values_.size(); }
+
+  // Encodes a whole string column into codes.
+  std::vector<int32_t> EncodeColumn(const Column& column);
+
+  // Rebuilds the dictionary sorted so codes compare in value order
+  // (order-preserving encoding enables range predicates on codes). Returns
+  // the old-code -> new-code mapping.
+  std::vector<int32_t> Sort();
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+// A string column stored as (dictionary, codes).
+class DictionaryColumn {
+ public:
+  DictionaryColumn() = default;
+
+  // Encodes `column` (must be kString).
+  static DictionaryColumn FromColumn(const Column& column);
+
+  const Dictionary& dictionary() const { return dict_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+  size_t size() const { return codes_.size(); }
+
+  const std::string& GetValue(size_t row) const {
+    return dict_.Decode(codes_[row]);
+  }
+
+ private:
+  Dictionary dict_;
+  std::vector<int32_t> codes_;
+};
+
+}  // namespace blusim::columnar
+
+#endif  // BLUSIM_COLUMNAR_DICTIONARY_H_

@@ -1,0 +1,21 @@
+#include "columnar/schema.h"
+
+namespace blusim::columnar {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::EstimatedRowWidth() const {
+  int width = 0;
+  for (const Field& f : fields_) {
+    const int w = DataTypeWidth(f.type);
+    width += (w == 0) ? 16 : w;  // strings: 16-byte average estimate
+  }
+  return width;
+}
+
+}  // namespace blusim::columnar

@@ -1,0 +1,42 @@
+#ifndef BLUSIM_COLUMNAR_SCHEMA_H_
+#define BLUSIM_COLUMNAR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+
+namespace blusim::columnar {
+
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = false;
+};
+
+// Ordered list of named, typed fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  void AddField(Field field) { fields_.push_back(std::move(field)); }
+
+  // Index of the named field, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  // Sum of fixed widths (strings counted as 16-byte average estimate),
+  // used for scan-cost estimation.
+  int EstimatedRowWidth() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace blusim::columnar
+
+#endif  // BLUSIM_COLUMNAR_SCHEMA_H_

@@ -1,0 +1,52 @@
+#include "columnar/table.h"
+
+namespace blusim::columnar {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.push_back(std::make_unique<Column>(f.type));
+  }
+}
+
+Result<std::shared_ptr<Table>> Table::Make(Schema schema) {
+  return std::make_shared<Table>(std::move(schema));
+}
+
+size_t Table::num_rows() const {
+  return columns_.empty() ? 0 : columns_[0]->size();
+}
+
+uint64_t Table::byte_size() const {
+  uint64_t total = 0;
+  for (const auto& c : columns_) total += c->byte_size();
+  return total;
+}
+
+Column* Table::GetColumn(const std::string& name) {
+  const int idx = schema_.FieldIndex(name);
+  return idx < 0 ? nullptr : columns_[static_cast<size_t>(idx)].get();
+}
+
+const Column* Table::GetColumn(const std::string& name) const {
+  const int idx = schema_.FieldIndex(name);
+  return idx < 0 ? nullptr : columns_[static_cast<size_t>(idx)].get();
+}
+
+Status Table::Validate() const {
+  if (columns_.empty()) return Status::OK();
+  const size_t n = columns_[0]->size();
+  for (size_t i = 1; i < columns_.size(); ++i) {
+    if (columns_[i]->size() != n) {
+      return Status::Internal("column '" + schema_.field(i).name +
+                              "' length mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+void Table::Reserve(size_t rows) {
+  for (auto& c : columns_) c->Reserve(rows);
+}
+
+}  // namespace blusim::columnar

@@ -1,0 +1,50 @@
+#ifndef BLUSIM_COLUMNAR_TABLE_H_
+#define BLUSIM_COLUMNAR_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/column.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+
+namespace blusim::columnar {
+
+// An in-memory columnar table: a schema plus one Column per field.
+// All columns have equal length. Tables are the unit the engine scans.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  static Result<std::shared_ptr<Table>> Make(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_rows() const;
+  size_t num_columns() const { return columns_.size(); }
+  uint64_t byte_size() const;
+
+  Column& column(size_t i) { return *columns_[i]; }
+  const Column& column(size_t i) const { return *columns_[i]; }
+
+  // Column by field name; nullptr if absent.
+  Column* GetColumn(const std::string& name);
+  const Column* GetColumn(const std::string& name) const;
+
+  // Verifies all columns have equal length.
+  Status Validate() const;
+
+  void Reserve(size_t rows);
+
+ private:
+  Schema schema_;
+  std::string name_;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace blusim::columnar
+
+#endif  // BLUSIM_COLUMNAR_TABLE_H_

@@ -1,0 +1,52 @@
+#include "columnar/types.h"
+
+namespace blusim::columnar {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32: return "INT32";
+    case DataType::kInt64: return "INT64";
+    case DataType::kFloat64: return "FLOAT64";
+    case DataType::kDecimal128: return "DECIMAL128";
+    case DataType::kString: return "STRING";
+    case DataType::kDate: return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+int DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt32: return 4;
+    case DataType::kInt64: return 8;
+    case DataType::kFloat64: return 8;
+    case DataType::kDecimal128: return 16;
+    case DataType::kString: return 0;
+    case DataType::kDate: return 4;
+  }
+  return 0;
+}
+
+bool HasDeviceAtomicSupport(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kFloat64:
+    case DataType::kDate:
+      return true;
+    case DataType::kDecimal128:
+    case DataType::kString:
+      return false;
+  }
+  return false;
+}
+
+std::string Decimal128::ToString() const {
+  // Sufficient for diagnostics: exact for values fitting in int64.
+  if ((hi == 0 && static_cast<int64_t>(lo) >= 0) ||
+      (hi == -1 && static_cast<int64_t>(lo) < 0)) {
+    return std::to_string(static_cast<int64_t>(lo));
+  }
+  return "dec128(" + std::to_string(hi) + "," + std::to_string(lo) + ")";
+}
+
+}  // namespace blusim::columnar

@@ -1,0 +1,80 @@
+#ifndef BLUSIM_COLUMNAR_TYPES_H_
+#define BLUSIM_COLUMNAR_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace blusim::columnar {
+
+// Column data types. The set mirrors what the paper's kernels distinguish:
+// 32/64-bit integers and doubles have CUDA atomic support; DECIMAL128 and
+// strings do not and force the lock-based aggregation path (section 4.4).
+enum class DataType : uint8_t {
+  kInt32 = 0,
+  kInt64,
+  kFloat64,
+  kDecimal128,
+  kString,
+  kDate,  // stored as days-since-epoch in 32 bits
+};
+
+const char* DataTypeName(DataType type);
+
+// Fixed storage width in bytes (0 for variable-length strings).
+int DataTypeWidth(DataType type);
+
+// True if the type has a CUDA atomic read-modify-write (section 4.4:
+// 32/64-bit int and float aggregate with atomic calls; 128-bit and strings
+// need locks).
+bool HasDeviceAtomicSupport(DataType type);
+
+// 128-bit signed decimal, stored as a two's-complement 128-bit integer with
+// an implied scale managed by the caller. Exists to exercise the paper's
+// lock-based aggregation path for types without hardware atomics.
+struct Decimal128 {
+  uint64_t lo = 0;
+  int64_t hi = 0;
+
+  constexpr Decimal128() = default;
+  constexpr explicit Decimal128(int64_t v)
+      : lo(static_cast<uint64_t>(v)), hi(v < 0 ? -1 : 0) {}
+  constexpr Decimal128(int64_t high, uint64_t low) : lo(low), hi(high) {}
+
+  Decimal128& operator+=(const Decimal128& other) {
+    const uint64_t old_lo = lo;
+    lo += other.lo;
+    hi += other.hi + (lo < old_lo ? 1 : 0);
+    return *this;
+  }
+
+  friend Decimal128 operator+(Decimal128 a, const Decimal128& b) {
+    a += b;
+    return a;
+  }
+
+  friend bool operator==(const Decimal128& a, const Decimal128& b) = default;
+
+  friend std::strong_ordering operator<=>(const Decimal128& a,
+                                          const Decimal128& b) {
+    if (a.hi != b.hi) return a.hi <=> b.hi;
+    return a.lo <=> b.lo;
+  }
+
+  double ToDouble() const {
+    return static_cast<double>(hi) * 18446744073709551616.0 +
+           static_cast<double>(lo);
+  }
+
+  std::string ToString() const;
+};
+
+// Limits used for MIN/MAX initial values in aggregation masks (table 1).
+constexpr int64_t kInt64Min = INT64_MIN;
+constexpr int64_t kInt64Max = INT64_MAX;
+constexpr int32_t kInt32Min = INT32_MIN;
+constexpr int32_t kInt32Max = INT32_MAX;
+
+}  // namespace blusim::columnar
+
+#endif  // BLUSIM_COLUMNAR_TYPES_H_

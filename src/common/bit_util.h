@@ -1,0 +1,35 @@
+#ifndef BLUSIM_COMMON_BIT_UTIL_H_
+#define BLUSIM_COMMON_BIT_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace blusim {
+
+// Smallest power of two >= v (v = 0 yields 1).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+inline bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Rounds `v` up to a multiple of `alignment` (alignment must be a power of
+// two). GPU hash-table rows must be 1/2/4/8/16-byte aligned (section 4.3.1),
+// so row layouts pad with this helper.
+inline uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace blusim
+
+#endif  // BLUSIM_COMMON_BIT_UTIL_H_

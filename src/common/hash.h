@@ -1,0 +1,34 @@
+#ifndef BLUSIM_COMMON_HASH_H_
+#define BLUSIM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace blusim {
+
+// MurmurHash3 x64 128-bit finalizer-based 64-bit hash over an arbitrary byte
+// range. The paper uses Murmur hashing for grouping keys wider than 64 bits
+// (section 4.3.1).
+uint64_t Murmur3_64(const void* data, size_t len, uint64_t seed = 0);
+
+// 64-bit integer mix (Murmur3 fmix64). Used as the "simple hash function"
+// the HASH evaluator applies to narrow (<= 64-bit) grouping keys before the
+// KMV estimator consumes the hashed values.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+// Mod-hash for keys <= 64 bit (section 4.3.1: "For keys smaller than 64 bit
+// we use a mod hash function"). `buckets` must be > 0.
+inline uint64_t ModHash(uint64_t key, uint64_t buckets) {
+  return key % buckets;
+}
+
+}  // namespace blusim
+
+#endif  // BLUSIM_COMMON_HASH_H_

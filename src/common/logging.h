@@ -1,0 +1,69 @@
+#ifndef BLUSIM_COMMON_LOGGING_H_
+#define BLUSIM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace blusim {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global log threshold; messages below it are dropped. Default: warnings and
+// errors only, so tests and benches stay quiet unless asked.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Turns the streamed expression into void so both branches of the logging
+// ternary have type void. operator& binds looser than operator<<, so the
+// whole chained message is evaluated first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace blusim
+
+#define BLUSIM_LOG(level)                                                    \
+  (::blusim::LogLevel::k##level < ::blusim::GetLogLevel())                   \
+      ? (void)0                                                              \
+      : ::blusim::internal::Voidify() &                                      \
+            ::blusim::internal::LogMessage(::blusim::LogLevel::k##level,     \
+                                           __FILE__, __LINE__)               \
+                .stream()
+
+// Invariant check, active in all build modes. Fails fast: an engine with a
+// corrupted hash table must not keep producing wrong answers.
+#define BLUSIM_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define BLUSIM_DCHECK(cond) BLUSIM_CHECK(cond)
+
+#endif  // BLUSIM_COMMON_LOGGING_H_

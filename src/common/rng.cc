@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace blusim {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF approximation (Gray et al., "Quickly generating
+  // billion-record synthetic databases"). Accurate enough for workload
+  // skew; we only need the qualitative hot-key behaviour.
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = 2.0 * std::log(static_cast<double>(n));  // approx zeta
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - 2.0 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace blusim

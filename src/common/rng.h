@@ -1,0 +1,63 @@
+#ifndef BLUSIM_COMMON_RNG_H_
+#define BLUSIM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace blusim {
+
+// Deterministic xorshift128+ generator. All data generation and workload
+// randomness flows through this type so experiment runs are reproducible
+// bit-for-bit across hosts (std::mt19937 distributions are not portable
+// across standard-library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the two lanes.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Zipf-distributed value in [0, n): rank-skewed draws for realistic
+  // group-key distributions (retail data is heavily skewed).
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+}  // namespace blusim
+
+#endif  // BLUSIM_COMMON_RNG_H_

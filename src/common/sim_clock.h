@@ -1,0 +1,56 @@
+#ifndef BLUSIM_COMMON_SIM_CLOCK_H_
+#define BLUSIM_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blusim {
+
+// Virtual time, in simulated microseconds.
+//
+// The reproduction replaces the paper's wall-clock measurements on a Power
+// S824 + 2x K40 with a deterministic analytical cost model (see
+// gpusim/cost_model.h). Every operator charges its modeled duration to a
+// SimClock; end-to-end experiment numbers are read from the clock, which
+// makes every benchmark reproducible bit-for-bit on any host.
+using SimTime = int64_t;  // microseconds
+
+constexpr SimTime kMicrosPerMilli = 1000;
+constexpr double kMillisPerMicro = 1e-3;
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+  double now_ms() const { return static_cast<double>(now_) * kMillisPerMicro; }
+
+  void Advance(SimTime delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  // Advance to an absolute time if it is in the future (used when a query
+  // waits for a device to become free).
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+// A labeled span of simulated time, recorded by the performance monitor.
+struct SimSpan {
+  std::string label;
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  SimTime duration() const { return end - begin; }
+};
+
+}  // namespace blusim
+
+#endif  // BLUSIM_COMMON_SIM_CLOCK_H_

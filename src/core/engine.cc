@@ -1,0 +1,455 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.h"
+#include "common/kmv.h"
+#include "common/logging.h"
+#include "groupby/partitioned.h"
+#include "runtime/cpu_groupby.h"
+#include "runtime/operators.h"
+#include "sort/gpu_sort.h"
+#include "sort/hybrid_sort.h"
+
+namespace blusim::core {
+
+using columnar::Column;
+using columnar::DataType;
+using columnar::Table;
+using runtime::GroupByPlan;
+using runtime::Predicate;
+
+namespace {
+
+std::vector<std::unique_ptr<gpusim::SimDevice>> MakeDevices(
+    const EngineConfig& config) {
+  std::vector<std::unique_ptr<gpusim::SimDevice>> devices;
+  const int n = config.gpu_enabled ? config.num_devices : 0;
+  for (int i = 0; i < n; ++i) {
+    devices.push_back(std::make_unique<gpusim::SimDevice>(
+        i, config.device_spec, config.host, config.device_workers));
+  }
+  return devices;
+}
+
+std::vector<gpusim::SimDevice*> DevicePointers(
+    const std::vector<std::unique_ptr<gpusim::SimDevice>>& devices) {
+  std::vector<gpusim::SimDevice*> out;
+  out.reserve(devices.size());
+  for (const auto& d : devices) out.push_back(d.get());
+  return out;
+}
+
+// Bytes per row touched by a filter scan (sum of predicate column widths).
+int ScanWidth(const Table& table, const std::vector<Predicate>& predicates) {
+  int width = 0;
+  for (const Predicate& p : predicates) {
+    const int w =
+        columnar::DataTypeWidth(table.schema().field(
+            static_cast<size_t>(p.column)).type);
+    width += w == 0 ? 16 : w;
+  }
+  return std::max(width, 4);
+}
+
+void AppendValue(const Column& src, uint32_t row, Column* dst) {
+  if (src.IsNull(row)) {
+    dst->AppendNull();
+    return;
+  }
+  switch (src.type()) {
+    case DataType::kInt32:
+    case DataType::kDate:
+      dst->AppendInt32(src.int32_data()[row]);
+      break;
+    case DataType::kInt64:
+      dst->AppendInt64(src.int64_data()[row]);
+      break;
+    case DataType::kFloat64:
+      dst->AppendDouble(src.float64_data()[row]);
+      break;
+    case DataType::kDecimal128:
+      dst->AppendDecimal(src.decimal_data()[row]);
+      break;
+    case DataType::kString:
+      dst->AppendString(src.string_data()[row]);
+      break;
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> MaterializeRows(
+    const Table& table, const std::vector<uint32_t>& rows,
+    const std::vector<int>& projection) {
+  std::vector<int> cols = projection;
+  if (cols.empty()) {
+    cols.resize(table.num_columns());
+    std::iota(cols.begin(), cols.end(), 0);
+  }
+  columnar::Schema schema;
+  for (int c : cols) {
+    if (c < 0 || static_cast<size_t>(c) >= table.num_columns()) {
+      return Status::InvalidArgument("bad projection column " +
+                                     std::to_string(c));
+    }
+    schema.AddField(table.schema().field(static_cast<size_t>(c)));
+  }
+  auto out = std::make_shared<Table>(std::move(schema));
+  out->Reserve(rows.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Column& src = table.column(static_cast<size_t>(cols[i]));
+    Column& dst = out->column(i);
+    for (uint32_t row : rows) AppendValue(src, row, &dst);
+  }
+  return out;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      cost_(config.host, config.device_spec),
+      devices_(MakeDevices(config)),
+      scheduler_(DevicePointers(devices_)),
+      pinned_(config.pinned_pool_bytes),
+      pool_(config.cpu_threads),
+      moderator_(config.moderator_options) {}
+
+SimTime Engine::startup_registration_time() const {
+  if (devices_.empty()) return 0;
+  return cost_.HostRegistrationTime(config_.pinned_pool_bytes);
+}
+
+Status Engine::RegisterTable(const std::string& name,
+                             std::shared_ptr<Table> table) {
+  BLUSIM_RETURN_NOT_OK(table->Validate());
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  if (!tables_.emplace(name, std::move(table)).second) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Engine::GetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+uint64_t Engine::EstimateGroups(const GroupByPlan& plan,
+                                const std::vector<uint32_t>& selection) const {
+  const uint64_t n = selection.size();
+  if (n == 0) return 0;
+  // Full-pass KMV sketch over the grouping keys, the same estimate the
+  // HASH evaluator produces for the GPU runtime (section 4.2). A sketch
+  // cannot be fooled by bounded domains the way sample-extrapolation can,
+  // and the pass is a tiny fraction of the query's work.
+  KmvSketch sketch(512);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t h;
+    if (plan.wide_key()) {
+      runtime::WideKey wk;
+      plan.FillWideKey(selection[i], &wk);
+      h = Murmur3_64(wk.bytes, wk.len);
+    } else {
+      h = Mix64(plan.PackKey(selection[i]));
+    }
+    sketch.AddHash(h);
+  }
+  return std::max<uint64_t>(1, sketch.Estimate());
+}
+
+Result<Engine::GroupByOutcome> Engine::RunGroupBy(
+    const QuerySpec& query, const Table& fact,
+    const std::vector<uint32_t>& selection, QueryProfile* profile) {
+  BLUSIM_ASSIGN_OR_RETURN(GroupByPlan plan,
+                          GroupByPlan::Make(fact, *query.groupby));
+
+  OptimizerEstimates estimates;
+  estimates.rows = selection.size();
+  estimates.groups = EstimateGroups(plan, selection);
+
+  // Cap T3 by what actually fits on a device (inputs + table).
+  RouterThresholds thresholds = config_.thresholds;
+  if (!devices_.empty()) {
+    const uint64_t per_row = static_cast<uint64_t>(
+        8 + 4 + plan.payload_bytes_per_row() + 8);
+    thresholds.t3_max_rows =
+        std::min<uint64_t>(thresholds.t3_max_rows,
+                           config_.device_spec.device_memory_bytes /
+                               std::max<uint64_t>(1, per_row));
+  }
+
+  ExecutionPath path =
+      ChooseGroupByPath(estimates, thresholds, !devices_.empty());
+  profile->groupby_path = path;
+
+  GroupByOutcome outcome;
+  outcome.path = path;
+
+  if (path == ExecutionPath::kPartitioned && config_.enable_partitioned_gpu) {
+    // Extension: range-partitioned multi-device execution with a host
+    // merge (the paper describes the mechanism in section 2.2 but ran
+    // these queries on the CPU).
+    groupby::PartitionedStats pstats;
+    auto part_out = groupby::PartitionedGroupBy::Execute(
+        plan, &scheduler_, &pinned_, &pool_, &moderator_, selection,
+        config_.groupby_options, &pstats);
+    if (part_out.ok()) {
+      for (const auto& chunk : pstats.chunks) {
+        PhaseRecord gp;
+        gp.kind = PhaseRecord::Kind::kGpu;
+        gp.label = "groupby-partition";
+        gp.device_time = chunk.gpu.total();
+        gp.device_mem = chunk.gpu.device_bytes_reserved;
+        gp.device_id = chunk.device_id;
+        profile->phases.push_back(gp);
+      }
+      PhaseRecord merge;
+      merge.kind = PhaseRecord::Kind::kCpu;
+      merge.label = "groupby-merge";
+      merge.cpu_work = pstats.merge_time;
+      merge.dop = 1;
+      profile->phases.push_back(merge);
+      outcome.table = part_out->table;
+      outcome.gpu_used = true;
+      return outcome;
+    }
+    // Partitioned path failed: fall through to the CPU chain below.
+    profile->groupby_path = ExecutionPath::kCpu;
+    outcome.path = ExecutionPath::kCpu;
+  }
+
+  if (path == ExecutionPath::kGpu) {
+    const uint64_t capacity = groupby::ChooseCapacity(estimates.groups);
+    const uint64_t bytes_needed =
+        groupby::GpuGroupBy::DeviceBytesNeeded(plan, estimates.rows,
+                                               capacity);
+    auto device = scheduler_.PickDevice(bytes_needed);
+    if (device.ok()) {
+      groupby::GpuGroupByStats stats;
+      auto gpu_out = groupby::GpuGroupBy::Execute(
+          plan, device.value(), &pinned_, &pool_, &moderator_, &selection,
+          config_.groupby_options, &stats);
+      if (gpu_out.ok()) {
+        // Host staging phase (chain + MEMCPY), then the device job. While
+        // the kernel runs, the host threads are released (the off-load
+        // benefit the concurrency experiments measure).
+        PhaseRecord stage;
+        stage.kind = PhaseRecord::Kind::kCpu;
+        stage.label = "groupby-stage";
+        stage.cpu_work = stats.stage_time;
+        stage.dop = config_.query_dop;
+        profile->phases.push_back(stage);
+
+        PhaseRecord gpu;
+        gpu.kind = PhaseRecord::Kind::kGpu;
+        gpu.label = "groupby-kernel";
+        gpu.device_time = stats.transfer_in + stats.table_init +
+                          stats.kernel_time + stats.transfer_out;
+        gpu.device_mem = stats.device_bytes_reserved;
+        gpu.device_id = device.value()->id();
+        profile->phases.push_back(gpu);
+
+        outcome.table = gpu_out->table;
+        outcome.gpu_used = true;
+        return outcome;
+      }
+      if (!gpu_out.status().IsRecoverableOnHost() &&
+          gpu_out.status().code() != StatusCode::kNotSupported &&
+          gpu_out.status().code() != StatusCode::kEstimateTooLow) {
+        return gpu_out.status();
+      }
+      // Recoverable device failure: fall through to the CPU chain.
+    }
+    profile->groupby_path = ExecutionPath::kCpu;
+    outcome.path = ExecutionPath::kCpu;
+  }
+
+  // CPU chain (baseline figure-1 path; also the fallback and the
+  // "partitioned" case, which the prototype runs on the CPU).
+  auto cpu_out = runtime::CpuGroupBy::Execute(plan, &pool_, &selection);
+  BLUSIM_RETURN_NOT_OK(cpu_out.status());
+
+  PhaseRecord phase;
+  phase.kind = PhaseRecord::Kind::kCpu;
+  phase.label = "groupby-cpu";
+  phase.cpu_work = cost_.HostGroupByTime(
+      selection.size(), cpu_out->num_groups,
+      static_cast<int>(plan.slots().size()), 1);
+  phase.dop = config_.query_dop;
+  profile->phases.push_back(phase);
+
+  outcome.table = cpu_out->table;
+  return outcome;
+}
+
+Result<QueryResult> Engine::Execute(const QuerySpec& query) {
+  BLUSIM_ASSIGN_OR_RETURN(std::shared_ptr<Table> fact,
+                          GetTable(query.fact_table));
+  QueryProfile profile;
+  profile.query_name = query.name;
+
+  // --- Scan + filter the fact table ---
+  BLUSIM_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> selection,
+      runtime::FilterScan(*fact, query.fact_filters, &pool_));
+  {
+    PhaseRecord scan;
+    scan.kind = PhaseRecord::Kind::kCpu;
+    scan.label = "scan";
+    scan.cpu_work = cost_.HostScanTime(
+        fact->num_rows(),
+        query.fact_filters.empty() ? 4 : ScanWidth(*fact, query.fact_filters),
+        1);
+    scan.dop = config_.query_dop;
+    profile.phases.push_back(scan);
+  }
+
+  // --- Star joins (semi-join reduction of the fact selection) ---
+  for (const DimJoinSpec& join : query.joins) {
+    BLUSIM_ASSIGN_OR_RETURN(std::shared_ptr<Table> dim,
+                            GetTable(join.dim_table));
+    std::vector<uint32_t> dim_selection;
+    const std::vector<uint32_t>* dim_sel_ptr = nullptr;
+    if (!join.dim_filters.empty()) {
+      BLUSIM_ASSIGN_OR_RETURN(
+          dim_selection,
+          runtime::FilterScan(*dim, join.dim_filters, &pool_));
+      dim_sel_ptr = &dim_selection;
+    }
+    runtime::JoinSpec spec;
+    spec.fact_fk_column = join.fact_fk_column;
+    spec.dim_pk_column = join.dim_pk_column;
+    BLUSIM_ASSIGN_OR_RETURN(
+        runtime::JoinResult joined,
+        runtime::HashJoin(*fact, *dim, spec, &pool_, &selection,
+                          dim_sel_ptr));
+    PhaseRecord jp;
+    jp.kind = PhaseRecord::Kind::kCpu;
+    jp.label = "join-" + join.dim_table;
+    jp.cpu_work = cost_.HostJoinTime(
+        dim_sel_ptr ? dim_selection.size() : dim->num_rows(),
+        selection.size(), 1);
+    jp.dop = config_.query_dop;
+    profile.phases.push_back(jp);
+    selection = std::move(joined.fact_rows);
+  }
+
+  std::shared_ptr<Table> result;
+
+  // --- Group by / aggregation ---
+  if (query.groupby.has_value()) {
+    BLUSIM_ASSIGN_OR_RETURN(GroupByOutcome outcome,
+                            RunGroupBy(query, *fact, selection, &profile));
+    profile.gpu_used = profile.gpu_used || outcome.gpu_used;
+    result = outcome.table;
+  }
+
+  // --- Order by ---
+  if (!query.order_by.empty()) {
+    if (result != nullptr) {
+      // Sorting the (small) aggregated result: CPU.
+      sort::HybridSortOptions options;
+      options.num_workers = 1;
+      sort::HybridSortStats stats;
+      BLUSIM_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> perm,
+          sort::HybridSorter::Sort(*result, query.order_by, options,
+                                   &stats));
+      BLUSIM_ASSIGN_OR_RETURN(result, MaterializeRows(*result, perm, {}));
+      PhaseRecord sp;
+      sp.kind = PhaseRecord::Kind::kCpu;
+      sp.label = "sort-result";
+      sp.cpu_work = cost_.HostSortTime(perm.size(), 1);
+      sp.dop = config_.query_dop;
+      profile.phases.push_back(sp);
+      profile.sort_path = ExecutionPath::kCpu;
+    } else {
+      // Sorting the selected fact rows: hybrid CPU/GPU sort.
+      BLUSIM_ASSIGN_OR_RETURN(
+          std::shared_ptr<Table> base,
+          MaterializeRows(*fact, selection, query.projection));
+      const ExecutionPath path = ChooseSortPath(
+          base->num_rows(), config_.thresholds, !devices_.empty());
+      profile.sort_path = path;
+      sort::HybridSortOptions options;
+      options.min_gpu_rows = config_.sort_min_gpu_rows;
+      options.num_workers = config_.sort_workers;
+      bool gpu_possible = false;
+      if (path == ExecutionPath::kGpu) {
+        // Job-level placement: the hybrid sorter asks the scheduler for a
+        // device per job, so concurrent jobs spread across both GPUs.
+        if (scheduler_.PickDevice(sort::GpuSortBytesNeeded(
+                static_cast<uint32_t>(base->num_rows()))).ok()) {
+          options.scheduler = &scheduler_;
+          options.pinned_pool = &pinned_;
+          gpu_possible = true;
+        } else {
+          profile.sort_path = ExecutionPath::kCpu;
+        }
+      }
+      sort::HybridSortStats stats;
+      BLUSIM_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> perm,
+          sort::HybridSorter::Sort(*base, query.order_by, options, &stats));
+      BLUSIM_ASSIGN_OR_RETURN(result, MaterializeRows(*base, perm, {}));
+
+      PhaseRecord keygen;
+      keygen.kind = PhaseRecord::Kind::kCpu;
+      keygen.label = "sort-keygen";
+      keygen.cpu_work = cost_.HostKeyGenTime(base->num_rows(), 1) +
+                        stats.cpu_sort_time;
+      keygen.dop = config_.query_dop;
+      profile.phases.push_back(keygen);
+      if (stats.jobs_gpu > 0 && gpu_possible) {
+        PhaseRecord gp;
+        gp.kind = PhaseRecord::Kind::kGpu;
+        gp.label = "sort-kernel";
+        gp.device_time = stats.gpu_transfer_time + stats.gpu_kernel_time;
+        gp.device_mem = sort::GpuSortBytesNeeded(
+            static_cast<uint32_t>(base->num_rows()));
+        gp.device_id = 0;  // the DES rebalances devices at replay time
+        profile.phases.push_back(gp);
+        profile.gpu_used = true;
+      }
+    }
+  }
+
+  // --- No aggregation / no sort: project the selected rows ---
+  if (result == nullptr) {
+    BLUSIM_ASSIGN_OR_RETURN(
+        result, MaterializeRows(*fact, selection, query.projection));
+    PhaseRecord mp;
+    mp.kind = PhaseRecord::Kind::kCpu;
+    mp.label = "project";
+    mp.cpu_work = cost_.HostScanTime(selection.size(), 16, 1);
+    mp.dop = config_.query_dop;
+    profile.phases.push_back(mp);
+  }
+
+  // --- Limit ---
+  if (query.limit > 0 && result->num_rows() > query.limit) {
+    std::vector<uint32_t> head(query.limit);
+    std::iota(head.begin(), head.end(), 0);
+    BLUSIM_ASSIGN_OR_RETURN(result, MaterializeRows(*result, head, {}));
+  }
+
+  profile.result_rows = result->num_rows();
+  profile.total_elapsed = 0;
+  for (const PhaseRecord& phase : profile.phases) {
+    profile.total_elapsed +=
+        phase.IdleElapsed(cost_.HostParallelFactor(phase.dop));
+  }
+
+  QueryResult qr;
+  qr.table = std::move(result);
+  qr.profile = std::move(profile);
+  return qr;
+}
+
+}  // namespace blusim::core

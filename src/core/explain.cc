@@ -1,0 +1,143 @@
+#include "core/explain.h"
+
+#include <sstream>
+
+namespace blusim::core {
+
+using columnar::Table;
+using runtime::AggFn;
+using runtime::CmpOp;
+using runtime::GroupByPlan;
+
+namespace {
+
+std::string ColName(const Table& t, int column) {
+  if (column < 0 || static_cast<size_t>(column) >= t.num_columns()) {
+    return "col" + std::to_string(column);
+  }
+  return t.schema().field(static_cast<size_t>(column)).name;
+}
+
+std::string PredicateText(const runtime::Predicate& p, const Table& t) {
+  const std::string col = ColName(t, p.column);
+  auto num = [](double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  };
+  switch (p.op) {
+    case CmpOp::kEq:
+      return col + " = " + (p.str.empty() ? num(p.lo) : "'" + p.str + "'");
+    case CmpOp::kNe:
+      return col + " <> " + (p.str.empty() ? num(p.lo) : "'" + p.str + "'");
+    case CmpOp::kLt: return col + " < " + num(p.lo);
+    case CmpOp::kLe: return col + " <= " + num(p.lo);
+    case CmpOp::kGt: return col + " > " + num(p.lo);
+    case CmpOp::kGe: return col + " >= " + num(p.lo);
+    case CmpOp::kBetween:
+      return col + " BETWEEN " + num(p.lo) + " AND " + num(p.hi);
+  }
+  return col;
+}
+
+std::string AggregateText(const runtime::AggregateDesc& a, const Table& t) {
+  std::string s = runtime::AggFnName(a.fn);
+  s += "(";
+  s += a.column < 0 ? "*" : ColName(t, a.column);
+  s += ")";
+  if (!a.output_name.empty()) s += " AS " + a.output_name;
+  return s;
+}
+
+}  // namespace
+
+std::string DescribeQuery(const QuerySpec& query, const Table& fact) {
+  std::ostringstream os;
+  os << "SELECT ";
+  bool first = true;
+  if (query.groupby.has_value()) {
+    for (int k : query.groupby->key_columns) {
+      os << (first ? "" : ", ") << ColName(fact, k);
+      first = false;
+    }
+    for (const auto& a : query.groupby->aggregates) {
+      os << (first ? "" : ", ") << AggregateText(a, fact);
+      first = false;
+    }
+  } else if (!query.projection.empty()) {
+    for (int c : query.projection) {
+      os << (first ? "" : ", ") << ColName(fact, c);
+      first = false;
+    }
+  } else {
+    os << "*";
+  }
+  os << "\nFROM " << query.fact_table;
+  for (const auto& join : query.joins) {
+    os << "\n  JOIN " << join.dim_table << " ON "
+       << ColName(fact, join.fact_fk_column) << " = " << join.dim_table
+       << ".pk";
+    if (!join.dim_filters.empty()) {
+      os << " AND <" << join.dim_filters.size() << " dim filter(s)>";
+    }
+  }
+  if (!query.fact_filters.empty()) {
+    os << "\nWHERE ";
+    for (size_t i = 0; i < query.fact_filters.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << PredicateText(query.fact_filters[i], fact);
+    }
+  }
+  if (query.groupby.has_value()) {
+    os << "\nGROUP BY ";
+    for (size_t i = 0; i < query.groupby->key_columns.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << ColName(fact, query.groupby->key_columns[i]);
+    }
+  }
+  if (!query.order_by.empty()) {
+    os << "\nORDER BY ";
+    for (size_t i = 0; i < query.order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "#" << query.order_by[i].column
+         << (query.order_by[i].ascending ? " ASC" : " DESC");
+    }
+  }
+  if (query.limit > 0) os << "\nLIMIT " << query.limit;
+  return os.str();
+}
+
+std::string RenderGroupByChain(const GroupByPlan& plan, ExecutionPath path) {
+  std::ostringstream os;
+  const size_t nkeys = plan.spec().key_columns.size();
+  os << "LCOG(keys=" << nkeys << ") / LCOV(payloads="
+     << plan.slots().size() << ")";
+  if (nkeys > 1) os << " -> CCAT(" << plan.key_bits() << "-bit key)";
+  os << " -> HASH(" << (plan.wide_key() ? "murmur" : "mod") << ")";
+  if (path == ExecutionPath::kGpu || path == ExecutionPath::kPartitioned) {
+    os << "+KMV -> MEMCPY(pinned) -> GPU runtime [moderator -> ";
+    // Mirror the moderator's static preference for display.
+    if (plan.needs_locks()) {
+      os << "K3 rowlock";
+    } else {
+      os << "K1 regular | K2 sharedmem | K3 rowlock";
+    }
+    os << "]";
+    if (path == ExecutionPath::kPartitioned) {
+      os << " x N chunks -> host merge";
+    }
+  } else {
+    os << " -> LGHT(local tables)";
+    for (const auto& slot : plan.slots()) {
+      switch (slot.fn) {
+        case AggFn::kSum: os << " -> SUM"; break;
+        case AggFn::kCount: os << " -> CNT"; break;
+        default: os << " -> AGGD"; break;
+      }
+    }
+    os << " -> merge to global hash table";
+  }
+  return os.str();
+}
+
+}  // namespace blusim::core

@@ -1,0 +1,59 @@
+#ifndef BLUSIM_CORE_PROFILE_H_
+#define BLUSIM_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "core/router.h"
+
+namespace blusim::core {
+
+// One resource phase of an executed query. Phases are the unit the
+// concurrency simulator (harness) replays: CPU phases share the host's
+// cores, GPU phases occupy device memory and device compute.
+struct PhaseRecord {
+  enum class Kind : uint8_t {
+    kCpu = 0,   // host work: scans, joins, the CPU group-by chain, keygen
+    kGpu,       // device job: transfers + kernel(s); host threads are FREE
+  };
+
+  Kind kind = Kind::kCpu;
+  std::string label;
+  // kCpu: single-thread work in simulated microseconds and the degree of
+  // parallelism the operator used.
+  SimTime cpu_work = 0;
+  int dop = 1;
+  // kGpu: device occupancy (transfer + init + kernel + readback) and the
+  // device memory reserved for the job's lifetime.
+  SimTime device_time = 0;
+  uint64_t device_mem = 0;
+  int device_id = -1;
+
+  // Elapsed time on an otherwise-idle system (serial runs): cpu work
+  // divided by the parallel speedup, or the device occupancy.
+  SimTime IdleElapsed(double parallel_factor) const {
+    if (kind == Kind::kGpu) return device_time;
+    return static_cast<SimTime>(static_cast<double>(cpu_work) /
+                                parallel_factor);
+  }
+};
+
+// Execution record of one query: the phase list plus routing decisions.
+struct QueryProfile {
+  std::string query_name;
+  std::vector<PhaseRecord> phases;
+  ExecutionPath groupby_path = ExecutionPath::kCpu;
+  ExecutionPath sort_path = ExecutionPath::kCpu;
+  bool gpu_used = false;
+  uint64_t result_rows = 0;
+
+  // Serial elapsed time (microseconds) on an idle system; `factors[dop]`
+  // must come from CostModel::HostParallelFactor.
+  SimTime total_elapsed = 0;
+};
+
+}  // namespace blusim::core
+
+#endif  // BLUSIM_CORE_PROFILE_H_

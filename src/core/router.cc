@@ -1,0 +1,41 @@
+#include "core/router.h"
+
+namespace blusim::core {
+
+const char* ExecutionPathName(ExecutionPath path) {
+  switch (path) {
+    case ExecutionPath::kCpu: return "CPU";
+    case ExecutionPath::kGpu: return "GPU";
+    case ExecutionPath::kPartitioned: return "PARTITIONED";
+  }
+  return "?";
+}
+
+ExecutionPath ChooseGroupByPath(const OptimizerEstimates& estimates,
+                                const RouterThresholds& thresholds,
+                                bool gpu_available) {
+  if (!gpu_available) return ExecutionPath::kCpu;
+  // Figure 3, left branch: small rows or tiny group counts stay on the
+  // CPU -- the transfer cost would exceed the device speedup.
+  if (estimates.rows < thresholds.t1_min_rows ||
+      estimates.groups < thresholds.t2_min_groups) {
+    return ExecutionPath::kCpu;
+  }
+  // Figure 3, right branch: the input exceeds device memory; needs
+  // CPU+GPU partitioning ("In our current implementation, all of the large
+  // queries are processed in the CPU").
+  if (estimates.rows > thresholds.t3_max_rows) {
+    return ExecutionPath::kPartitioned;
+  }
+  return ExecutionPath::kGpu;
+}
+
+ExecutionPath ChooseSortPath(uint64_t rows, const RouterThresholds& thresholds,
+                             bool gpu_available) {
+  if (!gpu_available || rows < thresholds.t1_min_rows) {
+    return ExecutionPath::kCpu;
+  }
+  return ExecutionPath::kGpu;
+}
+
+}  // namespace blusim::core

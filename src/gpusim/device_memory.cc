@@ -1,0 +1,94 @@
+#include "gpusim/device_memory.h"
+
+#include <algorithm>
+#include <string>
+
+namespace blusim::gpusim {
+
+Reservation& Reservation::operator=(Reservation&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    id_ = other.id_;
+    bytes_ = other.bytes_;
+    other.manager_ = nullptr;
+    other.id_ = 0;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void Reservation::Release() {
+  if (manager_ != nullptr) {
+    manager_->ReleaseReservation(id_, bytes_);
+    manager_ = nullptr;
+    id_ = 0;
+    bytes_ = 0;
+  }
+}
+
+uint64_t DeviceMemoryManager::reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_total_;
+}
+
+uint64_t DeviceMemoryManager::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ - reserved_total_;
+}
+
+bool DeviceMemoryManager::CanReserve(uint64_t bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_total_ + bytes <= capacity_;
+}
+
+Result<Reservation> DeviceMemoryManager::Reserve(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reserved_total_ + bytes > capacity_) {
+    return Status::OutOfDeviceMemory(
+        "reservation of " + std::to_string(bytes) + " bytes exceeds " +
+        std::to_string(capacity_ - reserved_total_) + " available");
+  }
+  reserved_total_ += bytes;
+  const uint64_t id = next_id_++;
+  in_use_.push_back(ReservationUse{id, bytes, 0});
+  return Reservation(this, id, bytes);
+}
+
+Result<DeviceBuffer> DeviceMemoryManager::Alloc(const Reservation& reservation,
+                                                uint64_t bytes) {
+  if (!reservation.active()) {
+    return Status::InvalidArgument("allocation against inactive reservation");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(
+        in_use_.begin(), in_use_.end(),
+        [&](const ReservationUse& u) { return u.id == reservation.id(); });
+    if (it == in_use_.end()) {
+      return Status::InvalidArgument("unknown reservation");
+    }
+    if (it->allocated + bytes > it->reserved) {
+      return Status::InvalidArgument(
+          "allocation exceeds reservation budget (under-reserved task)");
+    }
+    it->allocated += bytes;
+  }
+  // Value-initialized: device memory contents start zeroed in the simulator;
+  // kernels that need a specific init pattern (hash-table masks) write it
+  // explicitly, as on real hardware.
+  auto data = std::make_unique<char[]>(bytes);
+  return DeviceBuffer(std::move(data), bytes);
+}
+
+void DeviceMemoryManager::ReleaseReservation(uint64_t id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_total_ -= bytes;
+  in_use_.erase(std::remove_if(in_use_.begin(), in_use_.end(),
+                               [&](const ReservationUse& u) {
+                                 return u.id == id;
+                               }),
+                in_use_.end());
+}
+
+}  // namespace blusim::gpusim

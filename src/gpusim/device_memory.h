@@ -1,0 +1,119 @@
+#ifndef BLUSIM_GPUSIM_DEVICE_MEMORY_H_
+#define BLUSIM_GPUSIM_DEVICE_MEMORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blusim::gpusim {
+
+class DeviceMemoryManager;
+
+// RAII handle for a device-memory reservation (paper section 2.1.1).
+//
+// A task queries and reserves all the device memory it will need *before*
+// launching kernel code; this prevents concurrent tasks from hitting
+// mid-kernel allocation failures and the expensive error/rollback path.
+// Destroying (or Release()-ing) the reservation returns the bytes to the
+// device pool for use by other tasks.
+class Reservation {
+ public:
+  Reservation() = default;
+  Reservation(Reservation&& other) noexcept { *this = std::move(other); }
+  Reservation& operator=(Reservation&& other) noexcept;
+  Reservation(const Reservation&) = delete;
+  Reservation& operator=(const Reservation&) = delete;
+  ~Reservation() { Release(); }
+
+  uint64_t bytes() const { return bytes_; }
+  bool active() const { return manager_ != nullptr; }
+  uint64_t id() const { return id_; }
+
+  // Returns the reserved bytes to the pool early.
+  void Release();
+
+ private:
+  friend class DeviceMemoryManager;
+  Reservation(DeviceMemoryManager* manager, uint64_t id, uint64_t bytes)
+      : manager_(manager), id_(id), bytes_(bytes) {}
+
+  DeviceMemoryManager* manager_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+// A buffer "on the device". In the simulation device memory is host heap
+// memory, but every byte is accounted against the owning reservation's
+// device, so capacity limits behave exactly like a 12 GB K40.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(std::unique_ptr<char[]> data, uint64_t size)
+      : data_(std::move(data)), size_(size) {}
+
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+  uint64_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+  template <typename T>
+  T* as() { return reinterpret_cast<T*>(data_.get()); }
+  template <typename T>
+  const T* as() const { return reinterpret_cast<const T*>(data_.get()); }
+
+ private:
+  std::unique_ptr<char[]> data_;
+  uint64_t size_ = 0;
+};
+
+// Tracks device-memory usage by all consumers on one simulated GPU device
+// and hands out up-front reservations. Thread-safe.
+class DeviceMemoryManager {
+ public:
+  explicit DeviceMemoryManager(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  DeviceMemoryManager(const DeviceMemoryManager&) = delete;
+  DeviceMemoryManager& operator=(const DeviceMemoryManager&) = delete;
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t reserved() const;
+  uint64_t available() const;
+
+  // Attempts to reserve `bytes` up front. On failure the caller either
+  // waits for memory or falls back to the CPU path (section 2.1.1).
+  Result<Reservation> Reserve(uint64_t bytes);
+
+  // True if a reservation of `bytes` would currently succeed. Used by the
+  // multi-GPU scheduler to pick a device without committing (section 2.2).
+  bool CanReserve(uint64_t bytes) const;
+
+  // Allocates a buffer counted against an active reservation. Allocation
+  // never takes new capacity -- it draws down the reservation's budget, so
+  // once Reserve() succeeds, a task's Alloc() calls cannot fail unless it
+  // under-reserved (which is reported as InvalidArgument, a logic bug).
+  Result<DeviceBuffer> Alloc(const Reservation& reservation, uint64_t bytes);
+
+ private:
+  friend class Reservation;
+  void ReleaseReservation(uint64_t id, uint64_t bytes);
+
+  struct ReservationUse {
+    uint64_t id;
+    uint64_t reserved;
+    uint64_t allocated;
+  };
+
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t reserved_total_ = 0;
+  uint64_t next_id_ = 1;
+  std::vector<ReservationUse> in_use_;
+};
+
+}  // namespace blusim::gpusim
+
+#endif  // BLUSIM_GPUSIM_DEVICE_MEMORY_H_

@@ -1,0 +1,84 @@
+#include "gpusim/kernel.h"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace blusim::gpusim {
+
+KernelLauncher::KernelLauncher(const DeviceSpec& spec, int workers)
+    : workers_(workers), max_shared_mem_(spec.shared_mem_per_smx_bytes) {
+  if (workers_ <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    workers_ = hc == 0 ? 2 : static_cast<int>(hc);
+  }
+}
+
+Status KernelLauncher::Launch(const LaunchConfig& config,
+                              const KernelPhase& phase) {
+  return Launch(config, std::vector<KernelPhase>{phase});
+}
+
+Status KernelLauncher::Launch(const LaunchConfig& config,
+                              const std::vector<KernelPhase>& phases) {
+  if (config.grid_dim == 0 || config.block_dim == 0) {
+    return Status::InvalidArgument("kernel launch with empty grid or block");
+  }
+  if (config.shared_mem_bytes > max_shared_mem_) {
+    return Status::InvalidArgument(
+        "kernel requests " + std::to_string(config.shared_mem_bytes) +
+        " bytes shared memory; SMX window is " +
+        std::to_string(max_shared_mem_));
+  }
+  if (phases.empty()) return Status::OK();
+
+  // Block-stealing loop: each worker claims whole blocks. Phases of one
+  // block run back-to-back on one worker, which realizes the
+  // __syncthreads() barrier between phases for free; atomics are still
+  // required for any global-memory structure shared across blocks.
+  std::atomic<uint32_t> next_block{0};
+  const int nworkers =
+      static_cast<int>(std::min<uint32_t>(config.grid_dim,
+                                          static_cast<uint32_t>(workers_)));
+
+  auto run_blocks = [&]() {
+    std::unique_ptr<char[]> shared;
+    if (config.shared_mem_bytes > 0) {
+      shared = std::make_unique<char[]>(config.shared_mem_bytes);
+    }
+    while (true) {
+      const uint32_t block =
+          next_block.fetch_add(1, std::memory_order_relaxed);
+      if (block >= config.grid_dim) break;
+      if (shared) std::memset(shared.get(), 0, config.shared_mem_bytes);
+      KernelCtx ctx;
+      ctx.block_idx = block;
+      ctx.block_dim = config.block_dim;
+      ctx.grid_dim = config.grid_dim;
+      ctx.shared_mem = shared.get();
+      ctx.shared_mem_bytes = config.shared_mem_bytes;
+      for (const KernelPhase& phase : phases) {
+        for (uint32_t t = 0; t < config.block_dim; ++t) {
+          ctx.thread_idx = t;
+          phase(ctx);
+        }
+      }
+    }
+  };
+
+  if (nworkers <= 1) {
+    run_blocks();
+    return Status::OK();
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nworkers - 1));
+  for (int i = 1; i < nworkers; ++i) threads.emplace_back(run_blocks);
+  run_blocks();
+  for (std::thread& t : threads) t.join();
+  return Status::OK();
+}
+
+}  // namespace blusim::gpusim

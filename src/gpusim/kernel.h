@@ -1,0 +1,78 @@
+#ifndef BLUSIM_GPUSIM_KERNEL_H_
+#define BLUSIM_GPUSIM_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/specs.h"
+
+namespace blusim::gpusim {
+
+// Execution context handed to simulated CUDA-thread code. Mirrors the CUDA
+// built-ins: blockIdx.x, threadIdx.x, blockDim.x, gridDim.x plus the
+// block's shared-memory window.
+struct KernelCtx {
+  uint32_t block_idx = 0;
+  uint32_t thread_idx = 0;
+  uint32_t block_dim = 0;
+  uint32_t grid_dim = 0;
+  // Per-block shared memory (the SMX 48 KB window, section 4.3.2). Zeroed
+  // before phase 0 of each block.
+  char* shared_mem = nullptr;
+  uint64_t shared_mem_bytes = 0;
+
+  // Global linear thread id, the usual CUDA idiom.
+  uint64_t global_thread() const {
+    return static_cast<uint64_t>(block_idx) * block_dim + thread_idx;
+  }
+  uint64_t total_threads() const {
+    return static_cast<uint64_t>(grid_dim) * block_dim;
+  }
+};
+
+// One barrier-delimited section of a kernel. The launcher runs phase k for
+// every thread of a block before starting phase k+1 of that block --
+// exactly the guarantee __syncthreads() provides. Cross-block ordering is
+// NOT guaranteed (as on real hardware); cross-block communication must use
+// device atomics.
+using KernelPhase = std::function<void(const KernelCtx&)>;
+
+// Kernel launch configuration.
+struct LaunchConfig {
+  uint32_t grid_dim = 1;    // number of thread blocks
+  uint32_t block_dim = 256; // threads per block
+  uint64_t shared_mem_bytes = 0;  // per-block shared memory request
+};
+
+// Runs simulated kernels: thread blocks are distributed over a host worker
+// pool (each block executes on exactly one worker, so shared memory is
+// race-free within a block while global-memory access across blocks is
+// genuinely concurrent and must use atomics -- the same discipline CUDA
+// imposes).
+class KernelLauncher {
+ public:
+  // `workers`: number of host threads simulating SMXs. 0 = use
+  //  hardware_concurrency.
+  explicit KernelLauncher(const DeviceSpec& spec, int workers = 0);
+
+  // Synchronous launch; returns once every block has run all phases.
+  // Fails if shared_mem_bytes exceeds the SMX shared-memory window.
+  Status Launch(const LaunchConfig& config,
+                const std::vector<KernelPhase>& phases);
+
+  // Convenience: single-phase kernel.
+  Status Launch(const LaunchConfig& config, const KernelPhase& phase);
+
+  int workers() const { return workers_; }
+  uint64_t max_shared_mem() const { return max_shared_mem_; }
+
+ private:
+  int workers_;
+  uint64_t max_shared_mem_;
+};
+
+}  // namespace blusim::gpusim
+
+#endif  // BLUSIM_GPUSIM_KERNEL_H_

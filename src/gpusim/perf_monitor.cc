@@ -1,0 +1,75 @@
+#include "gpusim/perf_monitor.h"
+
+namespace blusim::gpusim {
+
+const char* GpuEventName(GpuEvent event) {
+  switch (event) {
+    case GpuEvent::kTransferToDevice: return "transfer_to_device";
+    case GpuEvent::kTransferFromDevice: return "transfer_from_device";
+    case GpuEvent::kKernelExec: return "kernel_exec";
+    case GpuEvent::kHashTableInit: return "hash_table_init";
+    case GpuEvent::kReservationWait: return "reservation_wait";
+    case GpuEvent::kNumEvents: break;
+  }
+  return "unknown";
+}
+
+void PerfMonitor::Record(GpuEvent event, SimTime duration, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EventStats& s = stats_[static_cast<int>(event)];
+  ++s.count;
+  s.total_time += duration;
+  s.total_bytes += bytes;
+}
+
+void PerfMonitor::RecordKernel(const std::string& kernel_name,
+                               SimTime duration) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EventStats& s = kernel_stats_[kernel_name];
+  ++s.count;
+  s.total_time += duration;
+  EventStats& all = stats_[static_cast<int>(GpuEvent::kKernelExec)];
+  ++all.count;
+  all.total_time += duration;
+}
+
+void PerfMonitor::SampleMemory(SimTime time, uint64_t bytes_in_use) {
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_samples_.push_back(MemorySample{time, bytes_in_use});
+}
+
+EventStats PerfMonitor::stats(GpuEvent event) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_[static_cast<int>(event)];
+}
+
+std::map<std::string, EventStats> PerfMonitor::kernel_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kernel_stats_;
+}
+
+std::vector<MemorySample> PerfMonitor::memory_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_samples_;
+}
+
+SimTime PerfMonitor::total_kernel_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_[static_cast<int>(GpuEvent::kKernelExec)].total_time +
+         stats_[static_cast<int>(GpuEvent::kHashTableInit)].total_time;
+}
+
+SimTime PerfMonitor::total_transfer_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_[static_cast<int>(GpuEvent::kTransferToDevice)].total_time +
+         stats_[static_cast<int>(GpuEvent::kTransferFromDevice)].total_time;
+}
+
+void PerfMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (EventStats& s : stats_) s = EventStats{};
+  kernel_stats_.clear();
+  memory_samples_.clear();
+}
+
+}  // namespace blusim::gpusim

@@ -1,0 +1,105 @@
+#include "gpusim/pinned_pool.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace blusim::gpusim {
+
+namespace {
+// All sub-allocations are 64-byte aligned (cache line / GPU coalescing).
+constexpr uint64_t kAlignment = 64;
+}  // namespace
+
+PinnedBuffer& PinnedBuffer::operator=(PinnedBuffer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    data_ = other.data_;
+    offset_ = other.offset_;
+    size_ = other.size_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.offset_ = 0;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void PinnedBuffer::Release() {
+  if (pool_ != nullptr) {
+    pool_->Free(offset_, size_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+PinnedHostPool::PinnedHostPool(uint64_t segment_bytes)
+    : segment_size_(AlignUp(segment_bytes, kAlignment)),
+      segment_(std::make_unique<char[]>(segment_size_ + kAlignment)) {
+  // Align the segment base so every sub-allocation is 64-byte aligned.
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(segment_.get());
+  base_ = segment_.get() + (AlignUp(raw, kAlignment) - raw);
+  free_list_.push_back(FreeExtent{0, segment_size_});
+}
+
+uint64_t PinnedHostPool::allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_;
+}
+
+uint64_t PinnedHostPool::peak_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_allocated_;
+}
+
+Result<PinnedBuffer> PinnedHostPool::Alloc(uint64_t bytes) {
+  const uint64_t size = AlignUp(std::max<uint64_t>(bytes, 1), kAlignment);
+  std::lock_guard<std::mutex> lock(mu_);
+  // First fit over the offset-sorted free list.
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i].size >= size) {
+      const uint64_t offset = free_list_[i].offset;
+      free_list_[i].offset += size;
+      free_list_[i].size -= size;
+      if (free_list_[i].size == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<long>(i));
+      }
+      allocated_ += size;
+      peak_allocated_ = std::max(peak_allocated_, allocated_);
+      return PinnedBuffer(this, base_ + offset, offset, size);
+    }
+  }
+  return Status::OutOfHostMemory(
+      "pinned pool exhausted: need " + std::to_string(size) + " bytes, " +
+      std::to_string(segment_size_ - allocated_) + " free (fragmented)");
+}
+
+void PinnedHostPool::Free(uint64_t offset, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BLUSIM_CHECK(allocated_ >= bytes);
+  allocated_ -= bytes;
+  // Insert sorted by offset, then coalesce with neighbors.
+  auto it = std::lower_bound(
+      free_list_.begin(), free_list_.end(), offset,
+      [](const FreeExtent& e, uint64_t off) { return e.offset < off; });
+  it = free_list_.insert(it, FreeExtent{offset, bytes});
+  // Coalesce with successor.
+  if (it + 1 != free_list_.end() && it->offset + it->size == (it + 1)->offset) {
+    it->size += (it + 1)->size;
+    free_list_.erase(it + 1);
+  }
+  // Coalesce with predecessor.
+  if (it != free_list_.begin()) {
+    auto prev = it - 1;
+    if (prev->offset + prev->size == it->offset) {
+      prev->size += it->size;
+      free_list_.erase(it);
+    }
+  }
+}
+
+}  // namespace blusim::gpusim

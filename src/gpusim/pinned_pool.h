@@ -1,0 +1,93 @@
+#ifndef BLUSIM_GPUSIM_PINNED_POOL_H_
+#define BLUSIM_GPUSIM_PINNED_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blusim::gpusim {
+
+class PinnedHostPool;
+
+// RAII sub-allocation from the pinned pool. Returned to the free pool of
+// registered memory when destroyed (paper section 2.1.2: "When the GPU
+// kernel finishes its work and returns, the allocated memory is returned to
+// the free pool of registered memory").
+class PinnedBuffer {
+ public:
+  PinnedBuffer() = default;
+  PinnedBuffer(PinnedBuffer&& other) noexcept { *this = std::move(other); }
+  PinnedBuffer& operator=(PinnedBuffer&& other) noexcept;
+  PinnedBuffer(const PinnedBuffer&) = delete;
+  PinnedBuffer& operator=(const PinnedBuffer&) = delete;
+  ~PinnedBuffer() { Release(); }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  uint64_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+  template <typename T>
+  T* as() { return reinterpret_cast<T*>(data_); }
+  template <typename T>
+  const T* as() const { return reinterpret_cast<const T*>(data_); }
+
+  void Release();
+
+ private:
+  friend class PinnedHostPool;
+  PinnedBuffer(PinnedHostPool* pool, char* data, uint64_t offset,
+               uint64_t size)
+      : pool_(pool), data_(data), offset_(offset), size_(size) {}
+
+  PinnedHostPool* pool_ = nullptr;
+  char* data_ = nullptr;
+  uint64_t offset_ = 0;
+  uint64_t size_ = 0;
+};
+
+// One large host memory segment registered (pinned) with the GPU device(s)
+// at engine startup (paper section 2.1.2). Registering per kernel call is
+// prohibitively expensive, so all transfer staging draws first-fit
+// sub-allocations from this pre-registered segment instead.
+class PinnedHostPool {
+ public:
+  explicit PinnedHostPool(uint64_t segment_bytes);
+
+  PinnedHostPool(const PinnedHostPool&) = delete;
+  PinnedHostPool& operator=(const PinnedHostPool&) = delete;
+
+  uint64_t segment_size() const { return segment_size_; }
+  uint64_t allocated() const;
+  uint64_t available() const { return segment_size_ - allocated(); }
+  uint64_t peak_allocated() const;
+
+  // Sub-allocates from the registered segment. Fails with OutOfHostMemory
+  // when no free extent is large enough (caller falls back to an unpinned,
+  // 4x-slower transfer path or waits).
+  Result<PinnedBuffer> Alloc(uint64_t bytes);
+
+ private:
+  friend class PinnedBuffer;
+  void Free(uint64_t offset, uint64_t bytes);
+
+  struct FreeExtent {
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  const uint64_t segment_size_;
+  std::unique_ptr<char[]> segment_;
+  char* base_ = nullptr;  // 64-byte-aligned start within segment_
+  mutable std::mutex mu_;
+  std::vector<FreeExtent> free_list_;  // sorted by offset, coalesced
+  uint64_t allocated_ = 0;
+  uint64_t peak_allocated_ = 0;
+};
+
+}  // namespace blusim::gpusim
+
+#endif  // BLUSIM_GPUSIM_PINNED_POOL_H_

@@ -1,0 +1,53 @@
+#ifndef BLUSIM_GPUSIM_SPECS_H_
+#define BLUSIM_GPUSIM_SPECS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace blusim::gpusim {
+
+// Hardware description of one simulated GPU. Defaults model the NVIDIA
+// Tesla K40 used in the paper (15 SMX, 192 cores/SMX = 2880 CUDA cores,
+// 12 GB GDDR5, 64 KB configurable shared memory / L1 per SMX, PCIe gen3).
+struct DeviceSpec {
+  std::string name = "Tesla K40 (simulated)";
+  int num_smx = 15;
+  int cores_per_smx = 192;
+  uint64_t device_memory_bytes = 12ULL << 30;       // 12 GB
+  uint64_t shared_mem_per_smx_bytes = 64ULL << 10;  // 64 KB configurable
+  double core_clock_ghz = 0.745;
+  double mem_bandwidth_gbps = 288.0;   // device-memory bandwidth, GB/s
+  // PCIe gen3 x16 effective bandwidths. Registered (pinned) host memory
+  // transfers run > 4x faster than unregistered (paper section 2.1.2).
+  double pcie_pinned_gbps = 12.0;
+  double pcie_unpinned_gbps = 2.8;
+  double pcie_latency_us = 10.0;       // per-transfer setup latency
+
+  int total_cores() const { return num_smx * cores_per_smx; }
+
+  // Returns a spec scaled to a fraction of the K40's memory; used by tests
+  // and scaled-down experiments so capacity effects (the 12-of-46 ROLAP
+  // exclusion, figure 9 near-capacity spikes) appear at laptop data sizes.
+  DeviceSpec WithMemory(uint64_t bytes) const {
+    DeviceSpec s = *this;
+    s.device_memory_bytes = bytes;
+    return s;
+  }
+};
+
+// Host description. Defaults model the IBM Power S824 from the paper:
+// 2 sockets x 12 cores = 24 cores, SMT4 (96 hardware threads), 3.92 GHz,
+// 512 GB RAM.
+struct HostSpec {
+  std::string name = "IBM Power S824 (simulated)";
+  int cores = 24;
+  int smt = 4;
+  double clock_ghz = 3.92;
+  uint64_t ram_bytes = 512ULL << 30;
+
+  int hw_threads() const { return cores * smt; }
+};
+
+}  // namespace blusim::gpusim
+
+#endif  // BLUSIM_GPUSIM_SPECS_H_

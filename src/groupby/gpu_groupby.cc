@@ -1,0 +1,361 @@
+#include "groupby/gpu_groupby.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bit_util.h"
+
+#include "common/logging.h"
+#include "groupby/kernels.h"
+#include "groupby/staging.h"
+#include "runtime/group_result.h"
+
+namespace blusim::groupby {
+
+using columnar::DataType;
+using gpusim::DeviceBuffer;
+using gpusim::GroupByKernelKind;
+using gpusim::GroupByKernelParams;
+using gpusim::SimDevice;
+using runtime::AggSlot;
+using runtime::GroupByOutput;
+using runtime::GroupByPlan;
+using runtime::GroupEntry;
+using runtime::WideKey;
+
+namespace {
+
+// Sums the staged-array bytes a group-by ships to the device. Each staged
+// array is 64-byte aligned in the pinned pool, so count the rounded sizes
+// (the reservation must cover exactly what UploadInput allocates).
+uint64_t InputBytes(const GroupByPlan& plan, uint64_t rows) {
+  auto aligned = [](uint64_t b) { return AlignUp(std::max<uint64_t>(b, 1),
+                                                 64); };
+  uint64_t bytes = aligned(
+      rows * (plan.wide_key() ? sizeof(WideKey) : sizeof(uint64_t)));
+  bytes += aligned(rows * sizeof(uint32_t));  // row ids
+  for (const AggSlot& slot : plan.slots()) {
+    if (slot.input_column < 0) continue;
+    if (slot.fn != runtime::AggFn::kCount) {
+      bytes += aligned(
+          rows * (slot.acc_type == DataType::kDecimal128 ? 16 : 8));
+    }
+    const columnar::Column& col =
+        plan.table().column(static_cast<size_t>(slot.input_column));
+    if (col.has_nulls()) bytes += aligned(rows);
+  }
+  return bytes;
+}
+
+// Moves staged pinned buffers onto the device, charging transfer time.
+Status UploadInput(SimDevice* device, const gpusim::Reservation& reservation,
+                   const StagedInput& staged, const GroupByPlan& plan,
+                   DeviceInput* input, SimTime* transfer_time) {
+  input->rows = staged.rows;
+  input->wide_key = staged.wide_key;
+
+  auto upload = [&](const gpusim::PinnedBuffer& src,
+                    DeviceBuffer* dst) -> Status {
+    BLUSIM_ASSIGN_OR_RETURN(*dst,
+                            device->memory().Alloc(reservation, src.size()));
+    *transfer_time += device->CopyToDevice(src.data(), dst, src.size(),
+                                           /*pinned=*/true);
+    return Status::OK();
+  };
+
+  BLUSIM_RETURN_NOT_OK(upload(staged.keys, &input->keys));
+  BLUSIM_RETURN_NOT_OK(upload(staged.row_ids, &input->row_ids));
+  input->slots.resize(plan.slots().size());
+  for (size_t s = 0; s < plan.slots().size(); ++s) {
+    if (staged.payloads[s].valid()) {
+      BLUSIM_RETURN_NOT_OK(
+          upload(staged.payloads[s], &input->slots[s].values));
+    }
+    if (staged.validity[s].valid()) {
+      BLUSIM_RETURN_NOT_OK(
+          upload(staged.validity[s], &input->slots[s].validity));
+    }
+  }
+  return Status::OK();
+}
+
+// Scans the device hash table (after readback) into GroupEntry records.
+std::vector<GroupEntry> ScanTable(const GroupByPlan& plan,
+                                  const HashTableLayout& layout,
+                                  const char* table, uint64_t capacity) {
+  std::vector<GroupEntry> groups;
+  const uint64_t entry_bytes = static_cast<uint64_t>(layout.entry_bytes());
+  for (uint64_t e = 0; e < capacity; ++e) {
+    const char* entry = table + e * entry_bytes;
+    if (layout.wide_key()) {
+      uint32_t rep;
+      std::memcpy(&rep, entry + layout.rep_row_offset(), 4);
+      if (rep == kEmptyRow) continue;
+    } else {
+      uint64_t key;
+      std::memcpy(&key, entry, 8);
+      if (key == kEmptyKey64) continue;
+    }
+    GroupEntry g;
+    std::memcpy(&g.rep_row, entry + layout.rep_row_offset(), 4);
+    g.slots.resize(plan.slots().size());
+    for (size_t s = 0; s < plan.slots().size(); ++s) {
+      const AggSlot& slot = plan.slots()[s];
+      const char* sp = entry + layout.slot_offset(s);
+      switch (slot.acc_type) {
+        case DataType::kFloat64:
+          std::memcpy(&g.slots[s].f64, sp, 8);
+          break;
+        case DataType::kDecimal128:
+          std::memcpy(&g.slots[s].dec, sp, 16);
+          break;
+        case DataType::kInt32:
+        case DataType::kDate: {
+          int32_t tmp;
+          std::memcpy(&tmp, sp, 4);
+          g.slots[s].i64 = tmp;
+          break;
+        }
+        default:
+          std::memcpy(&g.slots[s].i64, sp, 8);
+          break;
+      }
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+Status RunKernel(SimDevice* device, GroupByKernelKind kind,
+                 const GroupByKernelArgs& args) {
+  switch (kind) {
+    case GroupByKernelKind::kRegular:
+      return RunKernelRegular(device, args);
+    case GroupByKernelKind::kSharedMem:
+      return RunKernelSharedMem(device, args);
+    case GroupByKernelKind::kRowLock:
+      return RunKernelRowLock(device, args);
+  }
+  return Status::InvalidArgument("unknown kernel kind");
+}
+
+const char* KernelName(GroupByKernelKind kind) {
+  switch (kind) {
+    case GroupByKernelKind::kRegular: return "groupby_regular";
+    case GroupByKernelKind::kSharedMem: return "groupby_sharedmem";
+    case GroupByKernelKind::kRowLock: return "groupby_rowlock";
+  }
+  return "groupby_unknown";
+}
+
+}  // namespace
+
+uint64_t GpuGroupBy::DeviceBytesNeeded(const GroupByPlan& plan, uint64_t rows,
+                                       uint64_t capacity) {
+  const HashTableLayout layout(plan);
+  return InputBytes(plan, rows) + layout.TableBytes(capacity);
+}
+
+Result<GroupByOutput> GpuGroupBy::Execute(
+    const GroupByPlan& plan, SimDevice* device,
+    gpusim::PinnedHostPool* pinned_pool, runtime::ThreadPool* thread_pool,
+    GpuModerator* moderator, const std::vector<uint32_t>* selection,
+    const GpuGroupByOptions& options, GpuGroupByStats* stats) {
+  BLUSIM_ASSIGN_OR_RETURN(
+      RawOutput raw,
+      ExecuteToGroups(plan, device, pinned_pool, thread_pool, moderator,
+                      selection, options, stats));
+  GroupByOutput out;
+  out.num_groups = raw.groups.size();
+  out.kmv_estimate = raw.kmv_estimate;
+  out.input_rows = raw.input_rows;
+  BLUSIM_ASSIGN_OR_RETURN(out.table,
+                          runtime::MaterializeGroups(plan, raw.groups));
+  return out;
+}
+
+Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
+    const GroupByPlan& plan, SimDevice* device,
+    gpusim::PinnedHostPool* pinned_pool, runtime::ThreadPool* thread_pool,
+    GpuModerator* moderator, const std::vector<uint32_t>* selection,
+    const GpuGroupByOptions& options, GpuGroupByStats* stats) {
+  BLUSIM_CHECK(stats != nullptr);
+  *stats = GpuGroupByStats{};
+  const gpusim::CostModel& cost = device->cost_model();
+
+  device->JobStarted();
+  struct JobGuard {
+    SimDevice* d;
+    ~JobGuard() { d->JobFinished(); }
+  } job_guard{device};
+
+  // --- Stage into pinned memory (MEMCPY evaluator) ---
+  BLUSIM_ASSIGN_OR_RETURN(
+      StagedInput staged,
+      StageForDevice(plan, pinned_pool, thread_pool, selection));
+  const uint64_t rows = staged.rows;
+  if (rows == 0) {
+    return RawOutput{};
+  }
+  const int dop = thread_pool ? thread_pool->num_threads() : 1;
+  stats->stage_time = cost.HostKeyGenTime(rows, dop) +
+                      cost.HostMemcpyTime(staged.total_bytes());
+  stats->kmv_estimate = staged.kmv_estimate;
+
+  const HashTableLayout layout(plan);
+  uint64_t capacity = ChooseCapacity(staged.kmv_estimate);
+
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    // --- Reserve all device memory up front (section 2.1.1) ---
+    const uint64_t need =
+        InputBytes(plan, rows) + layout.TableBytes(capacity);
+    auto reservation_result = device->memory().Reserve(need);
+    if (!reservation_result.ok()) {
+      return reservation_result.status();
+    }
+    gpusim::Reservation reservation = std::move(reservation_result).value();
+    stats->device_bytes_reserved = need;
+
+    // --- Transfer input (only costed once; retries reuse the input) ---
+    DeviceInput input;
+    SimTime transfer_in = 0;
+    BLUSIM_RETURN_NOT_OK(UploadInput(device, reservation, staged, plan,
+                                     &input, &transfer_in));
+    if (attempt == 0) stats->transfer_in = transfer_in;
+
+    // --- Allocate + mask-init the hash table ---
+    BLUSIM_ASSIGN_OR_RETURN(
+        DeviceBuffer table,
+        device->memory().Alloc(reservation, layout.TableBytes(capacity)));
+    BLUSIM_RETURN_NOT_OK(
+        InitHashTable(device, layout, plan, table.data(), capacity));
+    const SimTime init_time =
+        cost.HashTableInitTime(layout.TableBytes(capacity));
+    stats->table_init += init_time;
+    device->monitor().Record(gpusim::GpuEvent::kHashTableInit, init_time,
+                             layout.TableBytes(capacity));
+
+    // --- Moderator selects the kernel (section 4.2) ---
+    QueryMetadata metadata;
+    metadata.rows = rows;
+    metadata.estimated_groups = staged.kmv_estimate;
+    metadata.num_aggregates = static_cast<int>(plan.slots().size());
+    metadata.wide_key = plan.wide_key();
+    metadata.lock_typed_payload = false;
+    for (const AggSlot& s : plan.slots()) {
+      if (s.lock_required) metadata.lock_typed_payload = true;
+    }
+
+    GroupByKernelParams kp;
+    kp.rows = rows;
+    kp.groups = std::max<uint64_t>(1, staged.kmv_estimate);
+    kp.num_aggregates = metadata.num_aggregates;
+    kp.key_bytes = plan.key_bytes();
+    kp.payload_bytes = plan.payload_bytes_per_row();
+    kp.wide_key = plan.wide_key();
+    kp.lock_typed_payload = metadata.lock_typed_payload;
+
+    std::vector<GroupByKernelKind> candidates = moderator->CandidateKernels(
+        metadata, layout, device->usable_shared_mem());
+    GroupByKernelKind chosen = options.enable_racing
+                                   ? candidates.front()
+                                   : moderator->ChooseKernel(
+                                         metadata, layout,
+                                         device->usable_shared_mem());
+
+    std::atomic<uint64_t> overflow{0};
+    GroupByKernelArgs args;
+    args.plan = &plan;
+    args.layout = &layout;
+    args.input = &input;
+    args.table = table.data();
+    args.capacity = capacity;
+    args.overflow = &overflow;
+
+    if (options.enable_racing && candidates.size() >= 2) {
+      // Concurrent-kernel racing (section 4.2): if the device can hold a
+      // second hash table, launch the two best candidates and keep the
+      // first finisher, stopping the other. In the simulation both run to
+      // completion (results are identical); the *winner by modeled time*
+      // determines the accounted kernel time, and the loser is recorded as
+      // cancelled at the winner's finish time.
+      const GroupByKernelKind rival = candidates[1];
+      auto rival_reservation =
+          device->memory().Reserve(layout.TableBytes(capacity));
+      if (rival_reservation.ok()) {
+        BLUSIM_ASSIGN_OR_RETURN(
+            DeviceBuffer rival_table,
+            device->memory().Alloc(rival_reservation.value(),
+                                   layout.TableBytes(capacity)));
+        BLUSIM_RETURN_NOT_OK(InitHashTable(device, layout, plan,
+                                           rival_table.data(), capacity));
+        std::atomic<uint64_t> rival_overflow{0};
+        GroupByKernelArgs rival_args = args;
+        rival_args.table = rival_table.data();
+        rival_args.overflow = &rival_overflow;
+
+        const SimTime t_chosen = cost.GroupByKernelTime(chosen, kp);
+        const SimTime t_rival = cost.GroupByKernelTime(rival, kp);
+        BLUSIM_RETURN_NOT_OK(RunKernel(device, chosen, args));
+        BLUSIM_RETURN_NOT_OK(RunKernel(device, rival, rival_args));
+        stats->raced = true;
+        if (t_rival < t_chosen) {
+          // Rival won: adopt its table and overflow state.
+          std::memcpy(table.data(), rival_table.data(),
+                      layout.TableBytes(capacity));
+          overflow.store(rival_overflow.load());
+          stats->loser_time = t_rival;  // loser cancelled at winner's time
+          moderator->RecordFeedback(metadata, rival, t_rival);
+          chosen = rival;
+          stats->kernel_time += t_rival;
+        } else {
+          stats->loser_time = t_chosen;
+          moderator->RecordFeedback(metadata, chosen, t_chosen);
+          stats->kernel_time += t_chosen;
+        }
+        device->AccountKernel(KernelName(chosen), stats->kernel_time);
+      } else {
+        // Not enough memory for a second table: plain single-kernel run.
+        const SimTime t = cost.GroupByKernelTime(chosen, kp);
+        BLUSIM_RETURN_NOT_OK(RunKernel(device, chosen, args));
+        stats->kernel_time += t;
+        device->AccountKernel(KernelName(chosen), t);
+        moderator->RecordFeedback(metadata, chosen, t);
+      }
+    } else {
+      const SimTime t = cost.GroupByKernelTime(chosen, kp);
+      BLUSIM_RETURN_NOT_OK(RunKernel(device, chosen, args));
+      stats->kernel_time += t;
+      device->AccountKernel(KernelName(chosen), t);
+      moderator->RecordFeedback(metadata, chosen, t);
+    }
+    stats->kernel_used = chosen;
+    stats->table_capacity = capacity;
+
+    // --- Error-recovery path: the KMV estimate was too low and the table
+    // filled up. Grow it and retry (section 4.2). ---
+    if (overflow.load() > 0) {
+      if (attempt == options.max_retries) {
+        return Status::EstimateTooLow(
+            "hash table overflowed after max retries");
+      }
+      ++stats->retries;
+      capacity *= 4;
+      continue;  // reservation released by RAII; next attempt re-reserves
+    }
+
+    // --- Readback ---
+    std::vector<char> host_table(layout.TableBytes(capacity));
+    stats->transfer_out = device->CopyFromDevice(
+        table, host_table.data(), host_table.size(), /*pinned=*/true);
+
+    RawOutput out;
+    out.groups = ScanTable(plan, layout, host_table.data(), capacity);
+    out.kmv_estimate = staged.kmv_estimate;
+    out.input_rows = rows;
+    return out;
+  }
+  return Status::Internal("unreachable: retry loop exited");
+}
+
+}  // namespace blusim::groupby

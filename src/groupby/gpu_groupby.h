@@ -1,0 +1,89 @@
+#ifndef BLUSIM_GROUPBY_GPU_GROUPBY_H_
+#define BLUSIM_GROUPBY_GPU_GROUPBY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
+#include "groupby/moderator.h"
+#include "runtime/cpu_groupby.h"
+#include "runtime/group_result.h"
+#include "runtime/groupby_plan.h"
+#include "runtime/thread_pool.h"
+
+namespace blusim::groupby {
+
+// Timing/behaviour record of one device group-by execution. All times are
+// simulated microseconds from the cost model.
+struct GpuGroupByStats {
+  SimTime stage_time = 0;      // chain + MEMCPY into pinned memory (host)
+  SimTime transfer_in = 0;     // PCIe host -> device
+  SimTime table_init = 0;      // parallel mask initialization
+  SimTime kernel_time = 0;     // winning kernel execution
+  SimTime transfer_out = 0;    // PCIe device -> host (result readback)
+  gpusim::GroupByKernelKind kernel_used =
+      gpusim::GroupByKernelKind::kRegular;
+  int retries = 0;             // table-growth retries (estimate too low)
+  uint64_t table_capacity = 0;
+  uint64_t kmv_estimate = 0;
+  uint64_t device_bytes_reserved = 0;
+  bool raced = false;          // multiple kernels were raced
+  SimTime loser_time = 0;      // modeled time of the cancelled kernel
+
+  SimTime total() const {
+    return stage_time + transfer_in + table_init + kernel_time +
+           transfer_out;
+  }
+};
+
+struct GpuGroupByOptions {
+  // Maximum table-growth retries when the KMV estimate was too low.
+  int max_retries = 3;
+  // Race the top-2 candidate kernels when device memory allows
+  // (section 4.2: stop the others as soon as one finishes).
+  bool enable_racing = false;
+};
+
+// Executes a group-by/aggregation on the simulated GPU: stages input into
+// pinned memory, reserves device memory up front, transfers, initializes
+// the mask, runs the moderator-selected kernel, recovers from group-count
+// under-estimates by growing the table, and reads the result back.
+//
+// Returns OutOfDeviceMemory / DeviceUnavailable / NotSupported statuses
+// that the hybrid router treats as "fall back to the CPU chain".
+class GpuGroupBy {
+ public:
+  static Result<runtime::GroupByOutput> Execute(
+      const runtime::GroupByPlan& plan, gpusim::SimDevice* device,
+      gpusim::PinnedHostPool* pinned_pool, runtime::ThreadPool* thread_pool,
+      GpuModerator* moderator, const std::vector<uint32_t>* selection,
+      const GpuGroupByOptions& options, GpuGroupByStats* stats);
+
+  // Raw variant used by the partitioned path: returns the un-materialized
+  // group entries plus the KMV estimate so the caller can merge partial
+  // results from several device chunks before materializing once.
+  struct RawOutput {
+    std::vector<runtime::GroupEntry> groups;
+    uint64_t kmv_estimate = 0;
+    uint64_t input_rows = 0;
+  };
+  static Result<RawOutput> ExecuteToGroups(
+      const runtime::GroupByPlan& plan, gpusim::SimDevice* device,
+      gpusim::PinnedHostPool* pinned_pool, runtime::ThreadPool* thread_pool,
+      GpuModerator* moderator, const std::vector<uint32_t>* selection,
+      const GpuGroupByOptions& options, GpuGroupByStats* stats);
+
+  // Device bytes a group-by on `rows` input rows with `capacity` hash
+  // entries will reserve (inputs + table). Used by the scheduler to pick a
+  // device before committing (section 2.2: "we know the amount of memory
+  // that each kernel invocation call needs in advance").
+  static uint64_t DeviceBytesNeeded(const runtime::GroupByPlan& plan,
+                                    uint64_t rows, uint64_t capacity);
+};
+
+}  // namespace blusim::groupby
+
+#endif  // BLUSIM_GROUPBY_GPU_GROUPBY_H_

@@ -1,0 +1,58 @@
+#include "groupby/layout.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "runtime/agg.h"
+
+namespace blusim::groupby {
+
+using runtime::AggSlot;
+using runtime::GroupByPlan;
+
+HashTableLayout::HashTableLayout(const GroupByPlan& plan) {
+  wide_ = plan.wide_key();
+  key_bytes_ = static_cast<int>(AlignUp(
+      static_cast<uint64_t>(plan.key_bytes()), 8));
+  int offset = key_bytes_;
+  lock_offset_ = offset;
+  offset += 4;
+  rep_row_offset_ = offset;
+  offset += 4;
+  for (const AggSlot& slot : plan.slots()) {
+    const int align = slot.slot_bytes >= 16 ? 16 : slot.slot_bytes;
+    offset = static_cast<int>(AlignUp(static_cast<uint64_t>(offset),
+                                      static_cast<uint64_t>(align)));
+    slot_offsets_.push_back(offset);
+    offset += slot.slot_bytes;
+  }
+  entry_bytes_ = static_cast<int>(AlignUp(static_cast<uint64_t>(offset), 8));
+  padding_bytes_ = entry_bytes_ - offset;
+}
+
+std::vector<char> HashTableLayout::BuildMask(const GroupByPlan& plan) const {
+  std::vector<char> mask(static_cast<size_t>(entry_bytes_), 0);
+  // Grouping portion: a sequence of Fs (the empty marker).
+  std::memset(mask.data(), 0xFF, static_cast<size_t>(key_bytes_));
+  // Lock word starts unlocked (0).
+  std::memset(mask.data() + lock_offset_, 0, 4);
+  // Representative row: empty sentinel.
+  std::memset(mask.data() + rep_row_offset_, 0xFF, 4);
+  // Aggregate identities (0 for SUM/COUNT, type extrema for MIN/MAX).
+  for (size_t s = 0; s < plan.slots().size(); ++s) {
+    const AggSlot& slot = plan.slots()[s];
+    runtime::WriteAggInit(slot.fn, slot.input_type,
+                          mask.data() + slot_offsets_[s]);
+  }
+  return mask;
+}
+
+uint64_t ChooseCapacity(uint64_t estimated_groups) {
+  // 1.5x headroom keeps the linear-probe load factor under ~0.67 even when
+  // the KMV estimate is mildly low; rounded up to a power of two.
+  const uint64_t want = estimated_groups + estimated_groups / 2 + 8;
+  return std::max<uint64_t>(64, NextPow2(want));
+}
+
+}  // namespace blusim::groupby

@@ -1,0 +1,70 @@
+#ifndef BLUSIM_GROUPBY_LAYOUT_H_
+#define BLUSIM_GROUPBY_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/groupby_plan.h"
+
+namespace blusim::groupby {
+
+// Sentinel marking an unoccupied hash entry's key word. The paper
+// initializes the grouping portion of every row to a sequence of Fs
+// (table 1); a 64-bit key whose packed value happens to equal the sentinel
+// cannot use the device path and falls back to the CPU (checked during
+// staging).
+constexpr uint64_t kEmptyKey64 = ~0ULL;
+// Sentinel for the representative-row word of an unoccupied entry.
+constexpr uint32_t kEmptyRow = ~0U;
+
+// Byte layout of one device hash-table row, derived from a GroupByPlan:
+//
+//   [ key: 8 bytes packed | wide_key_bytes padded to 8 ]
+//   [ lock word: 4 bytes ][ representative row id: 4 bytes ]
+//   [ slot 0 ] [ slot 1 ] ... (each aligned to its natural size)
+//   [ padding to 8-byte multiple ]
+//
+// The key doubles as the occupancy marker for the narrow CAS-insert path;
+// the rep-row word is the occupancy marker under the wide-key lock
+// protocol. Alignment follows the NVIDIA 1/2/4/8/16-byte requirement
+// (section 4.3.1), inserting padding between slots where needed.
+class HashTableLayout {
+ public:
+  explicit HashTableLayout(const runtime::GroupByPlan& plan);
+
+  int entry_bytes() const { return entry_bytes_; }
+  int key_offset() const { return 0; }
+  int key_bytes() const { return key_bytes_; }
+  bool wide_key() const { return wide_; }
+  int lock_offset() const { return lock_offset_; }
+  int rep_row_offset() const { return rep_row_offset_; }
+  int slot_offset(size_t s) const { return slot_offsets_[s]; }
+  size_t num_slots() const { return slot_offsets_.size(); }
+  int padding_bytes() const { return padding_bytes_; }
+
+  uint64_t TableBytes(uint64_t capacity) const {
+    return capacity * static_cast<uint64_t>(entry_bytes_);
+  }
+
+  // Builds the per-entry initialization mask (table 1): key bytes all 0xFF,
+  // lock cleared, rep row empty, slots at their aggregate identity values.
+  std::vector<char> BuildMask(const runtime::GroupByPlan& plan) const;
+
+ private:
+  bool wide_ = false;
+  int key_bytes_ = 8;
+  int lock_offset_ = 0;
+  int rep_row_offset_ = 0;
+  std::vector<int> slot_offsets_;
+  int entry_bytes_ = 0;
+  int padding_bytes_ = 0;
+};
+
+// Chooses the device hash-table capacity for an estimated group count:
+// "slightly larger than the estimated number of groups" (section 4.3.1)
+// with headroom for linear probing. Power of two, minimum 64.
+uint64_t ChooseCapacity(uint64_t estimated_groups);
+
+}  // namespace blusim::groupby
+
+#endif  // BLUSIM_GROUPBY_LAYOUT_H_

@@ -1,0 +1,96 @@
+#include "groupby/moderator.h"
+
+#include <algorithm>
+
+#include "groupby/kernels.h"
+
+namespace blusim::groupby {
+
+using gpusim::GroupByKernelKind;
+
+namespace {
+
+int Log2Bucket(uint64_t v) {
+  int b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+GpuModerator::Signature GpuModerator::MakeSignature(
+    const QueryMetadata& metadata) {
+  return Signature{Log2Bucket(metadata.rows),
+                   Log2Bucket(std::max<uint64_t>(1, metadata.estimated_groups)),
+                   metadata.num_aggregates};
+}
+
+GroupByKernelKind GpuModerator::ChooseKernel(const QueryMetadata& metadata,
+                                             const HashTableLayout& layout,
+                                             uint64_t usable_shared_mem) const {
+  if (options_.use_feedback) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = feedback_.find(MakeSignature(metadata));
+    if (it != feedback_.end() && it->second.observations > 0) {
+      return it->second.best_kernel;
+    }
+  }
+  return CandidateKernels(metadata, layout, usable_shared_mem).front();
+}
+
+std::vector<GroupByKernelKind> GpuModerator::CandidateKernels(
+    const QueryMetadata& metadata, const HashTableLayout& layout,
+    uint64_t usable_shared_mem) const {
+  std::vector<GroupByKernelKind> ranked;
+
+  // Kernel 2: small number of groups, narrow key, groups fit comfortably
+  // in the SMX shared-memory table (section 4.3.2).
+  const uint64_t shared_cap = SharedTableCapacity(layout, usable_shared_mem);
+  const bool fits_shared =
+      !metadata.wide_key && shared_cap > 0 &&
+      static_cast<double>(metadata.estimated_groups) <=
+          static_cast<double>(shared_cap) * options_.shared_table_max_fill;
+
+  // Kernel 3: many aggregation functions, or low contention where
+  // per-payload atomic/lock overhead dominates (section 4.3.3).
+  const double rows_per_group =
+      static_cast<double>(metadata.rows) /
+      static_cast<double>(std::max<uint64_t>(1, metadata.estimated_groups));
+  const bool prefers_rowlock =
+      metadata.num_aggregates > options_.many_aggregates_threshold ||
+      rows_per_group < options_.low_contention_rows_per_group ||
+      metadata.lock_typed_payload;
+
+  if (fits_shared) {
+    ranked.push_back(GroupByKernelKind::kSharedMem);
+  }
+  if (prefers_rowlock) {
+    ranked.push_back(GroupByKernelKind::kRowLock);
+  }
+  ranked.push_back(GroupByKernelKind::kRegular);
+  if (!prefers_rowlock) {
+    ranked.push_back(GroupByKernelKind::kRowLock);
+  }
+  return ranked;
+}
+
+void GpuModerator::RecordFeedback(const QueryMetadata& metadata,
+                                  GroupByKernelKind kind, SimTime duration) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FeedbackCell& cell = feedback_[MakeSignature(metadata)];
+  if (cell.observations == 0 || duration < cell.best_time) {
+    cell.best_time = duration;
+    cell.best_kernel = kind;
+  }
+  ++cell.observations;
+}
+
+size_t GpuModerator::feedback_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return feedback_.size();
+}
+
+}  // namespace blusim::groupby

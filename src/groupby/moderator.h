@@ -1,0 +1,99 @@
+#ifndef BLUSIM_GROUPBY_MODERATOR_H_
+#define BLUSIM_GROUPBY_MODERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "gpusim/cost_model.h"
+#include "groupby/layout.h"
+
+namespace blusim::groupby {
+
+// Runtime metadata describing one group-by query, assembled from the DB2
+// optimizer estimates plus the KMV refinement (section 4.2).
+struct QueryMetadata {
+  uint64_t rows = 0;
+  uint64_t estimated_groups = 0;
+  int num_aggregates = 0;
+  bool wide_key = false;
+  bool lock_typed_payload = false;
+};
+
+// Kernel-selection policy knobs (section 4.3's selection rules).
+struct ModeratorOptions {
+  // Kernel 3 preferred when the aggregate count exceeds this
+  // (section 4.3.3: "more than 5").
+  int many_aggregates_threshold = 5;
+  // Kernel 3 preferred when rows/groups falls below this (low contention).
+  double low_contention_rows_per_group = 4.0;
+  // Kernel 2 requires the estimated groups to fill at most this fraction
+  // of the shared-memory table.
+  double shared_table_max_fill = 0.5;
+  // When true (and device resources allow), run the top-2 candidate
+  // kernels concurrently and keep the first finisher (section 4.2).
+  bool enable_racing = false;
+  // When true, consult recorded feedback before the static rules
+  // (the paper lists this as future work; implemented as an extension).
+  bool use_feedback = false;
+};
+
+// The GPU moderator: selects the group-by kernel for a query at runtime
+// from optimizer/KMV metadata, optionally races multiple kernels, and
+// records per-kernel feedback for the learned-preference extension.
+class GpuModerator {
+ public:
+  explicit GpuModerator(ModeratorOptions options = {})
+      : options_(options) {}
+
+  const ModeratorOptions& options() const { return options_; }
+
+  // Primary kernel choice per the paper's rules:
+  //   few groups (fits shared memory, narrow key)        -> kernel 2
+  //   many aggregates OR low rows/groups contention      -> kernel 3
+  //   otherwise                                          -> kernel 1
+  gpusim::GroupByKernelKind ChooseKernel(
+      const QueryMetadata& metadata, const HashTableLayout& layout,
+      uint64_t usable_shared_mem) const;
+
+  // Ranked candidate list (best first); used for concurrent racing.
+  std::vector<gpusim::GroupByKernelKind> CandidateKernels(
+      const QueryMetadata& metadata, const HashTableLayout& layout,
+      uint64_t usable_shared_mem) const;
+
+  // Feedback hook: records the observed simulated duration of `kind` for a
+  // query signature. With `use_feedback`, ChooseKernel prefers the kernel
+  // with the best recorded time for similar queries.
+  void RecordFeedback(const QueryMetadata& metadata,
+                      gpusim::GroupByKernelKind kind, SimTime duration);
+
+  // Number of feedback observations recorded (for tests/monitoring).
+  size_t feedback_entries() const;
+
+ private:
+  // Coarse query signature for the feedback table: log2 buckets of rows
+  // and groups plus the aggregate count.
+  struct Signature {
+    int rows_log2;
+    int groups_log2;
+    int num_aggregates;
+    auto operator<=>(const Signature&) const = default;
+  };
+  static Signature MakeSignature(const QueryMetadata& metadata);
+
+  struct FeedbackCell {
+    SimTime best_time = 0;
+    gpusim::GroupByKernelKind best_kernel = gpusim::GroupByKernelKind::kRegular;
+    uint64_t observations = 0;
+  };
+
+  ModeratorOptions options_;
+  mutable std::mutex mu_;
+  std::map<Signature, FeedbackCell> feedback_;
+};
+
+}  // namespace blusim::groupby
+
+#endif  // BLUSIM_GROUPBY_MODERATOR_H_

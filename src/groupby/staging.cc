@@ -1,0 +1,149 @@
+#include "groupby/staging.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "common/kmv.h"
+#include "groupby/layout.h"
+#include "runtime/evaluators.h"
+
+namespace blusim::groupby {
+
+using columnar::DataType;
+using runtime::AggSlot;
+using runtime::GroupByPlan;
+using runtime::Stride;
+using runtime::WideKey;
+
+uint64_t StagedInput::total_bytes() const {
+  uint64_t total = keys.size() + row_ids.size();
+  for (const auto& p : payloads) total += p.size();
+  for (const auto& v : validity) total += v.size();
+  return total;
+}
+
+Result<StagedInput> StageForDevice(const GroupByPlan& plan,
+                                   gpusim::PinnedHostPool* pinned_pool,
+                                   runtime::ThreadPool* pool,
+                                   const std::vector<uint32_t>* selection) {
+  const uint64_t n =
+      selection ? selection->size() : plan.table().num_rows();
+  const auto& slots = plan.slots();
+
+  StagedInput staged;
+  staged.rows = n;
+  staged.wide_key = plan.wide_key();
+
+  // Allocate all pinned buffers up front so a pool failure costs nothing.
+  const uint64_t key_bytes =
+      n * (plan.wide_key() ? sizeof(WideKey) : sizeof(uint64_t));
+  BLUSIM_ASSIGN_OR_RETURN(staged.keys, pinned_pool->Alloc(key_bytes));
+  BLUSIM_ASSIGN_OR_RETURN(staged.row_ids,
+                          pinned_pool->Alloc(n * sizeof(uint32_t)));
+  staged.payloads.resize(slots.size());
+  staged.validity.resize(slots.size());
+  for (size_t s = 0; s < slots.size(); ++s) {
+    const AggSlot& slot = slots[s];
+    if (slot.input_column < 0) continue;  // COUNT(*): nothing staged
+    // COUNT(col) ships only validity; other slots ship the value array.
+    if (slot.fn != runtime::AggFn::kCount) {
+      const uint64_t width =
+          slot.acc_type == DataType::kDecimal128 ? 16 : 8;
+      BLUSIM_ASSIGN_OR_RETURN(staged.payloads[s],
+                              pinned_pool->Alloc(n * width));
+    }
+    const columnar::Column& col =
+        plan.table().column(static_cast<size_t>(slot.input_column));
+    if (col.has_nulls()) {
+      BLUSIM_ASSIGN_OR_RETURN(staged.validity[s], pinned_pool->Alloc(n));
+    }
+  }
+
+  // Parallel chain + MEMCPY into the staged buffers at morsel offsets.
+  constexpr uint64_t kMorselRows = 65536;
+  const uint64_t num_morsels = runtime::NumMorsels(n, kMorselRows);
+  runtime::GroupByChain chain(&plan);
+
+  std::mutex mu;
+  KmvSketch kmv(256);
+  Status first_error;
+  std::atomic<bool> key_sentinel_hit{false};
+
+  auto process = [&](uint64_t m) {
+    Stride stride;
+    stride.range = runtime::GetMorsel(n, kMorselRows, m);
+    stride.selection = selection;
+    Status st = chain.ProcessStride(&stride);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = st;
+      return;
+    }
+    const uint64_t rows = stride.num_rows();
+    const uint64_t base = stride.range.begin;
+
+    // MEMCPY evaluator: copy keys / row ids / payloads to pinned memory.
+    if (plan.wide_key()) {
+      std::memcpy(staged.keys.as<WideKey>() + base, stride.wide_keys.data(),
+                  rows * sizeof(WideKey));
+    } else {
+      for (uint64_t i = 0; i < rows; ++i) {
+        if (stride.packed_keys[i] == kEmptyKey64) {
+          key_sentinel_hit.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::memcpy(staged.keys.as<uint64_t>() + base,
+                  stride.packed_keys.data(), rows * sizeof(uint64_t));
+    }
+    uint32_t* row_ids = staged.row_ids.as<uint32_t>() + base;
+    for (uint64_t i = 0; i < rows; ++i) row_ids[i] = stride.InputRow(i);
+
+    for (size_t s = 0; s < slots.size(); ++s) {
+      const runtime::PayloadVector& pv = stride.payloads[s];
+      if (staged.payloads[s].valid()) {
+        switch (slots[s].acc_type) {
+          case DataType::kFloat64:
+            std::memcpy(staged.payloads[s].as<double>() + base,
+                        pv.f64.data(), rows * sizeof(double));
+            break;
+          case DataType::kDecimal128:
+            std::memcpy(staged.payloads[s].as<columnar::Decimal128>() + base,
+                        pv.dec.data(), rows * sizeof(columnar::Decimal128));
+            break;
+          default:
+            std::memcpy(staged.payloads[s].as<int64_t>() + base,
+                        pv.i64.data(), rows * sizeof(int64_t));
+            break;
+        }
+      }
+      // Validity ships independently of values: COUNT(col) stages only
+      // the validity bytes.
+      if (staged.validity[s].valid()) {
+        uint8_t* vb = staged.validity[s].as<uint8_t>() + base;
+        for (uint64_t i = 0; i < rows; ++i) vb[i] = pv.IsValid(i) ? 1 : 0;
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    kmv.Merge(stride.kmv);
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_morsels, process);
+  } else {
+    for (uint64_t m = 0; m < num_morsels; ++m) process(m);
+  }
+  BLUSIM_RETURN_NOT_OK(first_error);
+
+  if (key_sentinel_hit.load()) {
+    return Status::NotSupported(
+        "a packed grouping key equals the empty-entry sentinel (all Fs); "
+        "query falls back to the CPU chain");
+  }
+
+  staged.kmv_estimate = kmv.Estimate();
+  return staged;
+}
+
+}  // namespace blusim::groupby

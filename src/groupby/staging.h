@@ -1,0 +1,51 @@
+#ifndef BLUSIM_GROUPBY_STAGING_H_
+#define BLUSIM_GROUPBY_STAGING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/pinned_pool.h"
+#include "runtime/groupby_plan.h"
+#include "runtime/thread_pool.h"
+
+namespace blusim::groupby {
+
+// The MEMCPY evaluator's output (paper section 4.1): the group-by chain's
+// keys, payloads and row ids staged contiguously in pre-registered (pinned)
+// host memory, ready for a single fast PCIe transfer. One buffer per
+// logical stream keeps the device-side layout simple (SoA).
+struct StagedInput {
+  uint64_t rows = 0;
+  bool wide_key = false;
+
+  gpusim::PinnedBuffer keys;     // uint64_t[rows] or WideKey[rows]
+  gpusim::PinnedBuffer row_ids;  // uint32_t[rows] (representative-row ids)
+  // Per plan slot: value array (int64/double/Decimal128; empty for
+  // COUNT(*)) and optional validity bytes (empty if no NULLs).
+  std::vector<gpusim::PinnedBuffer> payloads;
+  std::vector<gpusim::PinnedBuffer> validity;
+
+  // Group-count estimate from the KMV sketch fed by the HASH evaluator.
+  uint64_t kmv_estimate = 0;
+
+  // Total staged bytes (equals the host->device transfer size).
+  uint64_t total_bytes() const;
+};
+
+// Runs the chain prefix (LCOG/CCAT -> LCOV -> HASH) over all morsels in
+// parallel, MEMCPY-ing each stride's outputs into pinned buffers.
+//
+// Fails with:
+//  * OutOfHostMemory    -- pinned pool cannot hold the staged input
+//  * NotSupported       -- a packed key collides with the empty-entry
+//                          sentinel (all-Fs) and the device path is unsafe
+Result<StagedInput> StageForDevice(const runtime::GroupByPlan& plan,
+                                   gpusim::PinnedHostPool* pinned_pool,
+                                   runtime::ThreadPool* pool,
+                                   const std::vector<uint32_t>* selection);
+
+}  // namespace blusim::groupby
+
+#endif  // BLUSIM_GROUPBY_STAGING_H_

@@ -1,0 +1,77 @@
+#ifndef BLUSIM_HARNESS_CONCURRENCY_SIM_H_
+#define BLUSIM_HARNESS_CONCURRENCY_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "core/profile.h"
+#include "gpusim/cost_model.h"
+
+namespace blusim::harness {
+
+// One client stream (a JMETER thread): executes its query profiles in
+// order, `repeat` times, back to back.
+struct SimStream {
+  std::vector<const core::QueryProfile*> queries;
+  int repeat = 1;
+  // Override the DB2 degree (intra-query parallelism) of every CPU phase;
+  // 0 keeps the profile's recorded dop. Drives table 3's #degree axis.
+  int dop_override = 0;
+};
+
+struct ConcurrencyConfig {
+  gpusim::HostSpec host;
+  int num_devices = 2;
+  uint64_t device_memory_bytes = 12ULL << 30;
+  // Kernels a device can run concurrently at full speed; beyond this the
+  // device processor-shares (the paper: "So long as the GPUs have enough
+  // capacity to execute these kernels").
+  double device_kernel_capacity = 8.0;
+  // Fraction of the nominal capacity actually deliverable (OS and
+  // memory-bandwidth interference under load).
+  double host_capacity_derate = 1.0;
+  const gpusim::CostModel* cost = nullptr;  // for HostParallelFactor
+};
+
+struct StreamResult {
+  SimTime finish_time = 0;
+  uint64_t queries_completed = 0;
+};
+
+struct DeviceMemSample {
+  SimTime time = 0;
+  uint64_t bytes_in_use = 0;
+};
+
+struct ConcurrencyResult {
+  SimTime makespan = 0;
+  std::vector<StreamResult> streams;
+  // Per-device memory-utilization timeline (figure 9's series).
+  std::vector<std::vector<DeviceMemSample>> device_memory;
+  uint64_t total_queries = 0;
+  // GPU phases that had to wait for device memory.
+  uint64_t device_waits = 0;
+
+  double QueriesPerHour() const {
+    if (makespan <= 0) return 0.0;
+    return static_cast<double>(total_queries) * 3.6e9 /
+           static_cast<double>(makespan);
+  }
+};
+
+// Deterministic processor-sharing discrete-event simulation of concurrent
+// query streams over one host and N simulated GPUs.
+//
+// CPU phases share the host's effective core capacity in proportion to
+// their (possibly overridden) degree of parallelism; GPU phases first wait
+// for a device-memory reservation (FIFO), then occupy device compute,
+// processor-sharing beyond the kernel-capacity limit. While a stream's
+// query is inside a GPU phase its CPU demand is zero -- the off-loading
+// benefit that shows up as throughput in multi-user runs (table 3).
+ConcurrencyResult SimulateConcurrent(const ConcurrencyConfig& config,
+                                     const std::vector<SimStream>& streams);
+
+}  // namespace blusim::harness
+
+#endif  // BLUSIM_HARNESS_CONCURRENCY_SIM_H_

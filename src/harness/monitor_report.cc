@@ -1,0 +1,67 @@
+#include "harness/monitor_report.h"
+
+#include <cstdio>
+
+#include "harness/report.h"
+
+namespace blusim::harness {
+
+void PrintDeviceMonitorReport(core::Engine* engine) {
+  auto& scheduler = engine->scheduler();
+  if (scheduler.num_devices() == 0) {
+    std::printf("(no devices: GPU disabled)\n");
+    return;
+  }
+  for (size_t d = 0; d < scheduler.num_devices(); ++d) {
+    const gpusim::PerfMonitor& mon = scheduler.device(d)->monitor();
+    std::printf("\nGPU %zu monitor (simulated ms / bytes):\n", d);
+    ReportTable t({"Event", "Count", "Time (ms)", "MB moved"});
+    for (int e = 0; e < static_cast<int>(gpusim::GpuEvent::kNumEvents);
+         ++e) {
+      const auto stats = mon.stats(static_cast<gpusim::GpuEvent>(e));
+      if (stats.count == 0) continue;
+      t.AddRow({gpusim::GpuEventName(static_cast<gpusim::GpuEvent>(e)),
+                std::to_string(stats.count), FormatMs(stats.total_time),
+                FormatDouble(static_cast<double>(stats.total_bytes) /
+                             (1 << 20))});
+    }
+    for (const auto& [name, stats] : mon.kernel_stats()) {
+      t.AddRow({"kernel:" + name, std::to_string(stats.count),
+                FormatMs(stats.total_time), "-"});
+    }
+    t.Print();
+  }
+}
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "CsvWriter: cannot open %s\n", path.c_str());
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    // Quote cells containing separators.
+    const bool quote = cells[i].find_first_of(",\"\n") != std::string::npos;
+    if (i > 0) std::fputc(',', file_);
+    if (quote) {
+      std::fputc('"', file_);
+      for (char c : cells[i]) {
+        if (c == '"') std::fputc('"', file_);
+        std::fputc(c, file_);
+      }
+      std::fputc('"', file_);
+    } else {
+      std::fputs(cells[i].c_str(), file_);
+    }
+  }
+  std::fputc('\n', file_);
+}
+
+}  // namespace blusim::harness

@@ -1,0 +1,34 @@
+#ifndef BLUSIM_HARNESS_MONITOR_REPORT_H_
+#define BLUSIM_HARNESS_MONITOR_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace blusim::harness {
+
+// Prints each device's monitor aggregates (the paper's section-2.3
+// tooling: kernel/transfer splits used for tuning). One table per device:
+// event counts, simulated time, bytes moved, plus per-kernel rows.
+void PrintDeviceMonitorReport(core::Engine* engine);
+
+// Writes rows of comma-separated values to `path` (parent directory must
+// exist). Returns false on I/O failure. Used by the experiment benches to
+// leave machine-readable results next to the console tables.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  bool ok() const { return file_ != nullptr; }
+  void Row(const std::vector<std::string>& cells);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace blusim::harness
+
+#endif  // BLUSIM_HARNESS_MONITOR_REPORT_H_

@@ -1,0 +1,101 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace blusim::harness {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  BLUSIM_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_sep = [&]() {
+    std::printf("+");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string FormatMs(SimTime us, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals,
+                static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+std::string FormatPct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void PrintExperimentHeader(const std::string& id, const std::string& title) {
+  std::printf("\n");
+  std::printf(
+      "=============================================================\n");
+  std::printf("  %s: %s\n", id.c_str(), title.c_str());
+  std::printf(
+      "=============================================================\n");
+}
+
+void PrintBarPairs(const std::vector<std::string>& labels,
+                   const std::vector<double>& baseline,
+                   const std::vector<double>& gpu, const std::string& unit) {
+  BLUSIM_CHECK(labels.size() == baseline.size() &&
+               labels.size() == gpu.size());
+  double maxv = 1e-9;
+  for (double v : baseline) maxv = std::max(maxv, v);
+  for (double v : gpu) maxv = std::max(maxv, v);
+  constexpr int kWidth = 46;
+  size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int boff = static_cast<int>(baseline[i] / maxv * kWidth);
+    const int bon = static_cast<int>(gpu[i] / maxv * kWidth);
+    std::printf("  %-*s off |%-*s| %10.1f %s\n",
+                static_cast<int>(label_width), labels[i].c_str(), kWidth,
+                std::string(static_cast<size_t>(boff), '#').c_str(),
+                baseline[i], unit.c_str());
+    std::printf("  %-*s  on |%-*s| %10.1f %s\n",
+                static_cast<int>(label_width), "", kWidth,
+                std::string(static_cast<size_t>(bon), '=').c_str(), gpu[i],
+                unit.c_str());
+  }
+}
+
+}  // namespace blusim::harness

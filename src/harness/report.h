@@ -1,0 +1,42 @@
+#ifndef BLUSIM_HARNESS_REPORT_H_
+#define BLUSIM_HARNESS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace blusim::harness {
+
+// Fixed-width console table, matching the paper's row/column shape.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Prints with column auto-sizing.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats helpers.
+std::string FormatMs(SimTime us, int decimals = 1);
+std::string FormatPct(double fraction, int decimals = 2);
+std::string FormatDouble(double v, int decimals = 2);
+
+// Prints a banner for one reproduced experiment.
+void PrintExperimentHeader(const std::string& id, const std::string& title);
+
+// Simple ASCII bar series (figures 5-9 style): one labeled bar pair per
+// entry (baseline vs GPU), scaled to the largest value.
+void PrintBarPairs(const std::vector<std::string>& labels,
+                   const std::vector<double>& baseline,
+                   const std::vector<double>& gpu, const std::string& unit);
+
+}  // namespace blusim::harness
+
+#endif  // BLUSIM_HARNESS_REPORT_H_

@@ -1,0 +1,236 @@
+#include "join/gpu_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "common/bit_util.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "gpusim/atomics.h"
+#include "gpusim/kernel.h"
+
+namespace blusim::join {
+
+using columnar::Column;
+using gpusim::DeviceBuffer;
+using gpusim::KernelCtx;
+using gpusim::LaunchConfig;
+using runtime::JoinResult;
+using runtime::JoinSpec;
+
+namespace {
+
+// Device hash-table entry: 8-byte key (all-Fs = empty) + 4-byte dim row +
+// 4 bytes padding (16-byte entries, coalesced access).
+constexpr uint64_t kEmptyKey = ~0ULL;
+constexpr int kEntryBytes = 16;
+
+uint64_t TableCapacity(uint64_t build_rows) {
+  return std::max<uint64_t>(64, NextPow2(build_rows * 2));
+}
+
+LaunchConfig GridFor(const gpusim::DeviceSpec& spec, uint64_t n) {
+  LaunchConfig config;
+  config.block_dim = 256;
+  config.grid_dim = static_cast<uint32_t>(std::clamp<uint64_t>(
+      CeilDiv(n, config.block_dim), 1,
+      static_cast<uint64_t>(spec.num_smx) * 16));
+  return config;
+}
+
+}  // namespace
+
+uint64_t GpuHashJoin::DeviceBytesNeeded(uint64_t build_rows,
+                                        uint64_t probe_rows) {
+  // Each staged array is 64-byte aligned in the pinned pool and uploaded
+  // at its aligned size; count them individually.
+  const uint64_t keys_in =
+      AlignUp(build_rows * 8, 64) + AlignUp(build_rows * 4, 64) +
+      AlignUp(probe_rows * 8, 64) + AlignUp(probe_rows * 4, 64);
+  const uint64_t table = TableCapacity(build_rows) * kEntryBytes;
+  const uint64_t out = probe_rows * 8 + 64;  // worst case: all match
+  return keys_in + table + out;
+}
+
+Result<JoinResult> GpuHashJoin::Execute(
+    const columnar::Table& fact, const columnar::Table& dim,
+    const JoinSpec& spec, gpusim::SimDevice* device,
+    gpusim::PinnedHostPool* pinned_pool,
+    const std::vector<uint32_t>* fact_selection,
+    const std::vector<uint32_t>* dim_selection, GpuJoinStats* stats) {
+  BLUSIM_CHECK(stats != nullptr);
+  *stats = GpuJoinStats{};
+  if (spec.fact_fk_column < 0 ||
+      static_cast<size_t>(spec.fact_fk_column) >= fact.num_columns() ||
+      spec.dim_pk_column < 0 ||
+      static_cast<size_t>(spec.dim_pk_column) >= dim.num_columns()) {
+    return Status::InvalidArgument("bad join columns");
+  }
+  const Column& fk = fact.column(static_cast<size_t>(spec.fact_fk_column));
+  const Column& pk = dim.column(static_cast<size_t>(spec.dim_pk_column));
+  const gpusim::CostModel& cost = device->cost_model();
+
+  const uint64_t build_rows =
+      dim_selection ? dim_selection->size() : dim.num_rows();
+  const uint64_t probe_rows =
+      fact_selection ? fact_selection->size() : fact.num_rows();
+  if (build_rows == 0 || probe_rows == 0) return JoinResult{};
+
+  device->JobStarted();
+  struct JobGuard {
+    gpusim::SimDevice* d;
+    ~JobGuard() { d->JobFinished(); }
+  } guard{device};
+
+  // --- Reserve everything up front (section 2.1.1 discipline) ---
+  const uint64_t need = DeviceBytesNeeded(build_rows, probe_rows);
+  BLUSIM_ASSIGN_OR_RETURN(gpusim::Reservation reservation,
+                          device->memory().Reserve(need));
+  stats->device_bytes_reserved = need;
+
+  // --- Stage keys into pinned memory ---
+  BLUSIM_ASSIGN_OR_RETURN(gpusim::PinnedBuffer build_keys,
+                          pinned_pool->Alloc(build_rows * 8));
+  BLUSIM_ASSIGN_OR_RETURN(gpusim::PinnedBuffer build_ids,
+                          pinned_pool->Alloc(build_rows * 4));
+  BLUSIM_ASSIGN_OR_RETURN(gpusim::PinnedBuffer probe_keys,
+                          pinned_pool->Alloc(probe_rows * 8));
+  BLUSIM_ASSIGN_OR_RETURN(gpusim::PinnedBuffer probe_ids,
+                          pinned_pool->Alloc(probe_rows * 4));
+  for (uint64_t i = 0; i < build_rows; ++i) {
+    const uint32_t row =
+        dim_selection ? (*dim_selection)[i] : static_cast<uint32_t>(i);
+    const uint64_t key = static_cast<uint64_t>(pk.GetInt64(row));
+    if (key == kEmptyKey) {
+      return Status::NotSupported("build key collides with empty sentinel");
+    }
+    build_keys.as<uint64_t>()[i] = pk.IsNull(row) ? kEmptyKey : key;
+    build_ids.as<uint32_t>()[i] = row;
+  }
+  for (uint64_t i = 0; i < probe_rows; ++i) {
+    const uint32_t row =
+        fact_selection ? (*fact_selection)[i] : static_cast<uint32_t>(i);
+    probe_keys.as<uint64_t>()[i] =
+        fk.IsNull(row) ? kEmptyKey
+                       : static_cast<uint64_t>(fk.GetInt64(row));
+    probe_ids.as<uint32_t>()[i] = row;
+  }
+  stats->stage_time = cost.HostKeyGenTime(build_rows + probe_rows, 2);
+
+  // --- Transfers ---
+  auto upload = [&](const gpusim::PinnedBuffer& src) -> Result<DeviceBuffer> {
+    BLUSIM_ASSIGN_OR_RETURN(DeviceBuffer dst,
+                            device->memory().Alloc(reservation, src.size()));
+    stats->transfer_in +=
+        device->CopyToDevice(src.data(), &dst, src.size(), true);
+    return dst;
+  };
+  BLUSIM_ASSIGN_OR_RETURN(DeviceBuffer d_build_keys, upload(build_keys));
+  BLUSIM_ASSIGN_OR_RETURN(DeviceBuffer d_build_ids, upload(build_ids));
+  BLUSIM_ASSIGN_OR_RETURN(DeviceBuffer d_probe_keys, upload(probe_keys));
+  BLUSIM_ASSIGN_OR_RETURN(DeviceBuffer d_probe_ids, upload(probe_ids));
+
+  const uint64_t capacity = TableCapacity(build_rows);
+  BLUSIM_ASSIGN_OR_RETURN(
+      DeviceBuffer table,
+      device->memory().Alloc(reservation, capacity * kEntryBytes));
+  std::memset(table.data(), 0xFF, table.size());  // all entries empty
+
+  // --- Build kernel: CAS-claim one entry per dimension key ---
+  std::atomic<uint64_t> duplicate_keys{0};
+  char* table_ptr = table.data();
+  Status st = device->launcher().Launch(
+      GridFor(device->spec(), build_rows), [&](const KernelCtx& ctx) {
+        for (uint64_t i = ctx.global_thread(); i < build_rows;
+             i += ctx.total_threads()) {
+          const uint64_t key = d_build_keys.as<uint64_t>()[i];
+          if (key == kEmptyKey) continue;  // NULL PK
+          uint64_t pos = Mix64(key) & (capacity - 1);
+          for (uint64_t probe = 0; probe < capacity; ++probe) {
+            char* entry = table_ptr + pos * kEntryBytes;
+            uint64_t* keyp = reinterpret_cast<uint64_t*>(entry);
+            std::atomic_ref<uint64_t> ref(*keyp);
+            const uint64_t cur = ref.load(std::memory_order_acquire);
+            if (cur == key) {
+              duplicate_keys.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            if (cur == kEmptyKey &&
+                gpusim::AtomicCas64(keyp, kEmptyKey, key) == kEmptyKey) {
+              *reinterpret_cast<uint32_t*>(entry + 8) =
+                  d_build_ids.as<uint32_t>()[i];
+              break;
+            }
+            if (*keyp == key) {
+              duplicate_keys.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            pos = (pos + 1) & (capacity - 1);
+          }
+        }
+      });
+  BLUSIM_RETURN_NOT_OK(st);
+  if (duplicate_keys.load() > 0) {
+    return Status::InvalidArgument("duplicate build key in dimension");
+  }
+  stats->build_kernel = cost.JoinBuildKernelTime(build_rows);
+  device->AccountKernel("join_build", stats->build_kernel);
+
+  // --- Probe kernel: append matches through an atomic cursor ---
+  BLUSIM_ASSIGN_OR_RETURN(
+      DeviceBuffer d_out,
+      device->memory().Alloc(reservation, probe_rows * 8 + 64));
+  std::atomic<uint64_t> cursor{0};
+  uint64_t* out_pairs = d_out.as<uint64_t>();  // packed (fact, dim) pairs
+  st = device->launcher().Launch(
+      GridFor(device->spec(), probe_rows), [&](const KernelCtx& ctx) {
+        for (uint64_t i = ctx.global_thread(); i < probe_rows;
+             i += ctx.total_threads()) {
+          const uint64_t key = d_probe_keys.as<uint64_t>()[i];
+          if (key == kEmptyKey) continue;  // NULL FK never matches
+          uint64_t pos = Mix64(key) & (capacity - 1);
+          for (uint64_t probe = 0; probe < capacity; ++probe) {
+            const char* entry = table_ptr + pos * kEntryBytes;
+            uint64_t cur;
+            std::memcpy(&cur, entry, 8);
+            if (cur == kEmptyKey) break;  // miss
+            if (cur == key) {
+              uint32_t dim_row;
+              std::memcpy(&dim_row, entry + 8, 4);
+              const uint64_t slot =
+                  cursor.fetch_add(1, std::memory_order_relaxed);
+              out_pairs[slot] =
+                  (static_cast<uint64_t>(d_probe_ids.as<uint32_t>()[i])
+                   << 32) |
+                  dim_row;
+              break;
+            }
+            pos = (pos + 1) & (capacity - 1);
+          }
+        }
+      });
+  BLUSIM_RETURN_NOT_OK(st);
+  stats->probe_kernel = cost.JoinProbeKernelTime(probe_rows);
+  device->AccountKernel("join_probe", stats->probe_kernel);
+
+  // --- Read back and restore fact-row order ---
+  const uint64_t matches = cursor.load();
+  std::vector<uint64_t> pairs(matches);
+  if (matches > 0) {
+    stats->transfer_out =
+        device->CopyFromDevice(d_out, pairs.data(), matches * 8, true);
+  }
+  std::sort(pairs.begin(), pairs.end());  // fact row in the high 32 bits
+  JoinResult result;
+  result.fact_rows.reserve(matches);
+  result.dim_rows.reserve(matches);
+  for (uint64_t p : pairs) {
+    result.fact_rows.push_back(static_cast<uint32_t>(p >> 32));
+    result.dim_rows.push_back(static_cast<uint32_t>(p & 0xFFFFFFFFu));
+  }
+  return result;
+}
+
+}  // namespace blusim::join

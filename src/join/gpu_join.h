@@ -1,0 +1,64 @@
+#ifndef BLUSIM_JOIN_GPU_JOIN_H_
+#define BLUSIM_JOIN_GPU_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
+#include "runtime/operators.h"
+#include "runtime/thread_pool.h"
+
+namespace blusim::join {
+
+// Timing record of one device join execution (simulated microseconds).
+struct GpuJoinStats {
+  SimTime stage_time = 0;
+  SimTime transfer_in = 0;
+  SimTime build_kernel = 0;
+  SimTime probe_kernel = 0;
+  SimTime transfer_out = 0;
+  uint64_t device_bytes_reserved = 0;
+
+  SimTime total() const {
+    return stage_time + transfer_in + build_kernel + probe_kernel +
+           transfer_out;
+  }
+};
+
+// Prototype device hash join -- the paper's stated next step ("we would
+// like to study the performance of other compute intensive operations
+// (like join) on the GPU", section 6). Follows the same conventions as
+// the group-by kernels:
+//
+//  * the dimension keys build a device hash table via atomicCAS claims
+//    (build keys must be unique, as in runtime::HashJoin);
+//  * a probe kernel scans the fact keys and appends matching
+//    (fact_row, dim_row) pairs through an atomic output cursor;
+//  * all device memory is reserved up front; OutOfDeviceMemory /
+//    DeviceUnavailable are recoverable and the caller falls back to the
+//    CPU join.
+//
+// The output pair order is nondeterministic (atomic cursor), so the
+// result is sorted by fact row before returning -- the same contract as
+// the CPU HashJoin.
+class GpuHashJoin {
+ public:
+  static Result<runtime::JoinResult> Execute(
+      const columnar::Table& fact, const columnar::Table& dim,
+      const runtime::JoinSpec& spec, gpusim::SimDevice* device,
+      gpusim::PinnedHostPool* pinned_pool,
+      const std::vector<uint32_t>* fact_selection,
+      const std::vector<uint32_t>* dim_selection, GpuJoinStats* stats);
+
+  // Device bytes needed for `build_rows` build keys and `probe_rows`
+  // probes (inputs + table + output buffer).
+  static uint64_t DeviceBytesNeeded(uint64_t build_rows,
+                                    uint64_t probe_rows);
+};
+
+}  // namespace blusim::join
+
+#endif  // BLUSIM_JOIN_GPU_JOIN_H_

@@ -1,0 +1,128 @@
+#include "runtime/agg.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace blusim::runtime {
+
+using columnar::DataType;
+using columnar::Decimal128;
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "SUM";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+    case AggFn::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+DataType AggAccumulatorType(AggFn fn, DataType input) {
+  switch (fn) {
+    case AggFn::kCount:
+      return DataType::kInt64;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      switch (input) {
+        case DataType::kInt32:
+        case DataType::kInt64:
+        case DataType::kDate:
+          return DataType::kInt64;
+        case DataType::kFloat64:
+          return DataType::kFloat64;
+        case DataType::kDecimal128:
+          return DataType::kDecimal128;
+        case DataType::kString:
+          BLUSIM_CHECK(false);  // SUM(string) rejected upstream
+      }
+      return DataType::kInt64;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return input;
+  }
+  return DataType::kInt64;
+}
+
+int AggSlotBytes(AggFn fn, DataType input) {
+  const DataType acc = AggAccumulatorType(fn, input);
+  const int w = columnar::DataTypeWidth(acc);
+  // Strings aggregate via MIN/MAX only; the device keeps a fixed 16-byte
+  // prefix slot guarded by a lock (section 4.4 approach 2).
+  return w == 0 ? 16 : w;
+}
+
+void WriteAggInit(AggFn fn, DataType input, char* slot) {
+  const DataType acc = AggAccumulatorType(fn, input);
+  const int bytes = AggSlotBytes(fn, input);
+  std::memset(slot, 0, static_cast<size_t>(bytes));
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+    case AggFn::kAvg:
+      return;  // zero-initialized
+    case AggFn::kMin:
+      switch (acc) {
+        case DataType::kInt32:
+        case DataType::kDate: {
+          const int32_t v = std::numeric_limits<int32_t>::max();
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kInt64: {
+          const int64_t v = std::numeric_limits<int64_t>::max();
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kFloat64: {
+          const double v = std::numeric_limits<double>::infinity();
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kDecimal128: {
+          const Decimal128 v(std::numeric_limits<int64_t>::max(),
+                             std::numeric_limits<uint64_t>::max());
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kString: {
+          // Lexicographic max sentinel: all 0xFF bytes.
+          std::memset(slot, 0xFF, static_cast<size_t>(bytes));
+          return;
+        }
+      }
+      return;
+    case AggFn::kMax:
+      switch (acc) {
+        case DataType::kInt32:
+        case DataType::kDate: {
+          const int32_t v = std::numeric_limits<int32_t>::min();
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kInt64: {
+          const int64_t v = std::numeric_limits<int64_t>::min();
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kFloat64: {
+          const double v = -std::numeric_limits<double>::infinity();
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kDecimal128: {
+          const Decimal128 v(std::numeric_limits<int64_t>::min(), 0);
+          std::memcpy(slot, &v, sizeof(v));
+          return;
+        }
+        case DataType::kString:
+          return;  // all zero bytes = lexicographic min sentinel
+      }
+      return;
+  }
+}
+
+}  // namespace blusim::runtime

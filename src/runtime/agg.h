@@ -1,0 +1,47 @@
+#ifndef BLUSIM_RUNTIME_AGG_H_
+#define BLUSIM_RUNTIME_AGG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+
+namespace blusim::runtime {
+
+// Aggregation functions supported by the group-by chains (the paper's AGGD,
+// SUM, CNT evaluators and the GPU kernels' Min/Max/Sum/Count set).
+enum class AggFn : uint8_t {
+  kSum = 0,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,  // computed as SUM + COUNT, finalized on readback
+};
+
+const char* AggFnName(AggFn fn);
+
+// One aggregate in a group-by: `fn` applied to input column `column`
+// (-1 = COUNT(*)).
+struct AggregateDesc {
+  AggFn fn = AggFn::kCount;
+  int column = -1;
+  std::string output_name;
+};
+
+// The accumulator type for (fn, input type). SUM over integers widens to
+// INT64; SUM over FLOAT64 stays FLOAT64; DECIMAL128 stays 128-bit (and
+// therefore takes the lock-based device path); COUNT is INT64.
+columnar::DataType AggAccumulatorType(AggFn fn, columnar::DataType input);
+
+// Accumulator width in bytes for GPU hash-table row layout.
+int AggSlotBytes(AggFn fn, columnar::DataType input);
+
+// Writes the initial accumulator value for the hash-table mask (table 1)
+// into `slot` (AggSlotBytes bytes): SUM/COUNT -> 0, MIN -> type max,
+// MAX -> type min (e.g. -9223372036854775808 for MAX over INT64).
+void WriteAggInit(AggFn fn, columnar::DataType input, char* slot);
+
+}  // namespace blusim::runtime
+
+#endif  // BLUSIM_RUNTIME_AGG_H_

@@ -1,0 +1,126 @@
+#include "runtime/cpu_groupby.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "runtime/evaluators.h"
+#include "runtime/group_result.h"
+
+namespace blusim::runtime {
+
+namespace {
+
+struct WideKeyHash {
+  size_t operator()(const WideKey& k) const {
+    return static_cast<size_t>(Murmur3_64(k.bytes, k.len));
+  }
+};
+
+struct U64Hash {
+  size_t operator()(uint64_t k) const { return static_cast<size_t>(Mix64(k)); }
+};
+
+// Local hash table used by LGHT: key -> group accumulators. Templated on
+// the key representation (packed 64-bit vs. wide).
+template <typename Key, typename Hash>
+using LocalTable = std::unordered_map<Key, GroupEntry, Hash>;
+
+template <typename Key, typename Hash, typename GetKey>
+Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
+                          const std::vector<uint32_t>* selection,
+                          GetKey get_key) {
+  const uint64_t total_rows =
+      selection ? selection->size() : plan.table().num_rows();
+  const uint64_t num_morsels =
+      NumMorsels(total_rows, CpuGroupBy::kMorselRows);
+
+  GroupByChain chain(&plan);
+  const size_t num_slots = plan.slots().size();
+
+  // Global state guarded by `mu`: the merged hash table + merged KMV.
+  std::mutex mu;
+  LocalTable<Key, Hash> global;
+  KmvSketch global_kmv(256);
+  Status first_error;
+
+  auto process_morsel = [&](uint64_t m) {
+    Stride stride;
+    stride.range = GetMorsel(total_rows, CpuGroupBy::kMorselRows, m);
+    stride.selection = selection;
+    Status st = chain.ProcessStride(&stride);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = st;
+      return;
+    }
+
+    // LGHT: local grouping with aggregates applied inline.
+    LocalTable<Key, Hash> local;
+    const uint64_t n = stride.num_rows();
+    for (uint64_t i = 0; i < n; ++i) {
+      const Key key = get_key(stride, i);
+      auto [it, inserted] = local.try_emplace(key);
+      GroupEntry& entry = it->second;
+      if (inserted) {
+        entry.rep_row = stride.InputRow(i);
+        entry.slots.resize(num_slots);
+        for (size_t s = 0; s < num_slots; ++s) {
+          InitAcc(plan.slots()[s], &entry.slots[s]);
+        }
+      }
+      for (size_t s = 0; s < num_slots; ++s) {
+        AccumulateRow(plan.slots()[s], stride.payloads[s], i,
+                      &entry.slots[s]);
+      }
+    }
+
+    // Merge the local table into the global hash table (figure 1's final
+    // merge step).
+    std::lock_guard<std::mutex> lock(mu);
+    global_kmv.Merge(stride.kmv);
+    for (auto& [key, entry] : local) {
+      auto [git, inserted] = global.try_emplace(key, std::move(entry));
+      if (!inserted) {
+        for (size_t s = 0; s < num_slots; ++s) {
+          MergeAcc(plan.slots()[s], entry.slots[s], &git->second.slots[s]);
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_morsels, process_morsel);
+  } else {
+    for (uint64_t m = 0; m < num_morsels; ++m) process_morsel(m);
+  }
+  BLUSIM_RETURN_NOT_OK(first_error);
+
+  std::vector<GroupEntry> groups;
+  groups.reserve(global.size());
+  for (auto& [key, entry] : global) groups.push_back(std::move(entry));
+
+  GroupByOutput out;
+  out.num_groups = groups.size();
+  out.kmv_estimate = global_kmv.Estimate();
+  out.input_rows = total_rows;
+  BLUSIM_ASSIGN_OR_RETURN(out.table, MaterializeGroups(plan, groups));
+  return out;
+}
+
+}  // namespace
+
+Result<GroupByOutput> CpuGroupBy::Execute(
+    const GroupByPlan& plan, ThreadPool* pool,
+    const std::vector<uint32_t>* selection) {
+  if (plan.wide_key()) {
+    return Run<WideKey, WideKeyHash>(
+        plan, pool, selection,
+        [](const Stride& s, uint64_t i) { return s.wide_keys[i]; });
+  }
+  return Run<uint64_t, U64Hash>(
+      plan, pool, selection,
+      [](const Stride& s, uint64_t i) { return s.packed_keys[i]; });
+}
+
+}  // namespace blusim::runtime

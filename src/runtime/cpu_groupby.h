@@ -1,0 +1,42 @@
+#ifndef BLUSIM_RUNTIME_CPU_GROUPBY_H_
+#define BLUSIM_RUNTIME_CPU_GROUPBY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/status.h"
+#include "runtime/groupby_plan.h"
+#include "runtime/thread_pool.h"
+
+namespace blusim::runtime {
+
+// Output of a group-by execution, CPU or GPU path alike.
+struct GroupByOutput {
+  std::shared_ptr<columnar::Table> table;
+  uint64_t num_groups = 0;
+  // KMV estimate observed during the HASH stage (what the GPU path would
+  // have sized its hash table with).
+  uint64_t kmv_estimate = 0;
+  uint64_t input_rows = 0;
+};
+
+// The original DB2 BLU CPU group-by chain (paper figure 1):
+// parallel threads run LCOG/LCOV -> CCAT -> HASH -> LGHT (local hash
+// tables with AGGD/SUM/CNT applied inline), then the local results are
+// merged into a global hash table.
+class CpuGroupBy {
+ public:
+  // `selection`: optional filtered/joined row-id list; nullptr = all rows.
+  static Result<GroupByOutput> Execute(
+      const GroupByPlan& plan, ThreadPool* pool,
+      const std::vector<uint32_t>* selection = nullptr);
+
+  // Morsel size used by the parallel chain.
+  static constexpr uint64_t kMorselRows = 65536;
+};
+
+}  // namespace blusim::runtime
+
+#endif  // BLUSIM_RUNTIME_CPU_GROUPBY_H_

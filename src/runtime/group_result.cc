@@ -1,0 +1,231 @@
+#include "runtime/group_result.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace blusim::runtime {
+
+using columnar::Column;
+using columnar::DataType;
+using columnar::Decimal128;
+using columnar::Field;
+using columnar::Schema;
+using columnar::Table;
+
+void InitAcc(const AggSlot& slot, AccValue* acc) {
+  *acc = AccValue{};
+  if (slot.fn == AggFn::kMin) {
+    switch (slot.acc_type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        acc->i64 = std::numeric_limits<int32_t>::max();
+        break;
+      case DataType::kInt64:
+        acc->i64 = std::numeric_limits<int64_t>::max();
+        break;
+      case DataType::kFloat64:
+        acc->f64 = std::numeric_limits<double>::infinity();
+        break;
+      case DataType::kDecimal128:
+        acc->dec = Decimal128(std::numeric_limits<int64_t>::max(),
+                              std::numeric_limits<uint64_t>::max());
+        break;
+      default:
+        break;
+    }
+  } else if (slot.fn == AggFn::kMax) {
+    switch (slot.acc_type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        acc->i64 = std::numeric_limits<int32_t>::min();
+        break;
+      case DataType::kInt64:
+        acc->i64 = std::numeric_limits<int64_t>::min();
+        break;
+      case DataType::kFloat64:
+        acc->f64 = -std::numeric_limits<double>::infinity();
+        break;
+      case DataType::kDecimal128:
+        acc->dec = Decimal128(std::numeric_limits<int64_t>::min(), 0);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void AccumulateRow(const AggSlot& slot, const PayloadVector& pv, size_t i,
+                   AccValue* acc) {
+  if (slot.fn == AggFn::kCount) {
+    // COUNT(*) counts all rows; COUNT(col) skips NULLs.
+    if (slot.input_column < 0 || pv.IsValid(i)) ++acc->i64;
+    return;
+  }
+  if (!pv.IsValid(i)) return;
+  switch (slot.acc_type) {
+    case DataType::kFloat64: {
+      const double v = pv.f64[i];
+      if (slot.fn == AggFn::kSum) acc->f64 += v;
+      else if (slot.fn == AggFn::kMin) acc->f64 = std::min(acc->f64, v);
+      else acc->f64 = std::max(acc->f64, v);
+      break;
+    }
+    case DataType::kDecimal128: {
+      const Decimal128& v = pv.dec[i];
+      if (slot.fn == AggFn::kSum) acc->dec += v;
+      else if (slot.fn == AggFn::kMin) acc->dec = std::min(acc->dec, v);
+      else acc->dec = std::max(acc->dec, v);
+      break;
+    }
+    default: {
+      const int64_t v = pv.i64[i];
+      if (slot.fn == AggFn::kSum) acc->i64 += v;
+      else if (slot.fn == AggFn::kMin) acc->i64 = std::min(acc->i64, v);
+      else acc->i64 = std::max(acc->i64, v);
+      break;
+    }
+  }
+}
+
+void MergeAcc(const AggSlot& slot, const AccValue& from, AccValue* into) {
+  switch (slot.fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      switch (slot.acc_type) {
+        case DataType::kFloat64: into->f64 += from.f64; break;
+        case DataType::kDecimal128: into->dec += from.dec; break;
+        default: into->i64 += from.i64; break;
+      }
+      break;
+    case AggFn::kMin:
+      switch (slot.acc_type) {
+        case DataType::kFloat64:
+          into->f64 = std::min(into->f64, from.f64);
+          break;
+        case DataType::kDecimal128:
+          into->dec = std::min(into->dec, from.dec);
+          break;
+        default:
+          into->i64 = std::min(into->i64, from.i64);
+          break;
+      }
+      break;
+    case AggFn::kMax:
+      switch (slot.acc_type) {
+        case DataType::kFloat64:
+          into->f64 = std::max(into->f64, from.f64);
+          break;
+        case DataType::kDecimal128:
+          into->dec = std::max(into->dec, from.dec);
+          break;
+        default:
+          into->i64 = std::max(into->i64, from.i64);
+          break;
+      }
+      break;
+    case AggFn::kAvg:
+      BLUSIM_CHECK(false);  // decomposed at plan time
+      break;
+  }
+}
+
+namespace {
+
+void AppendKeyValue(const Column& src, uint32_t row, Column* dst) {
+  if (src.IsNull(row)) {
+    dst->AppendNull();
+    return;
+  }
+  switch (src.type()) {
+    case DataType::kInt32:
+    case DataType::kDate:
+      dst->AppendInt32(src.int32_data()[row]);
+      break;
+    case DataType::kInt64:
+      dst->AppendInt64(src.int64_data()[row]);
+      break;
+    case DataType::kFloat64:
+      dst->AppendDouble(src.float64_data()[row]);
+      break;
+    case DataType::kDecimal128:
+      dst->AppendDecimal(src.decimal_data()[row]);
+      break;
+    case DataType::kString:
+      dst->AppendString(src.string_data()[row]);
+      break;
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> MaterializeGroups(
+    const GroupByPlan& plan, const std::vector<GroupEntry>& groups) {
+  const Table& input = plan.table();
+
+  Schema schema;
+  for (int kc : plan.spec().key_columns) {
+    schema.AddField(input.schema().field(static_cast<size_t>(kc)));
+  }
+  for (const OutputAgg& out : plan.outputs()) {
+    Field f;
+    f.name = out.desc.output_name;
+    if (f.name.empty()) {
+      f.name = std::string(AggFnName(out.desc.fn)) + "(" +
+               (out.desc.column >= 0
+                    ? input.schema().field(static_cast<size_t>(out.desc.column))
+                          .name
+                    : "*") +
+               ")";
+    }
+    f.type = out.desc.fn == AggFn::kAvg
+                 ? DataType::kFloat64
+                 : plan.slots()[static_cast<size_t>(out.slot)].acc_type;
+    schema.AddField(f);
+  }
+
+  auto result = std::make_shared<Table>(std::move(schema));
+  result->Reserve(groups.size());
+
+  const size_t num_keys = plan.spec().key_columns.size();
+  for (const GroupEntry& g : groups) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      const Column& src = input.column(
+          static_cast<size_t>(plan.spec().key_columns[k]));
+      AppendKeyValue(src, g.rep_row, &result->column(k));
+    }
+    for (size_t o = 0; o < plan.outputs().size(); ++o) {
+      const OutputAgg& out = plan.outputs()[o];
+      const AggSlot& slot = plan.slots()[static_cast<size_t>(out.slot)];
+      const AccValue& acc = g.slots[static_cast<size_t>(out.slot)];
+      Column& dst = result->column(num_keys + o);
+      if (out.desc.fn == AggFn::kAvg) {
+        const int64_t count =
+            g.slots[static_cast<size_t>(out.count_slot)].i64;
+        double sum;
+        switch (slot.acc_type) {
+          case DataType::kFloat64: sum = acc.f64; break;
+          case DataType::kDecimal128: sum = acc.dec.ToDouble(); break;
+          default: sum = static_cast<double>(acc.i64); break;
+        }
+        dst.AppendDouble(count == 0 ? 0.0 : sum / static_cast<double>(count));
+        continue;
+      }
+      switch (slot.acc_type) {
+        case DataType::kFloat64: dst.AppendDouble(acc.f64); break;
+        case DataType::kDecimal128: dst.AppendDecimal(acc.dec); break;
+        case DataType::kInt32:
+        case DataType::kDate:
+          dst.AppendInt32(static_cast<int32_t>(acc.i64));
+          break;
+        default: dst.AppendInt64(acc.i64); break;
+      }
+    }
+  }
+
+  BLUSIM_RETURN_NOT_OK(result->Validate());
+  return result;
+}
+
+}  // namespace blusim::runtime

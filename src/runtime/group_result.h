@@ -1,0 +1,48 @@
+#ifndef BLUSIM_RUNTIME_GROUP_RESULT_H_
+#define BLUSIM_RUNTIME_GROUP_RESULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/status.h"
+#include "runtime/groupby_plan.h"
+#include "runtime/stride.h"
+
+namespace blusim::runtime {
+
+// One accumulator value; the active member is the slot's acc_type.
+struct AccValue {
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  columnar::Decimal128 dec;
+};
+
+// One finished group: a representative input row (for key materialization)
+// plus one accumulator per plan slot. Both the CPU chain and the GPU
+// readback produce this shape, so materialization is shared.
+struct GroupEntry {
+  uint32_t rep_row = 0;
+  std::vector<AccValue> slots;
+};
+
+// Initializes an accumulator to the slot's identity (mask) value.
+void InitAcc(const AggSlot& slot, AccValue* acc);
+
+// Applies row i of `pv` to the accumulator (AGGD/SUM/CNT evaluators).
+void AccumulateRow(const AggSlot& slot, const PayloadVector& pv, size_t i,
+                   AccValue* acc);
+
+// Merges a partial accumulator into `into` (local -> global table merge).
+void MergeAcc(const AggSlot& slot, const AccValue& from, AccValue* into);
+
+// Materializes the final result table: one column per grouping key (values
+// read from each group's representative row of `plan.table()`) followed by
+// one column per user aggregate (AVG finalized as SUM/COUNT).
+Result<std::shared_ptr<columnar::Table>> MaterializeGroups(
+    const GroupByPlan& plan, const std::vector<GroupEntry>& groups);
+
+}  // namespace blusim::runtime
+
+#endif  // BLUSIM_RUNTIME_GROUP_RESULT_H_

@@ -1,0 +1,168 @@
+#include "runtime/operators.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace blusim::runtime {
+
+using columnar::Column;
+using columnar::DataType;
+using columnar::Table;
+
+namespace {
+
+constexpr uint64_t kMorselRows = 65536;
+
+bool EvalNumeric(CmpOp op, double v, double lo, double hi) {
+  switch (op) {
+    case CmpOp::kEq: return v == lo;
+    case CmpOp::kNe: return v != lo;
+    case CmpOp::kLt: return v < lo;
+    case CmpOp::kLe: return v <= lo;
+    case CmpOp::kGt: return v > lo;
+    case CmpOp::kGe: return v >= lo;
+    case CmpOp::kBetween: return v >= lo && v <= hi;
+  }
+  return false;
+}
+
+bool EvalPredicate(const Predicate& p, const Column& col, uint32_t row) {
+  if (col.IsNull(row)) return false;  // SQL: NULL comparisons are not true
+  if (col.type() == DataType::kString) {
+    const std::string& s = col.string_data()[row];
+    switch (p.op) {
+      case CmpOp::kEq: return s == p.str;
+      case CmpOp::kNe: return s != p.str;
+      case CmpOp::kLt: return s < p.str;
+      case CmpOp::kLe: return s <= p.str;
+      case CmpOp::kGt: return s > p.str;
+      case CmpOp::kGe: return s >= p.str;
+      case CmpOp::kBetween: return false;
+    }
+    return false;
+  }
+  return EvalNumeric(p.op, col.GetDouble(row), p.lo, p.hi);
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> FilterScan(
+    const Table& table, const std::vector<Predicate>& predicates,
+    ThreadPool* pool) {
+  for (const Predicate& p : predicates) {
+    if (p.column < 0 || static_cast<size_t>(p.column) >= table.num_columns()) {
+      return Status::InvalidArgument("predicate on bad column " +
+                                     std::to_string(p.column));
+    }
+  }
+  const uint64_t total = table.num_rows();
+  const uint64_t num_morsels = NumMorsels(total, kMorselRows);
+  std::vector<std::vector<uint32_t>> partials(num_morsels);
+
+  auto scan_morsel = [&](uint64_t m) {
+    const MorselRange r = GetMorsel(total, kMorselRows, m);
+    std::vector<uint32_t>& out = partials[m];
+    for (uint64_t row = r.begin; row < r.end; ++row) {
+      bool pass = true;
+      for (const Predicate& p : predicates) {
+        const Column& col = table.column(static_cast<size_t>(p.column));
+        if (!EvalPredicate(p, col, static_cast<uint32_t>(row))) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) out.push_back(static_cast<uint32_t>(row));
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_morsels, scan_morsel);
+  } else {
+    for (uint64_t m = 0; m < num_morsels; ++m) scan_morsel(m);
+  }
+
+  // Concatenate in morsel order -> ascending row ids.
+  size_t n = 0;
+  for (const auto& p : partials) n += p.size();
+  std::vector<uint32_t> selection;
+  selection.reserve(n);
+  for (const auto& p : partials) {
+    selection.insert(selection.end(), p.begin(), p.end());
+  }
+  return selection;
+}
+
+Result<JoinResult> HashJoin(const Table& fact, const Table& dim,
+                            const JoinSpec& spec, ThreadPool* pool,
+                            const std::vector<uint32_t>* fact_selection,
+                            const std::vector<uint32_t>* dim_selection) {
+  if (spec.fact_fk_column < 0 ||
+      static_cast<size_t>(spec.fact_fk_column) >= fact.num_columns()) {
+    return Status::InvalidArgument("bad fact FK column");
+  }
+  if (spec.dim_pk_column < 0 ||
+      static_cast<size_t>(spec.dim_pk_column) >= dim.num_columns()) {
+    return Status::InvalidArgument("bad dim PK column");
+  }
+  const Column& fk = fact.column(static_cast<size_t>(spec.fact_fk_column));
+  const Column& pk = dim.column(static_cast<size_t>(spec.dim_pk_column));
+
+  // Build phase (dimension side, typically small).
+  std::unordered_map<int64_t, uint32_t> build;
+  const uint64_t build_rows = dim_selection ? dim_selection->size()
+                                            : dim.num_rows();
+  build.reserve(build_rows);
+  for (uint64_t i = 0; i < build_rows; ++i) {
+    const uint32_t row = dim_selection ? (*dim_selection)[i]
+                                       : static_cast<uint32_t>(i);
+    if (pk.IsNull(row)) continue;
+    auto [it, inserted] = build.emplace(pk.GetInt64(row), row);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate build key in dimension");
+    }
+  }
+
+  // Probe phase (fact side, parallel).
+  const uint64_t total = fact_selection ? fact_selection->size()
+                                        : fact.num_rows();
+  const uint64_t num_morsels = NumMorsels(total, kMorselRows);
+  std::vector<JoinResult> partials(num_morsels);
+
+  auto probe_morsel = [&](uint64_t m) {
+    const MorselRange r = GetMorsel(total, kMorselRows, m);
+    JoinResult& out = partials[m];
+    for (uint64_t i = r.begin; i < r.end; ++i) {
+      const uint32_t row = fact_selection ? (*fact_selection)[i]
+                                          : static_cast<uint32_t>(i);
+      if (fk.IsNull(row)) continue;
+      auto it = build.find(fk.GetInt64(row));
+      if (it != build.end()) {
+        out.fact_rows.push_back(row);
+        out.dim_rows.push_back(it->second);
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_morsels, probe_morsel);
+  } else {
+    for (uint64_t m = 0; m < num_morsels; ++m) probe_morsel(m);
+  }
+
+  JoinResult result;
+  size_t n = 0;
+  for (const auto& p : partials) n += p.size();
+  result.fact_rows.reserve(n);
+  result.dim_rows.reserve(n);
+  for (const auto& p : partials) {
+    result.fact_rows.insert(result.fact_rows.end(), p.fact_rows.begin(),
+                            p.fact_rows.end());
+    result.dim_rows.insert(result.dim_rows.end(), p.dim_rows.begin(),
+                           p.dim_rows.end());
+  }
+  return result;
+}
+
+}  // namespace blusim::runtime

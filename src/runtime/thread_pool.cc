@@ -1,0 +1,129 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace blusim::runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    num_threads = hc == 0 ? 2 : static_cast<int>(hc);
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BLUSIM_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared completion state for one ParallelFor call. Held by shared_ptr so a
+// late-scheduled helper can never touch freed stack memory even after the
+// caller has returned.
+struct ParallelForState {
+  explicit ParallelForState(uint64_t n, std::function<void(uint64_t)> f)
+      : num_morsels(n), remaining(n), fn(std::move(f)) {}
+
+  const uint64_t num_morsels;
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> remaining;
+  std::function<void(uint64_t)> fn;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  // Claims and runs morsels until none remain; signals completion when this
+  // participant retired the final morsel.
+  void Drain() {
+    uint64_t processed = 0;
+    while (true) {
+      const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_morsels) break;
+      fn(i);
+      ++processed;
+    }
+    if (processed > 0 &&
+        remaining.fetch_sub(processed, std::memory_order_acq_rel) ==
+            processed) {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(uint64_t num_morsels,
+                             const std::function<void(uint64_t)>& fn) {
+  if (num_morsels == 0) return;
+  if (num_morsels == 1) {
+    fn(0);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>(num_morsels, fn);
+  const int helpers = static_cast<int>(
+      std::min<uint64_t>(num_morsels - 1,
+                         static_cast<uint64_t>(num_threads())));
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state]() { state->Drain(); });
+  }
+  state->Drain();  // the caller works too
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done; });
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+MorselRange GetMorsel(uint64_t total, uint64_t morsel_size, uint64_t index) {
+  MorselRange r;
+  r.begin = index * morsel_size;
+  r.end = std::min(total, r.begin + morsel_size);
+  if (r.begin > total) r.begin = total;
+  return r;
+}
+
+uint64_t NumMorsels(uint64_t total, uint64_t morsel_size) {
+  if (morsel_size == 0) return 0;
+  return (total + morsel_size - 1) / morsel_size;
+}
+
+}  // namespace blusim::runtime

@@ -1,0 +1,62 @@
+#ifndef BLUSIM_RUNTIME_THREAD_POOL_H_
+#define BLUSIM_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blusim::runtime {
+
+// Fixed-size worker pool modeling DB2 sub-agents. Operators split their
+// input into morsels and run them via ParallelFor; the pool is shared by
+// all queries in a process (like BLU's agent pool).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  // Runs fn(morsel_index) for every morsel in [0, num_morsels), distributing
+  // across the pool, and blocks until all complete. The calling thread also
+  // works, so this is safe on a 1-thread pool.
+  void ParallelFor(uint64_t num_morsels,
+                   const std::function<void(uint64_t)>& fn);
+
+  // Default process-wide pool, sized to the hardware.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+// Splits `total` elements into morsels of at most `morsel_size` and returns
+// the [begin, end) row range of morsel `index`.
+struct MorselRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t size() const { return end - begin; }
+};
+
+MorselRange GetMorsel(uint64_t total, uint64_t morsel_size, uint64_t index);
+uint64_t NumMorsels(uint64_t total, uint64_t morsel_size);
+
+}  // namespace blusim::runtime
+
+#endif  // BLUSIM_RUNTIME_THREAD_POOL_H_

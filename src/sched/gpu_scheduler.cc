@@ -1,0 +1,56 @@
+#include "sched/gpu_scheduler.h"
+
+#include <algorithm>
+
+namespace blusim::sched {
+
+using gpusim::SimDevice;
+
+Result<SimDevice*> GpuScheduler::PickDevice(uint64_t bytes_needed) {
+  SimDevice* best = nullptr;
+  int best_jobs = 0;
+  uint64_t best_free = 0;
+  for (SimDevice* d : devices_) {
+    if (!d->memory().CanReserve(bytes_needed)) continue;
+    const int jobs = d->outstanding_jobs();
+    const uint64_t free = d->memory().available();
+    if (best == nullptr || jobs < best_jobs ||
+        (jobs == best_jobs && free > best_free)) {
+      best = d;
+      best_jobs = jobs;
+      best_free = free;
+    }
+  }
+  if (best == nullptr) {
+    return Status::DeviceUnavailable(
+        "no device can reserve " + std::to_string(bytes_needed) + " bytes");
+  }
+  return best;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> GpuScheduler::PartitionRows(
+    uint64_t rows, uint64_t max_rows_per_chunk) {
+  std::vector<std::pair<uint64_t, uint64_t>> parts;
+  if (rows == 0 || max_rows_per_chunk == 0) return parts;
+  const uint64_t num_chunks =
+      (rows + max_rows_per_chunk - 1) / max_rows_per_chunk;
+  // Balance chunk sizes instead of one small tail chunk.
+  const uint64_t base = rows / num_chunks;
+  uint64_t extra = rows % num_chunks;
+  uint64_t begin = 0;
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    const uint64_t size = base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    parts.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return parts;
+}
+
+uint64_t GpuScheduler::total_free_memory() const {
+  uint64_t total = 0;
+  for (SimDevice* d : devices_) total += d->memory().available();
+  return total;
+}
+
+}  // namespace blusim::sched

@@ -1,0 +1,49 @@
+#ifndef BLUSIM_SCHED_GPU_SCHEDULER_H_
+#define BLUSIM_SCHED_GPU_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/sim_device.h"
+
+namespace blusim::sched {
+
+// Multi-GPU task scheduler (paper section 2.2).
+//
+// Tracks the number of outstanding jobs per device and each device's free
+// memory, and places each task on the least-loaded device that can satisfy
+// the task's up-front memory requirement. Devices need not be homogeneous.
+class GpuScheduler {
+ public:
+  explicit GpuScheduler(std::vector<gpusim::SimDevice*> devices)
+      : devices_(std::move(devices)) {}
+
+  size_t num_devices() const { return devices_.size(); }
+  const std::vector<gpusim::SimDevice*>& devices() const { return devices_; }
+  gpusim::SimDevice* device(size_t i) { return devices_[i]; }
+
+  // Chooses the device for a task needing `bytes_needed` device memory:
+  // among devices that can currently reserve it, the one with the fewest
+  // outstanding jobs (ties: most free memory). DeviceUnavailable when none
+  // qualifies -- the caller waits or falls back to the CPU.
+  Result<gpusim::SimDevice*> PickDevice(uint64_t bytes_needed);
+
+  // Splits `rows` into contiguous range partitions of at most
+  // `max_rows_per_chunk` rows (section 2.2: large inputs are range-
+  // partitioned into chunks processed concurrently on the devices and
+  // merged at the end).
+  static std::vector<std::pair<uint64_t, uint64_t>> PartitionRows(
+      uint64_t rows, uint64_t max_rows_per_chunk);
+
+  // Total free memory across all devices (monitoring).
+  uint64_t total_free_memory() const;
+
+ private:
+  std::vector<gpusim::SimDevice*> devices_;
+};
+
+}  // namespace blusim::sched
+
+#endif  // BLUSIM_SCHED_GPU_SCHEDULER_H_

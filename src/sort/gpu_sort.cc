@@ -1,0 +1,132 @@
+#include "sort/gpu_sort.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/bit_util.h"
+#include "gpusim/kernel.h"
+
+namespace blusim::sort {
+
+using gpusim::DeviceBuffer;
+using gpusim::KernelCtx;
+using gpusim::LaunchConfig;
+using gpusim::SimDevice;
+
+namespace {
+
+constexpr uint32_t kRadixBits = 8;
+constexpr uint32_t kBuckets = 1u << kRadixBits;
+constexpr uint32_t kRowsPerBlock = 16384;
+
+uint32_t NumBlocks(uint32_t n) {
+  return static_cast<uint32_t>(std::max<uint64_t>(1, CeilDiv(n,
+                                                             kRowsPerBlock)));
+}
+
+}  // namespace
+
+uint64_t GpuSortBytesNeeded(uint32_t n) {
+  const uint64_t entries = static_cast<uint64_t>(n) * sizeof(PkEntry);
+  const uint64_t hist = static_cast<uint64_t>(NumBlocks(n)) * kBuckets *
+                        sizeof(uint32_t);
+  return 2 * entries + hist + n /* boundary flags */;
+}
+
+Status GpuRadixSort(SimDevice* device, DeviceBuffer* entries,
+                    DeviceBuffer* scratch, uint32_t n) {
+  if (n <= 1) return Status::OK();
+  const uint32_t blocks = NumBlocks(n);
+
+  // Histogram counts live host-side in the simulator (on hardware they are
+  // a device buffer read back between the two kernels of each pass; the
+  // host scan in between is the same in both designs).
+  std::vector<uint32_t> counts(static_cast<size_t>(blocks) * kBuckets);
+  std::vector<uint32_t> starts(static_cast<size_t>(blocks) * kBuckets);
+
+  PkEntry* in = entries->as<PkEntry>();
+  PkEntry* out = scratch->as<PkEntry>();
+
+  LaunchConfig config;
+  config.grid_dim = blocks;
+  config.block_dim = 1;  // block-granular chunks; see launcher memory model
+
+  for (int pass = 0; pass < 4; ++pass) {
+    const uint32_t shift = static_cast<uint32_t>(pass) * kRadixBits;
+    std::memset(counts.data(), 0, counts.size() * sizeof(uint32_t));
+
+    // Kernel A: per-block histogram over the block's contiguous chunk.
+    Status st = device->launcher().Launch(config, [&](const KernelCtx& ctx) {
+      const uint64_t begin =
+          static_cast<uint64_t>(ctx.block_idx) * kRowsPerBlock;
+      const uint64_t end = std::min<uint64_t>(n, begin + kRowsPerBlock);
+      uint32_t* block_counts =
+          counts.data() + static_cast<size_t>(ctx.block_idx) * kBuckets;
+      for (uint64_t i = begin; i < end; ++i) {
+        ++block_counts[(in[i].key >> shift) & (kBuckets - 1)];
+      }
+    });
+    BLUSIM_RETURN_NOT_OK(st);
+
+    // Host: exclusive scan over (bucket-major, block-minor) counts gives
+    // each block a private, stable output cursor per bucket.
+    uint32_t running = 0;
+    for (uint32_t d = 0; d < kBuckets; ++d) {
+      for (uint32_t b = 0; b < blocks; ++b) {
+        starts[static_cast<size_t>(b) * kBuckets + d] = running;
+        running += counts[static_cast<size_t>(b) * kBuckets + d];
+      }
+    }
+
+    // Kernel B: stable scatter using the per-block cursors.
+    st = device->launcher().Launch(config, [&](const KernelCtx& ctx) {
+      const uint64_t begin =
+          static_cast<uint64_t>(ctx.block_idx) * kRowsPerBlock;
+      const uint64_t end = std::min<uint64_t>(n, begin + kRowsPerBlock);
+      uint32_t cursors[kBuckets];
+      std::memcpy(cursors,
+                  starts.data() + static_cast<size_t>(ctx.block_idx) * kBuckets,
+                  sizeof(cursors));
+      for (uint64_t i = begin; i < end; ++i) {
+        const uint32_t d = (in[i].key >> shift) & (kBuckets - 1);
+        out[cursors[d]++] = in[i];
+      }
+    });
+    BLUSIM_RETURN_NOT_OK(st);
+
+    std::swap(in, out);
+  }
+  // 4 passes = even number of swaps: the result is back in `entries`.
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<uint32_t, uint32_t>>> FindDuplicateRanges(
+    SimDevice* device, const DeviceBuffer& entries, uint32_t n) {
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  if (n <= 1) return ranges;
+  const PkEntry* e = entries.as<PkEntry>();
+
+  // Device kernel: flag positions whose key matches the predecessor.
+  std::vector<uint8_t> flags(n, 0);
+  LaunchConfig config;
+  config.grid_dim = NumBlocks(n);
+  config.block_dim = 256;
+  Status st = device->launcher().Launch(config, [&](const KernelCtx& ctx) {
+    for (uint64_t i = ctx.global_thread(); i < n; i += ctx.total_threads()) {
+      flags[i] = (i > 0 && e[i].key == e[i - 1].key) ? 1 : 0;
+    }
+  });
+  BLUSIM_RETURN_NOT_OK(st);
+
+  // Host: fold flags into [begin, end) ranges of length > 1.
+  uint32_t run_begin = 0;
+  for (uint32_t i = 1; i <= n; ++i) {
+    if (i == n || !flags[i]) {
+      if (i - run_begin > 1) ranges.emplace_back(run_begin, i);
+      run_begin = i;
+    }
+  }
+  return ranges;
+}
+
+}  // namespace blusim::sort

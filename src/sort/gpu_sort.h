@@ -1,0 +1,46 @@
+#ifndef BLUSIM_SORT_GPU_SORT_H_
+#define BLUSIM_SORT_GPU_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/sim_device.h"
+
+namespace blusim::sort {
+
+// One partial-key buffer entry (paper section 3): a 4-byte binary-sortable
+// partial key and a 4-byte payload pointing back into the Sort Data Store.
+struct PkEntry {
+  uint32_t key = 0;
+  uint32_t payload = 0;
+};
+static_assert(sizeof(PkEntry) == 8, "PkEntry must be 8 bytes");
+
+// Stable LSD radix sort of `n` PkEntry records by their 4-byte key,
+// executed as simulated device kernels in the style of Merrill &
+// Grimshaw's radix sort (the "Duane sort" kernel the paper uses, ref
+// [18]): per pass, a per-block histogram kernel, a host-side exclusive
+// scan of the (bucket, block) counts, and a stable scatter kernel using
+// per-block bucket cursors.
+//
+// `entries` / `scratch` are device buffers of at least n * 8 bytes; the
+// sorted result ends in `entries` (an even number of ping-pong passes).
+Status GpuRadixSort(gpusim::SimDevice* device, gpusim::DeviceBuffer* entries,
+                    gpusim::DeviceBuffer* scratch, uint32_t n);
+
+// Device bytes GpuRadixSort needs for n entries (entries + scratch +
+// histograms); the caller reserves this before dispatching (section 2.1.1).
+uint64_t GpuSortBytesNeeded(uint32_t n);
+
+// Identifies duplicate ranges in the sorted entry array ("the GPU
+// identifies [duplicate ranges] for us"): a device kernel flags positions
+// whose key equals their predecessor's; the host folds the flags into
+// [begin, end) ranges of length > 1.
+Result<std::vector<std::pair<uint32_t, uint32_t>>> FindDuplicateRanges(
+    gpusim::SimDevice* device, const gpusim::DeviceBuffer& entries,
+    uint32_t n);
+
+}  // namespace blusim::sort
+
+#endif  // BLUSIM_SORT_GPU_SORT_H_

@@ -1,0 +1,207 @@
+#include "sort/hybrid_sort.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "common/logging.h"
+#include "sort/gpu_sort.h"
+#include "sort/job_queue.h"
+#include "sort/sds.h"
+
+namespace blusim::sort {
+
+using gpusim::DeviceBuffer;
+using gpusim::SimDevice;
+
+namespace {
+
+// Shared state of one hybrid sort run. Jobs operate on disjoint [begin,
+// end) slices of `perm`, so no locking is needed on the permutation.
+struct SortRun {
+  const SortDataStore* sds = nullptr;
+  std::vector<uint32_t>* perm = nullptr;
+  SortJobQueue queue;
+  HybridSortOptions options;
+  // Cost model for CPU-side accounting (device-independent when no device).
+  gpusim::CostModel cost{gpusim::HostSpec{}, gpusim::DeviceSpec{}};
+
+  std::mutex stats_mu;
+  HybridSortStats stats;
+  Status first_error;
+
+  void RecordError(const Status& st) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    if (first_error.ok()) first_error = st;
+  }
+};
+
+// Largest partial-key level any row in [begin, end) still has.
+int MaxRowLevels(const SortRun& run, uint32_t begin, uint32_t end) {
+  int levels = 0;
+  for (uint32_t i = begin; i < end; ++i) {
+    levels = std::max(levels, run.sds->RowLevels((*run.perm)[i]));
+  }
+  return levels;
+}
+
+// CPU path: finish the job in place with full-key comparisons. Small jobs
+// take this route; it terminates the recursion (no child jobs).
+void SortJobOnCpu(SortRun* run, const SortJob& job) {
+  auto begin = run->perm->begin() + job.begin;
+  auto end = run->perm->begin() + job.end;
+  std::sort(begin, end, [run](uint32_t a, uint32_t b) {
+    return run->sds->RowLess(a, b);
+  });
+  std::lock_guard<std::mutex> lock(run->stats_mu);
+  ++run->stats.jobs_cpu;
+  run->stats.cpu_sort_time += run->cost.HostSortTime(job.size(), 1);
+}
+
+// GPU path: radix-sort the (partial key, payload) buffer on the device and
+// enqueue each duplicate range one level deeper. Returns false when the
+// device could not take the job (caller falls back to the CPU).
+bool TrySortJobOnGpu(SortRun* run, const SortJob& job) {
+  gpusim::PinnedHostPool* pinned = run->options.pinned_pool;
+  if (pinned == nullptr) return false;
+  const uint32_t n = job.size();
+
+  // Pick a device: scheduler placement when available (least-loaded
+  // device that can satisfy the job's memory needs), else the fixed one.
+  SimDevice* device = run->options.device;
+  if (run->options.scheduler != nullptr) {
+    auto pick = run->options.scheduler->PickDevice(GpuSortBytesNeeded(n));
+    if (!pick.ok()) return false;
+    device = pick.value();
+  }
+  if (device == nullptr) return false;
+
+  // Reserve the device memory for this job up front (section 2.1.1).
+  auto reservation = device->memory().Reserve(GpuSortBytesNeeded(n));
+  if (!reservation.ok()) return false;
+
+  // Generate partial keys + payloads into pinned memory ("the host will
+  // generate (in parallel) a set of partial keys and payloads").
+  auto staging = pinned->Alloc(static_cast<uint64_t>(n) * sizeof(PkEntry));
+  if (!staging.ok()) return false;
+  PkEntry* host_entries = staging->as<PkEntry>();
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t row = (*run->perm)[job.begin + i];
+    host_entries[i].key = run->sds->PartialKey(row, job.level);
+    host_entries[i].payload = row;
+  }
+
+  device->JobStarted();
+  struct JobGuard {
+    SimDevice* d;
+    ~JobGuard() { d->JobFinished(); }
+  } guard{device};
+
+  const uint64_t bytes = static_cast<uint64_t>(n) * sizeof(PkEntry);
+  auto entries = device->memory().Alloc(reservation.value(), bytes);
+  auto scratch = device->memory().Alloc(reservation.value(), bytes);
+  if (!entries.ok() || !scratch.ok()) return false;
+
+  SimTime transfer = device->CopyToDevice(host_entries, &entries.value(),
+                                          bytes, /*pinned=*/true);
+
+  Status st = GpuRadixSort(device, &entries.value(), &scratch.value(), n);
+  if (!st.ok()) {
+    run->RecordError(st);
+    return true;  // consumed (failed hard, not a capacity fallback)
+  }
+  const SimTime kernel = device->cost_model().SortKernelTime(n);
+  device->AccountKernel("radix_sort", kernel);
+
+  auto ranges = FindDuplicateRanges(device, entries.value(), n);
+  if (!ranges.ok()) {
+    run->RecordError(ranges.status());
+    return true;
+  }
+
+  transfer += device->CopyFromDevice(entries.value(), host_entries, bytes,
+                                     /*pinned=*/true);
+
+  // Write the sorted payloads back into the permutation slice.
+  for (uint32_t i = 0; i < n; ++i) {
+    (*run->perm)[job.begin + i] = host_entries[i].payload;
+  }
+
+  // Each duplicate range becomes a new job one level deeper; ranges whose
+  // keys are fully consumed tie-break by row id in place.
+  for (const auto& [rb, re] : ranges.value()) {
+    const uint32_t abs_begin = job.begin + rb;
+    const uint32_t abs_end = job.begin + re;
+    if (job.level + 1 < MaxRowLevels(*run, abs_begin, abs_end)) {
+      run->queue.Push(SortJob{abs_begin, abs_end, job.level + 1});
+    } else {
+      std::sort(run->perm->begin() + abs_begin,
+                run->perm->begin() + abs_end);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(run->stats_mu);
+  ++run->stats.jobs_gpu;
+  run->stats.gpu_transfer_time += transfer;
+  run->stats.gpu_kernel_time += kernel;
+  run->stats.keygen_time += device->cost_model().HostKeyGenTime(n, 1);
+  run->stats.max_level = std::max(run->stats.max_level, job.level);
+  return true;
+}
+
+void WorkerLoop(SortRun* run) {
+  while (auto job = run->queue.Pop()) {
+    bool handled = false;
+    if (job->size() >= run->options.min_gpu_rows) {
+      handled = TrySortJobOnGpu(run, *job);
+      if (!handled) {
+        std::lock_guard<std::mutex> lock(run->stats_mu);
+        ++run->stats.gpu_fallbacks;
+      }
+    }
+    if (!handled) SortJobOnCpu(run, *job);
+    {
+      std::lock_guard<std::mutex> lock(run->stats_mu);
+      ++run->stats.jobs_total;
+    }
+    run->queue.TaskDone();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> HybridSorter::Sort(
+    const columnar::Table& table, std::vector<SortKey> keys,
+    const HybridSortOptions& options, HybridSortStats* stats) {
+  BLUSIM_ASSIGN_OR_RETURN(SortDataStore sds,
+                          SortDataStore::Make(table, std::move(keys)));
+  const uint32_t n = sds.num_rows();
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (n > 1) {
+    SortRun run;
+    run.sds = &sds;
+    run.perm = &perm;
+    run.options = options;
+    run.queue.Push(SortJob{0, n, 0});
+
+    const int workers = std::max(1, options.num_workers);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w) {
+      threads.emplace_back(WorkerLoop, &run);
+    }
+    WorkerLoop(&run);
+    for (std::thread& t : threads) t.join();
+
+    BLUSIM_RETURN_NOT_OK(run.first_error);
+    if (stats != nullptr) *stats = run.stats;
+  } else if (stats != nullptr) {
+    *stats = HybridSortStats{};
+  }
+  return perm;
+}
+
+}  // namespace blusim::sort

@@ -1,0 +1,70 @@
+#ifndef BLUSIM_SORT_HYBRID_SORT_H_
+#define BLUSIM_SORT_HYBRID_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
+#include "sched/gpu_scheduler.h"
+#include "sort/key_encoder.h"
+
+namespace blusim::sort {
+
+struct HybridSortOptions {
+  // Device used for large jobs; nullptr = CPU-only sort.
+  gpusim::SimDevice* device = nullptr;
+  // Alternatively, a multi-GPU scheduler: each GPU-eligible job is placed
+  // on the least-loaded device with enough free memory (section 2.2 /
+  // contribution 5: "a simple scheduler which lets the DB2 BLU run time
+  // schedule tasks on the different GPUs"). Takes precedence over
+  // `device`.
+  sched::GpuScheduler* scheduler = nullptr;
+  gpusim::PinnedHostPool* pinned_pool = nullptr;
+  // Jobs below this size stay on the CPU: transfer + launch overhead would
+  // overshadow the device's advantage (paper section 3).
+  uint32_t min_gpu_rows = 1u << 16;
+  // CPU worker threads draining the job queue (the hybrid part: CPU and
+  // GPU jobs proceed concurrently).
+  int num_workers = 2;
+};
+
+struct HybridSortStats {
+  uint64_t jobs_total = 0;
+  uint64_t jobs_gpu = 0;
+  uint64_t jobs_cpu = 0;
+  uint64_t gpu_fallbacks = 0;  // GPU-eligible jobs that ran on CPU (no mem)
+  int max_level = 0;
+  // Simulated time (accumulated across workers; serial-equivalent cost).
+  SimTime cpu_sort_time = 0;
+  SimTime keygen_time = 0;
+  SimTime gpu_transfer_time = 0;
+  SimTime gpu_kernel_time = 0;
+};
+
+// Merge-free hybrid CPU/GPU sort (paper section 3).
+//
+// Tuples never move: the Sort Data Store keeps each row's binary-sortable
+// encoded key, and sorting permutes a (partial key, payload) buffer. The
+// job queue starts with one job for the whole data set; big jobs go to the
+// GPU radix sort (4-byte partial keys), whose duplicate ranges re-enter
+// the queue one level deeper; small jobs are finished in place by the CPU
+// with full-key comparisons. Duplicate ranges are disjoint, so no merge
+// step is ever needed ("conflict free partitions").
+//
+// Returns the sorted permutation: output[i] = input row id of rank i.
+// Ties on the full encoded key break by ascending row id (deterministic).
+class HybridSorter {
+ public:
+  static Result<std::vector<uint32_t>> Sort(const columnar::Table& table,
+                                            std::vector<SortKey> keys,
+                                            const HybridSortOptions& options,
+                                            HybridSortStats* stats);
+};
+
+}  // namespace blusim::sort
+
+#endif  // BLUSIM_SORT_HYBRID_SORT_H_

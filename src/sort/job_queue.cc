@@ -1,0 +1,42 @@
+#include "sort/job_queue.h"
+
+#include "common/logging.h"
+
+namespace blusim::sort {
+
+void SortJobQueue::Push(SortJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+    ++pushed_;
+  }
+  cv_.notify_one();
+}
+
+std::optional<SortJob> SortJobQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty() || in_flight_ == 0; });
+  if (queue_.empty()) return std::nullopt;  // complete: nothing queued/running
+  SortJob job = queue_.front();
+  queue_.pop_front();
+  ++in_flight_;
+  return job;
+}
+
+void SortJobQueue::TaskDone() {
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BLUSIM_CHECK(in_flight_ > 0);
+    --in_flight_;
+    complete = in_flight_ == 0 && queue_.empty();
+  }
+  if (complete) cv_.notify_all();
+}
+
+uint64_t SortJobQueue::jobs_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+}  // namespace blusim::sort

@@ -1,0 +1,50 @@
+#ifndef BLUSIM_SORT_JOB_QUEUE_H_
+#define BLUSIM_SORT_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace blusim::sort {
+
+// One sorting task: a [begin, end) range of the permutation array that must
+// be ordered by partial-key level `level` (paper section 3). The initial
+// job covers the whole data set at level 0; each duplicate range found
+// after a partial-key sort becomes a new job at level + 1.
+struct SortJob {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  int level = 0;
+
+  uint32_t size() const { return end - begin; }
+};
+
+// Thread-safe job queue with completion detection: the sort is finished
+// when the queue is empty AND no popped job is still being processed.
+// Workers must call TaskDone() exactly once per successful Pop().
+class SortJobQueue {
+ public:
+  void Push(SortJob job);
+
+  // Blocks until a job is available or the sort is complete.
+  // Returns nullopt when all jobs are done (workers should exit).
+  std::optional<SortJob> Pop();
+
+  // Marks one popped job finished (call after pushing any child jobs).
+  void TaskDone();
+
+  uint64_t jobs_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SortJob> queue_;
+  int in_flight_ = 0;
+  uint64_t pushed_ = 0;
+};
+
+}  // namespace blusim::sort
+
+#endif  // BLUSIM_SORT_JOB_QUEUE_H_

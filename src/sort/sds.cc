@@ -1,0 +1,41 @@
+#include "sort/sds.h"
+
+#include <cstring>
+
+namespace blusim::sort {
+
+Result<SortDataStore> SortDataStore::Make(const columnar::Table& table,
+                                          std::vector<SortKey> keys) {
+  SortDataStore sds;
+  BLUSIM_ASSIGN_OR_RETURN(sds.encoder_,
+                          KeyEncoder::Make(table, std::move(keys)));
+  sds.num_rows_ = static_cast<uint32_t>(table.num_rows());
+  sds.offsets_.reserve(sds.num_rows_ + 1);
+  sds.offsets_.push_back(0);
+  for (uint32_t row = 0; row < sds.num_rows_; ++row) {
+    sds.encoder_.EncodeRow(row, &sds.blob_);
+    sds.offsets_.push_back(sds.blob_.size());
+  }
+  return sds;
+}
+
+bool SortDataStore::RowLess(uint32_t a, uint32_t b) const {
+  const uint64_t abegin = offsets_[a], aend = offsets_[a + 1];
+  const uint64_t bbegin = offsets_[b], bend = offsets_[b + 1];
+  const uint64_t alen = aend - abegin, blen = bend - bbegin;
+  const int cmp = std::memcmp(blob_.data() + abegin, blob_.data() + bbegin,
+                              static_cast<size_t>(std::min(alen, blen)));
+  if (cmp != 0) return cmp < 0;
+  if (alen != blen) return alen < blen;
+  return a < b;  // deterministic tie-break
+}
+
+bool SortDataStore::RowEqual(uint32_t a, uint32_t b) const {
+  const uint64_t abegin = offsets_[a], aend = offsets_[a + 1];
+  const uint64_t bbegin = offsets_[b], bend = offsets_[b + 1];
+  if (aend - abegin != bend - bbegin) return false;
+  return std::memcmp(blob_.data() + abegin, blob_.data() + bbegin,
+                     static_cast<size_t>(aend - abegin)) == 0;
+}
+
+}  // namespace blusim::sort

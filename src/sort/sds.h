@@ -1,0 +1,63 @@
+#ifndef BLUSIM_SORT_SDS_H_
+#define BLUSIM_SORT_SDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/status.h"
+#include "sort/key_encoder.h"
+
+namespace blusim::sort {
+
+// Sort Data Store (paper section 3): incoming tuples for the columns being
+// sorted are stored once and never move during the sort; all swapping
+// happens in the small (key4, payload4) partial-key buffer whose payload
+// points back into the SDS.
+//
+// The store caches each row's full binary-sortable encoded key, so
+// generating the next level's partial keys for a duplicate range is a pure
+// lookup ("subsequent fetches of the next partial key").
+class SortDataStore {
+ public:
+  static Result<SortDataStore> Make(const columnar::Table& table,
+                                    std::vector<SortKey> keys);
+
+  uint32_t num_rows() const { return num_rows_; }
+  int levels() const { return encoder_.levels(); }
+
+  // 4-byte partial key of `row` at `level` (zero-padded past the end).
+  uint32_t PartialKey(uint32_t row, int level) const {
+    const uint64_t begin = offsets_[row];
+    const uint64_t end = offsets_[row + 1];
+    uint32_t v = 0;
+    const uint64_t base = begin + static_cast<uint64_t>(level) * 4;
+    for (uint64_t i = 0; i < 4; ++i) {
+      v <<= 8;
+      if (base + i < end) v |= blob_[base + i];
+    }
+    return v;
+  }
+
+  // Number of 4-byte levels required to fully order `row`'s key.
+  int RowLevels(uint32_t row) const {
+    const uint64_t len = offsets_[row + 1] - offsets_[row];
+    return static_cast<int>((len + 3) / 4);
+  }
+
+  // Full-key comparison with row-id tie-break (total order).
+  bool RowLess(uint32_t a, uint32_t b) const;
+  bool RowEqual(uint32_t a, uint32_t b) const;
+
+ private:
+  SortDataStore() = default;
+
+  KeyEncoder encoder_;
+  uint32_t num_rows_ = 0;
+  std::vector<uint8_t> blob_;     // concatenated encoded keys
+  std::vector<uint64_t> offsets_; // row -> blob offset (num_rows_+1 entries)
+};
+
+}  // namespace blusim::sort
+
+#endif  // BLUSIM_SORT_SDS_H_

@@ -1,0 +1,472 @@
+#include "workload/data_gen.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace blusim::workload {
+
+using columnar::Column;
+using columnar::DataType;
+using columnar::Decimal128;
+using columnar::Field;
+using columnar::Schema;
+using columnar::Table;
+
+namespace {
+
+// Convenience schema builder.
+class SchemaBuilder {
+ public:
+  SchemaBuilder& I32(const std::string& name) { return Add(name, DataType::kInt32); }
+  SchemaBuilder& I64(const std::string& name) { return Add(name, DataType::kInt64); }
+  SchemaBuilder& F64(const std::string& name) { return Add(name, DataType::kFloat64); }
+  SchemaBuilder& Dec(const std::string& name) { return Add(name, DataType::kDecimal128); }
+  SchemaBuilder& Str(const std::string& name) { return Add(name, DataType::kString); }
+  SchemaBuilder& Date(const std::string& name) { return Add(name, DataType::kDate); }
+
+  Schema Build() { return Schema(std::move(fields_)); }
+
+ private:
+  SchemaBuilder& Add(const std::string& name, DataType type) {
+    fields_.push_back(Field{name, type, false});
+    return *this;
+  }
+  std::vector<Field> fields_;
+};
+
+constexpr std::array<const char*, 7> kDayNames = {
+    "Sunday", "Monday", "Tuesday", "Wednesday",
+    "Thursday", "Friday", "Saturday"};
+constexpr std::array<const char*, 10> kCategories = {
+    "Books", "Children", "Electronics", "Home", "Jewelry",
+    "Men", "Music", "Shoes", "Sports", "Women"};
+constexpr std::array<const char*, 13> kStates = {
+    "AL", "CA", "FL", "GA", "IL", "MI", "NY",
+    "OH", "PA", "TN", "TX", "VA", "WA"};
+constexpr std::array<const char*, 5> kChannels = {"store", "web", "catalog",
+                                                  "mail", "event"};
+constexpr std::array<const char*, 4> kEducation = {
+    "Primary", "Secondary", "College", "Advanced Degree"};
+constexpr std::array<const char*, 3> kGenders = {"M", "F", "U"};
+constexpr std::array<const char*, 6> kShipModes = {
+    "EXPRESS", "OVERNIGHT", "REGULAR", "TWO DAY", "LIBRARY", "SEA"};
+constexpr std::array<const char*, 8> kReasons = {
+    "Did not like", "Wrong size", "Damaged", "Duplicate order",
+    "Gift exchange", "Not working", "Found cheaper", "Changed mind"};
+
+// --- dimension generators ---
+
+std::shared_ptr<Table> MakeDateDim(uint64_t rows) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("d_date_sk")
+                                       .I32("d_year")
+                                       .I32("d_moy")
+                                       .I32("d_dom")
+                                       .I32("d_qoy")
+                                       .Str("d_day_name")
+                                       .I32("d_week_seq")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    const uint64_t day_of_epoch = i;
+    const int year = static_cast<int>(2010 + day_of_epoch / 365);
+    const int doy = static_cast<int>(day_of_epoch % 365);
+    const int moy = doy / 31 + 1;
+    t->column(1).AppendInt32(year);
+    t->column(2).AppendInt32(moy);
+    t->column(3).AppendInt32(doy % 31 + 1);
+    t->column(4).AppendInt32((moy - 1) / 3 + 1);
+    t->column(5).AppendString(kDayNames[day_of_epoch % 7]);
+    t->column(6).AppendInt32(static_cast<int32_t>(day_of_epoch / 7));
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeTimeDim() {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("t_time_sk")
+                                       .I32("t_hour")
+                                       .I32("t_minute")
+                                       .Str("t_shift")
+                                       .Build());
+  const uint64_t rows = 24 * 60;
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const int hour = static_cast<int>(i / 60);
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendInt32(hour);
+    t->column(2).AppendInt32(static_cast<int32_t>(i % 60));
+    t->column(3).AppendString(hour < 8 ? "night" : hour < 16 ? "day"
+                                                             : "evening");
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeItem(uint64_t rows, Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("i_item_sk")
+                                       .Str("i_category")
+                                       .Str("i_brand")
+                                       .Str("i_class")
+                                       .F64("i_current_price")
+                                       .I32("i_manufact_id")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    const size_t cat = rng->Below(kCategories.size());
+    t->column(1).AppendString(kCategories[cat]);
+    t->column(2).AppendString(std::string(kCategories[cat]) + " Brand #" +
+                              std::to_string(rng->Below(100)));
+    t->column(3).AppendString("class_" + std::to_string(rng->Below(40)));
+    t->column(4).AppendDouble(1.0 + static_cast<double>(rng->Below(9900)) /
+                                        100.0);
+    t->column(5).AppendInt32(static_cast<int32_t>(rng->Below(1000)));
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeStore(uint64_t rows, Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("s_store_sk")
+                                       .Str("s_state")
+                                       .Str("s_city")
+                                       .I32("s_market_id")
+                                       .F64("s_tax_rate")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendString(kStates[rng->Below(kStates.size())]);
+    t->column(2).AppendString("City_" + std::to_string(rng->Below(60)));
+    t->column(3).AppendInt32(static_cast<int32_t>(rng->Below(10)));
+    t->column(4).AppendDouble(static_cast<double>(rng->Below(10)) / 100.0);
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeCustomer(uint64_t rows, Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("c_customer_sk")
+                                       .I32("c_birth_month")
+                                       .I32("c_birth_year")
+                                       .I32("c_current_addr_sk")
+                                       .I32("c_current_cdemo_sk")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendInt32(static_cast<int32_t>(rng->Below(12) + 1));
+    t->column(2).AppendInt32(static_cast<int32_t>(1930 + rng->Below(75)));
+    t->column(3).AppendInt32(static_cast<int32_t>(rng->Below(rows) + 1));
+    t->column(4).AppendInt32(static_cast<int32_t>(rng->Below(1000) + 1));
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeCustomerAddress(uint64_t rows, Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("ca_address_sk")
+                                       .Str("ca_state")
+                                       .Str("ca_country")
+                                       .I32("ca_gmt_offset")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendString(kStates[rng->Below(kStates.size())]);
+    t->column(2).AppendString("United States");
+    t->column(3).AppendInt32(static_cast<int32_t>(rng->Below(4)) - 8);
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeCustomerDemographics(Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("cd_demo_sk")
+                                       .Str("cd_gender")
+                                       .Str("cd_education_status")
+                                       .I32("cd_dep_count")
+                                       .Build());
+  const uint64_t rows = 1000;
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendString(kGenders[rng->Below(kGenders.size())]);
+    t->column(2).AppendString(kEducation[rng->Below(kEducation.size())]);
+    t->column(3).AppendInt32(static_cast<int32_t>(rng->Below(7)));
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeHouseholdDemographics(Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("hd_demo_sk")
+                                       .I32("hd_income_band_sk")
+                                       .I32("hd_dep_count")
+                                       .Str("hd_buy_potential")
+                                       .Build());
+  const uint64_t rows = 720;
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendInt32(static_cast<int32_t>(rng->Below(20) + 1));
+    t->column(2).AppendInt32(static_cast<int32_t>(rng->Below(9)));
+    t->column(3).AppendString(rng->Below(2) ? ">10000" : "0-500");
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakePromotion(uint64_t rows, Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("p_promo_sk")
+                                       .Str("p_channel")
+                                       .F64("p_cost")
+                                       .Str("p_channel_email")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendString(kChannels[rng->Below(kChannels.size())]);
+    t->column(2).AppendDouble(static_cast<double>(rng->Below(100000)) / 100.0);
+    t->column(3).AppendString(rng->Below(2) ? "Y" : "N");
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeWarehouse(uint64_t rows, Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("w_warehouse_sk")
+                                       .Str("w_state")
+                                       .F64("w_warehouse_sq_ft")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendString(kStates[rng->Below(kStates.size())]);
+    t->column(2).AppendDouble(static_cast<double>(rng->Below(900000)) + 1e5);
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeSmallDim(const std::string& pk,
+                                    const std::string& attr,
+                                    const char* const* values,
+                                    size_t num_values, uint64_t rows,
+                                    Rng* rng) {
+  auto t = std::make_shared<Table>(
+      SchemaBuilder().I32(pk).Str(attr).Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendString(values[rng->Below(num_values)]);
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeIncomeBand() {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("ib_income_band_sk")
+                                       .I32("ib_lower_bound")
+                                       .I32("ib_upper_bound")
+                                       .Build());
+  for (int64_t i = 0; i < 20; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i + 1));
+    t->column(1).AppendInt32(static_cast<int32_t>(i * 10000));
+    t->column(2).AppendInt32(static_cast<int32_t>((i + 1) * 10000 - 1));
+  }
+  return t;
+}
+
+// --- fact generators ---
+
+// Common column block of a sales fact. The Zipf-skewed item/customer draws
+// give realistic hot keys; ss_ext_tax is DECIMAL128 to exercise the
+// lock-based device aggregation path.
+Schema SalesSchema(const std::string& prefix) {
+  SchemaBuilder b;
+  b.I32(prefix + "_sold_date_sk")
+      .I32(prefix + "_item_sk")
+      .I32(prefix + "_customer_sk")
+      .I32(prefix + "_store_sk")
+      .I32(prefix + "_promo_sk")
+      .I32(prefix + "_quantity")
+      .F64(prefix + "_wholesale_cost")
+      .F64(prefix + "_list_price")
+      .F64(prefix + "_sales_price")
+      .F64(prefix + "_net_paid")
+      .F64(prefix + "_net_profit")
+      .Dec(prefix + "_ext_tax")
+      .I64(prefix + "_ticket_number");
+  return b.Build();
+}
+
+std::shared_ptr<Table> MakeSalesFact(const std::string& prefix, uint64_t rows,
+                                     const ScaleConfig& scale, Rng* rng) {
+  auto t = std::make_shared<Table>(SalesSchema(prefix));
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.dates) + 1));
+    t->column(1).AppendInt32(
+        static_cast<int32_t>(rng->Zipf(scale.items, 0.8) + 1));
+    t->column(2).AppendInt32(
+        static_cast<int32_t>(rng->Zipf(scale.customers, 0.6) + 1));
+    t->column(3).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.stores) + 1));
+    t->column(4).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.promotions) + 1));
+    const int32_t qty = static_cast<int32_t>(rng->Below(100) + 1);
+    t->column(5).AppendInt32(qty);
+    const double wholesale =
+        1.0 + static_cast<double>(rng->Below(9900)) / 100.0;
+    const double list = wholesale * (1.2 + rng->NextDouble());
+    const double sales = list * (0.3 + 0.7 * rng->NextDouble());
+    t->column(6).AppendDouble(wholesale);
+    t->column(7).AppendDouble(list);
+    t->column(8).AppendDouble(sales);
+    t->column(9).AppendDouble(sales * qty);
+    t->column(10).AppendDouble((sales - wholesale) * qty);
+    t->column(11).AppendDecimal(
+        Decimal128(static_cast<int64_t>(sales * qty * 8.0)));
+    t->column(12).AppendInt64(static_cast<int64_t>(i + 1));
+  }
+  return t;
+}
+
+Schema ReturnsSchema(const std::string& prefix) {
+  SchemaBuilder b;
+  b.I32(prefix + "_returned_date_sk")
+      .I32(prefix + "_item_sk")
+      .I32(prefix + "_customer_sk")
+      .I32(prefix + "_store_sk")
+      .I32(prefix + "_reason_sk")
+      .I32(prefix + "_return_quantity")
+      .F64(prefix + "_return_amt")
+      .F64(prefix + "_net_loss");
+  return b.Build();
+}
+
+std::shared_ptr<Table> MakeReturnsFact(const std::string& prefix,
+                                       uint64_t rows,
+                                       const ScaleConfig& scale, Rng* rng) {
+  auto t = std::make_shared<Table>(ReturnsSchema(prefix));
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.dates) + 1));
+    t->column(1).AppendInt32(
+        static_cast<int32_t>(rng->Zipf(scale.items, 0.8) + 1));
+    t->column(2).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.customers) + 1));
+    t->column(3).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.stores) + 1));
+    t->column(4).AppendInt32(static_cast<int32_t>(rng->Below(8) + 1));
+    const int32_t qty = static_cast<int32_t>(rng->Below(20) + 1);
+    t->column(5).AppendInt32(qty);
+    const double amt = static_cast<double>(rng->Below(30000)) / 100.0;
+    t->column(6).AppendDouble(amt);
+    t->column(7).AppendDouble(amt * 0.1);
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeInventory(uint64_t rows, const ScaleConfig& scale,
+                                     Rng* rng) {
+  auto t = std::make_shared<Table>(SchemaBuilder()
+                                       .I32("inv_date_sk")
+                                       .I32("inv_item_sk")
+                                       .I32("inv_warehouse_sk")
+                                       .I32("inv_quantity_on_hand")
+                                       .Build());
+  t->Reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.dates) + 1));
+    t->column(1).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.items) + 1));
+    t->column(2).AppendInt32(
+        static_cast<int32_t>(rng->Below(scale.warehouses) + 1));
+    t->column(3).AppendInt32(static_cast<int32_t>(rng->Below(1000)));
+  }
+  return t;
+}
+
+}  // namespace
+
+int Col(const Table& table, const std::string& name) {
+  const int idx = table.schema().FieldIndex(name);
+  BLUSIM_CHECK(idx >= 0);
+  return idx;
+}
+
+Result<Database> GenerateDatabase(const ScaleConfig& scale) {
+  Database db;
+  Rng rng(scale.seed);
+
+  // 17 dimension tables.
+  db["date_dim"] = MakeDateDim(scale.dates);
+  db["time_dim"] = MakeTimeDim();
+  db["item"] = MakeItem(scale.items, &rng);
+  db["store"] = MakeStore(scale.stores, &rng);
+  db["customer"] = MakeCustomer(scale.customers, &rng);
+  db["customer_address"] = MakeCustomerAddress(scale.customers, &rng);
+  db["customer_demographics"] = MakeCustomerDemographics(&rng);
+  db["household_demographics"] = MakeHouseholdDemographics(&rng);
+  db["promotion"] = MakePromotion(scale.promotions, &rng);
+  db["warehouse"] = MakeWarehouse(scale.warehouses, &rng);
+  db["income_band"] = MakeIncomeBand();
+  db["ship_mode"] = MakeSmallDim("sm_ship_mode_sk", "sm_type",
+                                 kShipModes.data(), kShipModes.size(), 20,
+                                 &rng);
+  db["reason"] = MakeSmallDim("r_reason_sk", "r_reason_desc", kReasons.data(),
+                              kReasons.size(), 8, &rng);
+  db["web_site"] = MakeSmallDim("web_site_sk", "web_name", kChannels.data(),
+                                kChannels.size(), 30, &rng);
+  db["web_page"] = MakeSmallDim("wp_web_page_sk", "wp_type", kChannels.data(),
+                                kChannels.size(), 60, &rng);
+  db["catalog_page"] = MakeSmallDim("cp_catalog_page_sk", "cp_type",
+                                    kChannels.data(), kChannels.size(), 120,
+                                    &rng);
+  db["call_center"] = MakeSmallDim("cc_call_center_sk", "cc_class",
+                                   kChannels.data(), kChannels.size(), 12,
+                                   &rng);
+
+  // 7 fact tables.
+  const uint64_t ss = scale.store_sales_rows;
+  db["store_sales"] = MakeSalesFact("ss", ss, scale, &rng);
+  db["catalog_sales"] = MakeSalesFact(
+      "cs", static_cast<uint64_t>(ss * scale.catalog_sales_ratio), scale,
+      &rng);
+  db["web_sales"] = MakeSalesFact(
+      "ws", static_cast<uint64_t>(ss * scale.web_sales_ratio), scale, &rng);
+  db["store_returns"] = MakeReturnsFact(
+      "sr", static_cast<uint64_t>(ss * scale.returns_ratio), scale, &rng);
+  db["catalog_returns"] = MakeReturnsFact(
+      "cr",
+      static_cast<uint64_t>(ss * scale.catalog_sales_ratio *
+                            scale.returns_ratio),
+      scale, &rng);
+  db["web_returns"] = MakeReturnsFact(
+      "wr",
+      static_cast<uint64_t>(ss * scale.web_sales_ratio * scale.returns_ratio),
+      scale, &rng);
+  db["inventory"] = MakeInventory(
+      static_cast<uint64_t>(ss * scale.inventory_ratio), scale, &rng);
+
+  for (const auto& [name, table] : db) {
+    Status st = table->Validate();
+    if (!st.ok()) {
+      return Status::Internal("generated table '" + name +
+                              "' invalid: " + st.message());
+    }
+  }
+  return db;
+}
+
+}  // namespace blusim::workload

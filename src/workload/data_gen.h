@@ -1,0 +1,49 @@
+#ifndef BLUSIM_WORKLOAD_DATA_GEN_H_
+#define BLUSIM_WORKLOAD_DATA_GEN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "columnar/table.h"
+#include "common/status.h"
+
+namespace blusim::workload {
+
+// Scale of the generated BD Insights database. The paper ran 100 GB; the
+// reproduction defaults to a laptop-size database with the same schema
+// shape (7 fact tables, 17 dimension tables, TPC-DS-derived) and the same
+// relative table proportions.
+struct ScaleConfig {
+  uint64_t store_sales_rows = 300000;
+  // Other facts scale relative to store_sales (TPC-DS-like proportions).
+  double catalog_sales_ratio = 0.50;
+  double web_sales_ratio = 0.25;
+  double returns_ratio = 0.10;   // each *_returns vs its sales table
+  double inventory_ratio = 0.40;
+
+  uint64_t customers = 20000;
+  uint64_t items = 4000;
+  uint64_t stores = 100;
+  uint64_t dates = 1826;  // 5 years
+  uint64_t promotions = 300;
+  uint64_t warehouses = 10;
+
+  uint64_t seed = 20160626;  // SIGMOD'16 opening day
+};
+
+// The generated database: table name -> columnar table. Seven fact tables
+// (store_sales, store_returns, catalog_sales, catalog_returns, web_sales,
+// web_returns, inventory) and seventeen dimension tables.
+using Database = std::map<std::string, std::shared_ptr<columnar::Table>>;
+
+// Generates the full BD Insights database deterministically from the seed.
+Result<Database> GenerateDatabase(const ScaleConfig& scale);
+
+// Column-index helper: FieldIndex that fails loudly on missing names.
+int Col(const columnar::Table& table, const std::string& name);
+
+}  // namespace blusim::workload
+
+#endif  // BLUSIM_WORKLOAD_DATA_GEN_H_

@@ -1,0 +1,462 @@
+#include "workload/queries.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace blusim::workload {
+
+using core::DimJoinSpec;
+using core::QuerySpec;
+using runtime::AggFn;
+using runtime::AggregateDesc;
+using runtime::CmpOp;
+using runtime::GroupBySpec;
+using runtime::Predicate;
+using sort::SortKey;
+
+namespace {
+
+const columnar::Table& Tbl(const Database& db, const std::string& name) {
+  auto it = db.find(name);
+  BLUSIM_CHECK(it != db.end());
+  return *it->second;
+}
+
+Predicate DateRange(const columnar::Table& fact, const std::string& col,
+                    double lo, double hi) {
+  Predicate p;
+  p.column = Col(fact, col);
+  p.op = CmpOp::kBetween;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+AggregateDesc Agg(AggFn fn, int column, const std::string& name) {
+  AggregateDesc d;
+  d.fn = fn;
+  d.column = column;
+  d.output_name = name;
+  return d;
+}
+
+// --- BD Insights ---
+
+// Simple queries (Returns Dashboard Analysts): short-running, narrow date
+// range, one fact table, at most a trivial aggregation. These stay under
+// the router's T1 threshold and never use the GPU.
+void AddSimpleQueries(const Database& db, uint64_t dates,
+                      std::vector<WorkloadQuery>* out) {
+  const char* kFacts[4] = {"store_returns", "web_returns", "catalog_returns",
+                           "store_sales"};
+  const char* kPrefixes[4] = {"sr", "wr", "cr", "ss"};
+  const char* kDateCols[4] = {"sr_returned_date_sk", "wr_returned_date_sk",
+                              "cr_returned_date_sk", "ss_sold_date_sk"};
+  Rng rng(101);
+  for (int i = 0; i < 70; ++i) {
+    const int f = i % 4;
+    const columnar::Table& fact = Tbl(db, kFacts[f]);
+    const std::string prefix = kPrefixes[f];
+    QuerySpec q;
+    q.name = "BDI-S" + std::to_string(i + 1);
+    q.fact_table = kFacts[f];
+    // ~1% of the date domain: a narrow dashboard window.
+    const double start = static_cast<double>(rng.Below(dates - 25));
+    q.fact_filters.push_back(
+        DateRange(fact, kDateCols[f], start, start + 18));
+    if (f < 3) {
+      // Returns dashboards: tiny group-by on the return reason.
+      GroupBySpec g;
+      g.key_columns = {Col(fact, prefix + "_reason_sk")};
+      g.aggregates = {
+          Agg(AggFn::kSum, Col(fact, prefix + "_return_quantity"),
+              "total_qty"),
+          Agg(AggFn::kSum, Col(fact, prefix + "_return_amt"), "total_amt"),
+          Agg(AggFn::kCount, -1, "returns")};
+      q.groupby = g;
+    } else {
+      // Short point-lookup style report: project a few columns.
+      q.projection = {Col(fact, "ss_ticket_number"),
+                      Col(fact, "ss_net_paid")};
+      q.limit = 100;
+    }
+    out->push_back(WorkloadQuery{std::move(q), QueryClass::kSimple, false});
+  }
+}
+
+// Intermediate queries (Sales Report Analysts): broader range, one join,
+// moderate group-by. Short in the baseline (the paper notes there is
+// little room for improvement); the router keeps most on the CPU.
+void AddIntermediateQueries(const Database& db, uint64_t dates,
+                            std::vector<WorkloadQuery>* out) {
+  const columnar::Table& ss = Tbl(db, "store_sales");
+  const columnar::Table& ws = Tbl(db, "web_sales");
+  Rng rng(202);
+  for (int i = 0; i < 25; ++i) {
+    const bool web = (i % 5) == 4;
+    const columnar::Table& fact = web ? ws : ss;
+    const std::string prefix = web ? "ws" : "ss";
+    QuerySpec q;
+    q.name = "BDI-I" + std::to_string(i + 1);
+    q.fact_table = web ? "web_sales" : "store_sales";
+    // 10-25% of the date domain: a monthly/quarterly report window.
+    const double width = static_cast<double>(dates / 8 + rng.Below(dates / 4));
+    const double start =
+        static_cast<double>(rng.Below(dates - static_cast<uint64_t>(width)));
+    q.fact_filters.push_back(DateRange(
+        fact, prefix + "_sold_date_sk", start, start + width));
+
+    DimJoinSpec join;
+    join.dim_table = "date_dim";
+    join.fact_fk_column = Col(fact, prefix + "_sold_date_sk");
+    join.dim_pk_column = Col(Tbl(db, "date_dim"), "d_date_sk");
+    q.joins.push_back(join);
+
+    GroupBySpec g;
+    switch (i % 3) {
+      case 0:
+        g.key_columns = {Col(fact, prefix + "_store_sk")};
+        break;
+      case 1:
+        g.key_columns = {Col(fact, prefix + "_promo_sk")};
+        break;
+      default:
+        g.key_columns = {Col(fact, prefix + "_store_sk"),
+                         Col(fact, prefix + "_promo_sk")};
+        break;
+    }
+    g.aggregates = {
+        Agg(AggFn::kSum, Col(fact, prefix + "_net_paid"), "revenue"),
+        Agg(AggFn::kAvg, Col(fact, prefix + "_sales_price"), "avg_price"),
+        Agg(AggFn::kCount, -1, "transactions")};
+    q.groupby = g;
+    if (i % 2 == 0) q.order_by = {SortKey{0, true}};
+    out->push_back(
+        WorkloadQuery{std::move(q), QueryClass::kIntermediate, i % 3 != 1});
+  }
+}
+
+// Complex queries (Data Scientists): full data range, multiple joins,
+// high-cardinality group-by with several aggregates, ordered output.
+// These are the queries the GPU accelerates by ~20% end to end (figure 5).
+void AddComplexQueries(const Database& db, std::vector<WorkloadQuery>* out) {
+  const columnar::Table& ss = Tbl(db, "store_sales");
+  const columnar::Table& cs = Tbl(db, "catalog_sales");
+
+  auto star_joins = [&](const columnar::Table& fact,
+                        const std::string& prefix) {
+    std::vector<DimJoinSpec> joins;
+    DimJoinSpec jd;
+    jd.dim_table = "date_dim";
+    jd.fact_fk_column = Col(fact, prefix + "_sold_date_sk");
+    jd.dim_pk_column = Col(Tbl(db, "date_dim"), "d_date_sk");
+    joins.push_back(jd);
+    DimJoinSpec ji;
+    ji.dim_table = "item";
+    ji.fact_fk_column = Col(fact, prefix + "_item_sk");
+    ji.dim_pk_column = Col(Tbl(db, "item"), "i_item_sk");
+    joins.push_back(ji);
+    DimJoinSpec jc;
+    jc.dim_table = "customer";
+    jc.fact_fk_column = Col(fact, prefix + "_customer_sk");
+    jc.dim_pk_column = Col(Tbl(db, "customer"), "c_customer_sk");
+    joins.push_back(jc);
+    return joins;
+  };
+
+  // C1: per-item profitability deep dive over the full history.
+  {
+    QuerySpec q;
+    q.name = "BDI-C1";
+    q.fact_table = "store_sales";
+    q.joins = star_joins(ss, "ss");
+    GroupBySpec g;
+    g.key_columns = {Col(ss, "ss_item_sk")};
+    g.aggregates = {Agg(AggFn::kSum, Col(ss, "ss_net_paid"), "revenue"),
+                    Agg(AggFn::kSum, Col(ss, "ss_net_profit"), "profit"),
+                    Agg(AggFn::kMin, Col(ss, "ss_sales_price"), "min_price"),
+                    Agg(AggFn::kMax, Col(ss, "ss_sales_price"), "max_price"),
+                    Agg(AggFn::kCount, -1, "sales")};
+    q.groupby = g;
+    q.order_by = {SortKey{2, false}};  // by profit desc
+    q.limit = 500;
+    out->push_back(WorkloadQuery{std::move(q), QueryClass::kComplex, true});
+  }
+  // C2: customer lifetime value across the full range.
+  {
+    QuerySpec q;
+    q.name = "BDI-C2";
+    q.fact_table = "store_sales";
+    q.joins = star_joins(ss, "ss");
+    GroupBySpec g;
+    g.key_columns = {Col(ss, "ss_customer_sk")};
+    g.aggregates = {Agg(AggFn::kSum, Col(ss, "ss_net_paid"), "ltv"),
+                    Agg(AggFn::kAvg, Col(ss, "ss_net_profit"), "avg_profit"),
+                    Agg(AggFn::kCount, -1, "visits"),
+                    Agg(AggFn::kMax, Col(ss, "ss_net_paid"), "biggest")};
+    q.groupby = g;
+    q.order_by = {SortKey{1, false}};
+    q.limit = 1000;
+    out->push_back(WorkloadQuery{std::move(q), QueryClass::kComplex, true});
+  }
+  // C3: basket-level tax analysis (DECIMAL128 sums -> lock kernel path).
+  {
+    QuerySpec q;
+    q.name = "BDI-C3";
+    q.fact_table = "store_sales";
+    q.joins = star_joins(ss, "ss");
+    GroupBySpec g;
+    g.key_columns = {Col(ss, "ss_store_sk"), Col(ss, "ss_promo_sk")};
+    g.aggregates = {Agg(AggFn::kSum, Col(ss, "ss_ext_tax"), "tax"),
+                    Agg(AggFn::kSum, Col(ss, "ss_net_paid"), "revenue"),
+                    Agg(AggFn::kSum, Col(ss, "ss_quantity"), "units"),
+                    Agg(AggFn::kAvg, Col(ss, "ss_list_price"), "avg_list"),
+                    Agg(AggFn::kMin, Col(ss, "ss_wholesale_cost"),
+                        "min_cost"),
+                    Agg(AggFn::kMax, Col(ss, "ss_net_profit"), "max_profit")};
+    q.groupby = g;
+    q.order_by = {SortKey{2, false}};
+    out->push_back(WorkloadQuery{std::move(q), QueryClass::kComplex, true});
+  }
+  // C4: catalog channel deep dive, many aggregates (kernel-3 shape).
+  {
+    QuerySpec q;
+    q.name = "BDI-C4";
+    q.fact_table = "catalog_sales";
+    q.joins = star_joins(cs, "cs");
+    GroupBySpec g;
+    g.key_columns = {Col(cs, "cs_item_sk")};
+    g.aggregates = {
+        Agg(AggFn::kSum, Col(cs, "cs_net_paid"), "revenue"),
+        Agg(AggFn::kSum, Col(cs, "cs_net_profit"), "profit"),
+        Agg(AggFn::kSum, Col(cs, "cs_quantity"), "units"),
+        Agg(AggFn::kMin, Col(cs, "cs_sales_price"), "min_price"),
+        Agg(AggFn::kMax, Col(cs, "cs_sales_price"), "max_price"),
+        Agg(AggFn::kAvg, Col(cs, "cs_wholesale_cost"), "avg_cost"),
+        Agg(AggFn::kCount, -1, "orders")};
+    q.groupby = g;
+    q.order_by = {SortKey{1, false}};
+    q.limit = 500;
+    out->push_back(WorkloadQuery{std::move(q), QueryClass::kComplex, true});
+  }
+  // C5: full-history ranked ticket export (big hybrid sort, no group-by).
+  {
+    QuerySpec q;
+    q.name = "BDI-C5";
+    q.fact_table = "store_sales";
+    q.projection = {Col(ss, "ss_ticket_number"), Col(ss, "ss_net_paid"),
+                    Col(ss, "ss_net_profit")};
+    q.order_by = {SortKey{1, false}, SortKey{2, false}};
+    q.limit = 10000;
+    out->push_back(WorkloadQuery{std::move(q), QueryClass::kComplex, true});
+  }
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass qclass) {
+  switch (qclass) {
+    case QueryClass::kSimple: return "simple";
+    case QueryClass::kIntermediate: return "intermediate";
+    case QueryClass::kComplex: return "complex";
+    case QueryClass::kRolap: return "rolap";
+    case QueryClass::kHandwrittenHeavy: return "handwritten-heavy";
+  }
+  return "?";
+}
+
+std::vector<WorkloadQuery> MakeBdiQueries(const Database& db) {
+  const uint64_t dates = Tbl(db, "date_dim").num_rows();
+  std::vector<WorkloadQuery> out;
+  out.reserve(100);
+  AddSimpleQueries(db, dates, &out);
+  AddIntermediateQueries(db, dates, &out);
+  AddComplexQueries(db, &out);
+  BLUSIM_CHECK(out.size() == 100);
+  return out;
+}
+
+std::vector<WorkloadQuery> MakeRolapQueries(const Database& db) {
+  const columnar::Table& ss = Tbl(db, "store_sales");
+  const columnar::Table& ws = Tbl(db, "web_sales");
+  const uint64_t dates = Tbl(db, "date_dim").num_rows();
+  std::vector<WorkloadQuery> out;
+  out.reserve(46);
+  Rng rng(303);
+
+  // Q1-Q34: analytical join + group-by + sort mixes that fit the device.
+  // Group-key cardinality, aggregate count and date selectivity cycle so
+  // the set covers all three kernels and both short and long runtimes.
+  for (int i = 0; i < 34; ++i) {
+    const bool web = (i % 6) == 5;
+    const columnar::Table& fact = web ? ws : ss;
+    const std::string prefix = web ? "ws" : "ss";
+    QuerySpec q;
+    q.name = "ROLAP-Q" + std::to_string(i + 1);
+    q.fact_table = web ? "web_sales" : "store_sales";
+
+    // Q1/Q4-style short queries: narrow window (little GPU benefit);
+    // the rest progressively widen to the full range.
+    double frac;
+    if (i == 0 || i == 3) {
+      frac = 0.03;
+    } else {
+      frac = 0.12 + 0.88 * static_cast<double>(i) / 33.0;
+    }
+    if (frac < 1.0) {
+      const double width = frac * static_cast<double>(dates);
+      const double start = static_cast<double>(
+          rng.Below(dates - static_cast<uint64_t>(width)));
+      q.fact_filters.push_back(DateRange(
+          fact, prefix + "_sold_date_sk", start, start + width));
+    }
+
+    DimJoinSpec jd;
+    jd.dim_table = "date_dim";
+    jd.fact_fk_column = Col(fact, prefix + "_sold_date_sk");
+    jd.dim_pk_column = Col(Tbl(db, "date_dim"), "d_date_sk");
+    q.joins.push_back(jd);
+    // Cognos ROLAP queries are join-rich ("a mix of join, group by, and
+    // sort"); the star legs below stay on the CPU in both modes, which is
+    // why the end-to-end ROLAP gain (table 2) is much smaller than the
+    // per-operator GPU speedup.
+    DimJoinSpec jc;
+    jc.dim_table = "customer";
+    jc.fact_fk_column = Col(fact, prefix + "_customer_sk");
+    jc.dim_pk_column = Col(Tbl(db, "customer"), "c_customer_sk");
+    q.joins.push_back(jc);
+    DimJoinSpec ji;
+    ji.dim_table = "item";
+    ji.fact_fk_column = Col(fact, prefix + "_item_sk");
+    ji.dim_pk_column = Col(Tbl(db, "item"), "i_item_sk");
+    q.joins.push_back(ji);
+    if (i % 2 == 0) {
+      DimJoinSpec jp;
+      jp.dim_table = "promotion";
+      jp.fact_fk_column = Col(fact, prefix + "_promo_sk");
+      jp.dim_pk_column = Col(Tbl(db, "promotion"), "p_promo_sk");
+      q.joins.push_back(jp);
+    }
+
+    GroupBySpec g;
+    switch (i % 4) {
+      case 0:
+        g.key_columns = {Col(fact, prefix + "_store_sk")};
+        break;
+      case 1:
+        g.key_columns = {Col(fact, prefix + "_item_sk")};
+        break;
+      case 2:
+        g.key_columns = {Col(fact, prefix + "_customer_sk")};
+        break;
+      default:
+        g.key_columns = {Col(fact, prefix + "_store_sk"),
+                         Col(fact, prefix + "_promo_sk")};
+        break;
+    }
+    g.aggregates = {
+        Agg(AggFn::kSum, Col(fact, prefix + "_net_paid"), "revenue"),
+        Agg(AggFn::kCount, -1, "n")};
+    // Every third query piles on aggregates (kernel-3 territory).
+    if (i % 3 == 2) {
+      g.aggregates.push_back(
+          Agg(AggFn::kSum, Col(fact, prefix + "_net_profit"), "profit"));
+      g.aggregates.push_back(
+          Agg(AggFn::kMin, Col(fact, prefix + "_sales_price"), "min_p"));
+      g.aggregates.push_back(
+          Agg(AggFn::kMax, Col(fact, prefix + "_sales_price"), "max_p"));
+      g.aggregates.push_back(
+          Agg(AggFn::kAvg, Col(fact, prefix + "_wholesale_cost"), "avg_c"));
+      g.aggregates.push_back(
+          Agg(AggFn::kSum, Col(fact, prefix + "_quantity"), "units"));
+    }
+    q.groupby = g;
+    // OLAP RANK()-driven sort of the report (section 5.1.2).
+    q.order_by = {SortKey{static_cast<int>(g.key_columns.size()), false}};
+    out.push_back(WorkloadQuery{std::move(q), QueryClass::kRolap, i > 3});
+  }
+
+  // Q35-Q46: the 12 queries whose device memory requirements exceed the
+  // K40-proportioned device (ultra-high-cardinality or wide grouping keys
+  // over the full fact table). The engine's reservation check rejects them
+  // and they run on the CPU in both modes.
+  for (int i = 34; i < 46; ++i) {
+    QuerySpec q;
+    q.name = "ROLAP-Q" + std::to_string(i + 1);
+    q.fact_table = "store_sales";
+    GroupBySpec g;
+    if (i % 2 == 0) {
+      // Grouping by the unique ticket number: groups == rows.
+      g.key_columns = {Col(ss, "ss_ticket_number")};
+    } else {
+      // Wide (24-byte) concatenated key, also near-unique.
+      g.key_columns = {Col(ss, "ss_customer_sk"), Col(ss, "ss_item_sk"),
+                       Col(ss, "ss_sold_date_sk")};
+    }
+    g.aggregates = {
+        Agg(AggFn::kSum, Col(ss, "ss_net_paid"), "revenue"),
+        Agg(AggFn::kSum, Col(ss, "ss_net_profit"), "profit"),
+        Agg(AggFn::kSum, Col(ss, "ss_ext_tax"), "tax"),
+        Agg(AggFn::kMax, Col(ss, "ss_list_price"), "max_list"),
+        Agg(AggFn::kCount, -1, "n")};
+    q.groupby = g;
+    q.order_by = {SortKey{static_cast<int>(g.key_columns.size()), false}};
+    q.limit = 1000;
+    out.push_back(WorkloadQuery{std::move(q), QueryClass::kRolap, false});
+  }
+  BLUSIM_CHECK(out.size() == 46);
+  return out;
+}
+
+std::vector<WorkloadQuery> MakeHandwrittenHeavyQueries(const Database& db) {
+  const columnar::Table& ss = Tbl(db, "store_sales");
+  const uint64_t dates = Tbl(db, "date_dim").num_rows();
+  std::vector<WorkloadQuery> out;
+
+  // HW1: group-by on a large grouping set -- nearly as many groups as rows
+  // -- over ~40% of the data (sized to fit device memory, "pushing the GPU
+  // to its limits", figure 8).
+  {
+    QuerySpec q;
+    q.name = "HW-HEAVY1";
+    q.fact_table = "store_sales";
+    q.fact_filters.push_back(DateRange(ss, "ss_sold_date_sk", 0.0,
+                                       static_cast<double>(dates) * 0.40));
+    GroupBySpec g;
+    g.key_columns = {Col(ss, "ss_ticket_number")};
+    g.aggregates = {Agg(AggFn::kSum, Col(ss, "ss_net_paid"), "revenue"),
+                    Agg(AggFn::kSum, Col(ss, "ss_quantity"), "units"),
+                    Agg(AggFn::kCount, -1, "n")};
+    q.groupby = g;
+    q.order_by = {SortKey{1, false}};
+    q.limit = 10000;
+    out.push_back(
+        WorkloadQuery{std::move(q), QueryClass::kHandwrittenHeavy, true});
+  }
+  // HW2: large SORT over the qualifying rows (hybrid GPU sort).
+  {
+    QuerySpec q;
+    q.name = "HW-HEAVY2";
+    q.fact_table = "store_sales";
+    q.fact_filters.push_back(DateRange(ss, "ss_sold_date_sk", 0.0,
+                                       static_cast<double>(dates) * 0.50));
+    q.projection = {Col(ss, "ss_net_paid"), Col(ss, "ss_net_profit"),
+                    Col(ss, "ss_ticket_number")};
+    q.order_by = {SortKey{0, false}, SortKey{1, false}};
+    q.limit = 10000;
+    out.push_back(
+        WorkloadQuery{std::move(q), QueryClass::kHandwrittenHeavy, true});
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> FilterByClass(
+    const std::vector<WorkloadQuery>& queries, QueryClass qclass) {
+  std::vector<WorkloadQuery> out;
+  for (const WorkloadQuery& q : queries) {
+    if (q.qclass == qclass) out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace blusim::workload

@@ -1,0 +1,51 @@
+#ifndef BLUSIM_WORKLOAD_QUERIES_H_
+#define BLUSIM_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "workload/data_gen.h"
+
+namespace blusim::workload {
+
+// BD Insights user classes (paper section 5.1.1).
+enum class QueryClass : uint8_t {
+  kSimple = 0,        // Returns Dashboard Analysts: 70 queries
+  kIntermediate,      // Sales Report Analysts: 25 queries
+  kComplex,           // Data Scientists: 5 queries
+  kRolap,             // Cognos ROLAP: 46 queries
+  kHandwrittenHeavy,  // figure 8's GPU-stress group-by/sort queries
+};
+
+const char* QueryClassName(QueryClass qclass);
+
+struct WorkloadQuery {
+  core::QuerySpec spec;
+  QueryClass qclass = QueryClass::kSimple;
+  // Construction-time expectation: true when the query's group-by/sort is
+  // sized to benefit from the device (informational; the router decides).
+  bool gpu_eligible = false;
+};
+
+// The 100 BD Insights queries: 70 simple + 25 intermediate + 5 complex
+// (paper section 5.1.1), generated deterministically against `db`.
+std::vector<WorkloadQuery> MakeBdiQueries(const Database& db);
+
+// The 46 Cognos ROLAP analytical queries (section 5.1.2): join + group-by
+// + sort mixes. The last 12 are built with high-cardinality / wide grouping
+// keys whose device memory requirements exceed a K40-proportioned device,
+// reproducing the paper's 34-of-46 GPU coverage.
+std::vector<WorkloadQuery> MakeRolapQueries(const Database& db);
+
+// Figure 8's two hand-written GPU-heavy queries: group-by and sort over a
+// large grouping set (as many groups as qualifying rows).
+std::vector<WorkloadQuery> MakeHandwrittenHeavyQueries(const Database& db);
+
+// Filters a query list by class.
+std::vector<WorkloadQuery> FilterByClass(
+    const std::vector<WorkloadQuery>& queries, QueryClass qclass);
+
+}  // namespace blusim::workload
+
+#endif  // BLUSIM_WORKLOAD_QUERIES_H_

@@ -1,0 +1,159 @@
+// Tests for the columnar substrate: Column, Schema, Table, Dictionary,
+// Decimal128.
+
+#include <gtest/gtest.h>
+
+#include "columnar/dictionary.h"
+#include "columnar/table.h"
+
+namespace blusim::columnar {
+namespace {
+
+TEST(DecimalTest, AdditionWithCarry) {
+  Decimal128 a(0, ~0ULL);  // 2^64 - 1
+  Decimal128 b(1);
+  Decimal128 c = a + b;
+  EXPECT_EQ(c.hi, 1);
+  EXPECT_EQ(c.lo, 0u);
+}
+
+TEST(DecimalTest, NegativeValues) {
+  Decimal128 a(-5);
+  Decimal128 b(3);
+  Decimal128 c = a + b;
+  EXPECT_EQ(c, Decimal128(-2));
+  EXPECT_LT(a, b);
+  EXPECT_LT(Decimal128(-10), Decimal128(-2));
+}
+
+TEST(DecimalTest, OrderingAcrossHiBoundary) {
+  EXPECT_LT(Decimal128(0, ~0ULL), Decimal128(1, 0));
+  EXPECT_LT(Decimal128(-1, ~0ULL), Decimal128(0, 0));
+}
+
+TEST(DecimalTest, ToStringSmallValues) {
+  EXPECT_EQ(Decimal128(42).ToString(), "42");
+  EXPECT_EQ(Decimal128(-7).ToString(), "-7");
+}
+
+TEST(DataTypeTest, WidthsAndAtomicSupport) {
+  EXPECT_EQ(DataTypeWidth(DataType::kInt32), 4);
+  EXPECT_EQ(DataTypeWidth(DataType::kInt64), 8);
+  EXPECT_EQ(DataTypeWidth(DataType::kDecimal128), 16);
+  EXPECT_EQ(DataTypeWidth(DataType::kString), 0);
+  EXPECT_TRUE(HasDeviceAtomicSupport(DataType::kInt64));
+  EXPECT_TRUE(HasDeviceAtomicSupport(DataType::kFloat64));
+  EXPECT_FALSE(HasDeviceAtomicSupport(DataType::kDecimal128));
+  EXPECT_FALSE(HasDeviceAtomicSupport(DataType::kString));
+}
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(10);
+  c.AppendInt64(-3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.int64_data()[1], -3);
+  EXPECT_EQ(c.GetInt64(0), 10);
+  EXPECT_DOUBLE_EQ(c.GetDouble(1), -3.0);
+}
+
+TEST(ColumnTest, NullTracking) {
+  Column c(DataType::kFloat64);
+  c.AppendDouble(1.5);
+  EXPECT_FALSE(c.has_nulls());
+  c.AppendNull();
+  c.AppendDouble(2.5);
+  EXPECT_TRUE(c.has_nulls());
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_FALSE(c.IsNull(2));
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(ColumnTest, HashableKeyDistinguishesValues) {
+  Column c(DataType::kString);
+  c.AppendString("alpha");
+  c.AppendString("beta");
+  c.AppendString("alpha");
+  EXPECT_EQ(c.HashableKey(0), c.HashableKey(2));
+  EXPECT_NE(c.HashableKey(0), c.HashableKey(1));
+}
+
+TEST(ColumnTest, ByteSizeAccountsStrings) {
+  Column c(DataType::kString);
+  c.AppendString("1234567890");
+  EXPECT_EQ(c.byte_size(), 10u + 4u);
+  Column d(DataType::kInt32);
+  d.AppendInt32(1);
+  d.AppendInt32(2);
+  EXPECT_EQ(d.byte_size(), 8u);
+}
+
+TEST(SchemaTest, FieldIndexLookup) {
+  Schema s({{"a", DataType::kInt32, false}, {"b", DataType::kString, true}});
+  EXPECT_EQ(s.FieldIndex("a"), 0);
+  EXPECT_EQ(s.FieldIndex("b"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+  EXPECT_EQ(s.EstimatedRowWidth(), 4 + 16);
+}
+
+TEST(TableTest, ValidateCatchesLengthMismatch) {
+  Schema s({{"a", DataType::kInt32, false}, {"b", DataType::kInt64, false}});
+  Table t(s);
+  t.column(0).AppendInt32(1);
+  t.column(0).AppendInt32(2);
+  t.column(1).AppendInt64(1);
+  EXPECT_FALSE(t.Validate().ok());
+  t.column(1).AppendInt64(2);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, GetColumnByName) {
+  Schema s({{"x", DataType::kInt32, false}});
+  Table t(s);
+  EXPECT_NE(t.GetColumn("x"), nullptr);
+  EXPECT_EQ(t.GetColumn("y"), nullptr);
+}
+
+TEST(DictionaryTest, GetOrInsertIsIdempotent) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrInsert("red"), 0);
+  EXPECT_EQ(d.GetOrInsert("green"), 1);
+  EXPECT_EQ(d.GetOrInsert("red"), 0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Decode(1), "green");
+  EXPECT_EQ(d.Find("blue"), -1);
+}
+
+TEST(DictionaryTest, EncodeColumnRoundTrips) {
+  Column c(DataType::kString);
+  for (const char* s : {"b", "a", "b", "c", "a"}) c.AppendString(s);
+  DictionaryColumn dc = DictionaryColumn::FromColumn(c);
+  ASSERT_EQ(dc.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dc.GetValue(i), c.string_data()[i]);
+  }
+  EXPECT_EQ(dc.codes()[0], dc.codes()[2]);
+}
+
+TEST(DictionaryTest, SortMakesCodesOrderPreserving) {
+  Dictionary d;
+  d.GetOrInsert("zebra");
+  d.GetOrInsert("apple");
+  d.GetOrInsert("mango");
+  const std::vector<int32_t> old_to_new = d.Sort();
+  // New codes compare like the strings.
+  EXPECT_EQ(d.Decode(0), "apple");
+  EXPECT_EQ(d.Decode(1), "mango");
+  EXPECT_EQ(d.Decode(2), "zebra");
+  // Mapping is consistent.
+  EXPECT_EQ(old_to_new[0], 2);  // zebra
+  EXPECT_EQ(old_to_new[1], 0);  // apple
+  EXPECT_EQ(old_to_new[2], 1);  // mango
+  EXPECT_EQ(d.Find("mango"), 1);
+}
+
+}  // namespace
+}  // namespace blusim::columnar

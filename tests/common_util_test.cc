@@ -1,0 +1,184 @@
+// Unit and property tests for the common utilities: Rng, hashing, KMV
+// sketch, and bit helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/bit_util.h"
+#include "common/hash.h"
+#include "common/kmv.h"
+#include "common/rng.h"
+
+namespace blusim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Below(13), 13u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(13);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = rng.Zipf(100, 0.8);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // The head of the distribution must dominate the tail.
+  uint64_t head = counts[0] + counts[1] + counts[2];
+  uint64_t tail = counts[97] + counts[98] + counts[99];
+  EXPECT_GT(head, 10 * std::max<uint64_t>(tail, 1));
+}
+
+TEST(HashTest, Murmur64Deterministic) {
+  const char data[] = "hello columnar world";
+  EXPECT_EQ(Murmur3_64(data, sizeof(data)), Murmur3_64(data, sizeof(data)));
+}
+
+TEST(HashTest, Murmur64SensitiveToEveryByte) {
+  std::string base(64, 'a');
+  const uint64_t h0 = Murmur3_64(base.data(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::string mod = base;
+    mod[i] = 'b';
+    EXPECT_NE(Murmur3_64(mod.data(), mod.size()), h0) << "byte " << i;
+  }
+}
+
+TEST(HashTest, Murmur64AllTailLengths) {
+  // Covers the 15-way switch over the trailing block.
+  std::string data(48, 'x');
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= 32; ++len) {
+    hashes.insert(Murmur3_64(data.data(), len));
+  }
+  EXPECT_EQ(hashes.size(), 33u);  // all distinct
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSample) {
+  std::unordered_set<uint64_t> out;
+  for (uint64_t v = 0; v < 5000; ++v) out.insert(Mix64(v));
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+TEST(HashTest, ModHash) {
+  EXPECT_EQ(ModHash(17, 5), 2u);
+  EXPECT_EQ(ModHash(0, 7), 0u);
+}
+
+class KmvAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KmvAccuracyTest, EstimateWithin15Percent) {
+  const uint64_t distinct = GetParam();
+  KmvSketch sketch(256);
+  Rng rng(5);
+  // Feed 4 occurrences of each value in shuffled-ish order.
+  for (int rep = 0; rep < 4; ++rep) {
+    for (uint64_t v = 0; v < distinct; ++v) {
+      sketch.AddHash(Mix64(v * 2654435761ULL + 17));
+    }
+  }
+  const double est = static_cast<double>(sketch.Estimate());
+  const double truth = static_cast<double>(distinct);
+  if (distinct < 256) {
+    EXPECT_EQ(sketch.Estimate(), distinct);  // exact below k
+  } else {
+    EXPECT_NEAR(est / truth, 1.0, 0.15) << "estimate " << est;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, KmvAccuracyTest,
+                         ::testing::Values(1, 12, 100, 255, 256, 1000, 10000,
+                                           100000, 500000));
+
+TEST(KmvTest, DuplicatesDoNotInflate) {
+  KmvSketch sketch(64);
+  for (int i = 0; i < 100000; ++i) sketch.AddHash(Mix64(42));
+  EXPECT_EQ(sketch.Estimate(), 1u);
+}
+
+TEST(KmvTest, MergeEquivalentToUnion) {
+  KmvSketch a(128), b(128), all(128);
+  for (uint64_t v = 0; v < 5000; ++v) {
+    const uint64_t h = Mix64(v);
+    if (v % 2 == 0) a.AddHash(h);
+    else b.AddHash(h);
+    all.AddHash(h);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Estimate(), all.Estimate());
+}
+
+TEST(BitUtilTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+  EXPECT_EQ(NextPow2((1ULL << 40) + 1), 1ULL << 41);
+}
+
+TEST(BitUtilTest, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(65));
+}
+
+TEST(BitUtilTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(8, 8), 8u);
+  EXPECT_EQ(AlignUp(9, 16), 16u);
+}
+
+TEST(BitUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+}  // namespace
+}  // namespace blusim

@@ -1,0 +1,171 @@
+// Tests for the processor-sharing concurrency simulator (the harness that
+// reproduces table 3 and figures 8/9).
+
+#include "harness/concurrency_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace blusim::harness {
+namespace {
+
+using core::PhaseRecord;
+using core::QueryProfile;
+
+PhaseRecord CpuPhase(SimTime work, int dop) {
+  PhaseRecord p;
+  p.kind = PhaseRecord::Kind::kCpu;
+  p.cpu_work = work;
+  p.dop = dop;
+  return p;
+}
+
+PhaseRecord GpuPhase(SimTime device_time, uint64_t mem) {
+  PhaseRecord p;
+  p.kind = PhaseRecord::Kind::kGpu;
+  p.device_time = device_time;
+  p.device_mem = mem;
+  return p;
+}
+
+class ConcurrencySimTest : public ::testing::Test {
+ protected:
+  ConcurrencySimTest() : cost_(config_.host, device_spec_) {
+    config_.cost = &cost_;
+    config_.num_devices = 2;
+    config_.device_memory_bytes = 1 << 20;
+  }
+
+  ConcurrencyConfig config_;
+  gpusim::DeviceSpec device_spec_;
+  gpusim::CostModel cost_;
+};
+
+TEST_F(ConcurrencySimTest, SingleStreamMatchesSerialElapsed) {
+  QueryProfile q;
+  q.phases = {CpuPhase(100000, 24), GpuPhase(5000, 1024),
+              CpuPhase(50000, 24)};
+  SimStream s;
+  s.queries = {&q};
+  s.repeat = 1;
+  auto r = SimulateConcurrent(config_, {s});
+  const SimTime expected =
+      static_cast<SimTime>(100000 / cost_.HostParallelFactor(24)) + 5000 +
+      static_cast<SimTime>(50000 / cost_.HostParallelFactor(24));
+  EXPECT_NEAR(static_cast<double>(r.makespan),
+              static_cast<double>(expected), 5.0);
+  EXPECT_EQ(r.total_queries, 1u);
+}
+
+TEST_F(ConcurrencySimTest, RepeatMultipliesQueries) {
+  QueryProfile q;
+  q.phases = {CpuPhase(1000, 1)};
+  SimStream s;
+  s.queries = {&q, &q};
+  s.repeat = 3;
+  auto r = SimulateConcurrent(config_, {s});
+  EXPECT_EQ(r.total_queries, 6u);
+  EXPECT_EQ(r.streams[0].queries_completed, 6u);
+}
+
+TEST_F(ConcurrencySimTest, CpuContentionStretchesMakespan) {
+  QueryProfile q;
+  q.phases = {CpuPhase(1000000, 24)};
+  SimStream s;
+  s.queries = {&q};
+  s.repeat = 1;
+  auto one = SimulateConcurrent(config_, {s});
+  auto four = SimulateConcurrent(config_, {s, s, s, s});
+  // Four dop-24 streams cannot finish in single-stream time (only 96 HW
+  // threads exist), but processor sharing must beat full serialization.
+  EXPECT_GT(four.makespan, one.makespan * 3 / 2);
+  EXPECT_LT(four.makespan, one.makespan * 4);
+}
+
+TEST_F(ConcurrencySimTest, GpuPhasesOverlapWithCpuWork) {
+  // Stream A is GPU-bound, stream B is CPU-bound with low dop: they must
+  // overlap almost perfectly.
+  QueryProfile gpu_q, cpu_q;
+  gpu_q.phases = {GpuPhase(100000, 1024)};
+  cpu_q.phases = {CpuPhase(100000, 1)};
+  SimStream a, b;
+  a.queries = {&gpu_q};
+  b.queries = {&cpu_q};
+  auto r = SimulateConcurrent(config_, {a, b});
+  EXPECT_LT(r.makespan, 110000);
+}
+
+TEST_F(ConcurrencySimTest, OffloadFreesCpuForOtherStreams) {
+  // Two streams of identical total work; in variant A both are pure CPU,
+  // in variant B half the work is offloaded. B must finish sooner.
+  QueryProfile all_cpu, half_gpu;
+  all_cpu.phases = {CpuPhase(2000000, 48)};
+  half_gpu.phases = {CpuPhase(1000000, 48), GpuPhase(40000, 1024)};
+  SimStream sa, sb;
+  sa.queries = {&all_cpu};
+  sb.queries = {&half_gpu};
+  auto a = SimulateConcurrent(config_, {sa, sa, sa, sa});
+  auto b = SimulateConcurrent(config_, {sb, sb, sb, sb});
+  EXPECT_LT(b.makespan, a.makespan);
+}
+
+TEST_F(ConcurrencySimTest, DeviceMemoryGatesAdmission) {
+  // Each GPU phase wants 3/4 of one device; with 2 devices only two run
+  // at once, so 4 streams need two waves.
+  QueryProfile q;
+  q.phases = {GpuPhase(10000, (1 << 20) * 3 / 4)};
+  SimStream s;
+  s.queries = {&q};
+  auto r = SimulateConcurrent(config_, {s, s, s, s});
+  EXPECT_GE(r.makespan, 20000);
+  EXPECT_GT(r.device_waits, 0u);
+  // Memory timeline recorded admissions and releases.
+  size_t samples = 0;
+  for (const auto& d : r.device_memory) samples += d.size();
+  EXPECT_GE(samples, 8u);  // 4 admissions + 4 releases
+}
+
+TEST_F(ConcurrencySimTest, KernelCapacitySharing) {
+  // 8 concurrent kernels on one device at capacity 2 -> 4x stretch.
+  config_.num_devices = 1;
+  config_.device_kernel_capacity = 2.0;
+  QueryProfile q;
+  q.phases = {GpuPhase(10000, 1024)};
+  SimStream s;
+  s.queries = {&q};
+  std::vector<SimStream> streams(8, s);
+  auto r = SimulateConcurrent(config_, streams);
+  EXPECT_NEAR(static_cast<double>(r.makespan), 40000.0, 2000.0);
+}
+
+TEST_F(ConcurrencySimTest, DopOverrideChangesSpeed) {
+  QueryProfile q;
+  q.phases = {CpuPhase(1000000, 24)};
+  SimStream s24, s48;
+  s24.queries = {&q};
+  s48.queries = {&q};
+  s48.dop_override = 48;
+  auto r24 = SimulateConcurrent(config_, {s24});
+  auto r48 = SimulateConcurrent(config_, {s48});
+  EXPECT_LT(r48.makespan, r24.makespan);
+}
+
+TEST_F(ConcurrencySimTest, EmptyStreamsFinishInstantly) {
+  SimStream s;  // no queries
+  auto r = SimulateConcurrent(config_, {s});
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.total_queries, 0u);
+}
+
+TEST_F(ConcurrencySimTest, QueriesPerHourComputation) {
+  QueryProfile q;
+  q.phases = {CpuPhase(1000, 1)};  // 1 ms per query, 1 query
+  SimStream s;
+  s.queries = {&q};
+  s.repeat = 10;
+  auto r = SimulateConcurrent(config_, {s});
+  // 10 queries in ~10 ms -> ~3.6M q/hr.
+  EXPECT_NEAR(r.QueriesPerHour(), 3.6e6, 1e5);
+}
+
+}  // namespace
+}  // namespace blusim::harness

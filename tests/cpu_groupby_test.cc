@@ -1,0 +1,185 @@
+// Property tests for the CPU group-by chain (figure 1) against a naive
+// std::map reference, parameterized across key shapes, group counts, null
+// density and data types.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "columnar/table.h"
+#include "common/rng.h"
+#include "runtime/cpu_groupby.h"
+
+namespace blusim::runtime {
+namespace {
+
+using columnar::DataType;
+using columnar::Decimal128;
+using columnar::Schema;
+using columnar::Table;
+
+struct Params {
+  uint64_t rows;
+  uint64_t groups;
+  double null_fraction;
+  bool wide_key;   // group by (i64, i32) instead of i64
+  bool use_selection;
+};
+
+class CpuGroupByParamTest : public ::testing::TestWithParam<Params> {};
+
+struct Ref {
+  int64_t sum_i = 0;
+  double sum_d = 0;
+  int64_t count_star = 0;
+  int64_t count_col = 0;
+  double min_d = 1e308;
+  Decimal128 dec_sum;
+};
+
+TEST_P(CpuGroupByParamTest, MatchesNaiveReference) {
+  const Params p = GetParam();
+  Schema schema;
+  schema.AddField({"k1", DataType::kInt64, false});
+  schema.AddField({"k2", DataType::kInt32, false});
+  schema.AddField({"vi", DataType::kInt64, true});
+  schema.AddField({"vd", DataType::kFloat64, false});
+  schema.AddField({"dec", DataType::kDecimal128, false});
+  Table t(schema);
+  Rng rng(p.rows + p.groups);
+  std::vector<bool> null_at(p.rows);
+  for (uint64_t i = 0; i < p.rows; ++i) {
+    t.column(0).AppendInt64(static_cast<int64_t>(rng.Below(p.groups)));
+    t.column(1).AppendInt32(static_cast<int32_t>(rng.Below(3)));
+    null_at[i] = rng.NextDouble() < p.null_fraction;
+    if (null_at[i]) t.column(2).AppendNull();
+    else t.column(2).AppendInt64(rng.Range(-100, 100));
+    t.column(3).AppendDouble(static_cast<double>(rng.Below(1000)) / 4.0);
+    t.column(4).AppendDecimal(Decimal128(rng.Range(-1000, 1000)));
+  }
+
+  std::vector<uint32_t> selection;
+  const std::vector<uint32_t>* sel_ptr = nullptr;
+  if (p.use_selection) {
+    for (uint32_t i = 0; i < p.rows; i += 3) selection.push_back(i);
+    sel_ptr = &selection;
+  }
+
+  GroupBySpec spec;
+  spec.key_columns = p.wide_key ? std::vector<int>{0, 1}
+                                : std::vector<int>{0};
+  spec.aggregates = {{AggFn::kSum, 2, "sum_i"},   {AggFn::kSum, 3, "sum_d"},
+                     {AggFn::kCount, -1, "n"},    {AggFn::kCount, 2, "n_i"},
+                     {AggFn::kMin, 3, "min_d"},   {AggFn::kSum, 4, "dec"},
+                     {AggFn::kAvg, 3, "avg_d"}};
+  auto plan = GroupByPlan::Make(t, spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->wide_key(), p.wide_key);
+
+  ThreadPool pool(2);
+  auto out = CpuGroupBy::Execute(plan.value(), &pool, sel_ptr);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // Naive reference.
+  std::map<std::pair<int64_t, int32_t>, Ref> ref;
+  const uint64_t n = sel_ptr ? selection.size() : p.rows;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t row = sel_ptr ? selection[i] : static_cast<uint32_t>(i);
+    std::pair<int64_t, int32_t> key{t.column(0).int64_data()[row],
+                                    p.wide_key
+                                        ? t.column(1).int32_data()[row]
+                                        : 0};
+    Ref& r = ref[key];
+    if (!null_at[row]) {
+      r.sum_i += t.column(2).int64_data()[row];
+      ++r.count_col;
+    }
+    r.sum_d += t.column(3).float64_data()[row];
+    ++r.count_star;
+    r.min_d = std::min(r.min_d, t.column(3).float64_data()[row]);
+    r.dec_sum += t.column(4).decimal_data()[row];
+  }
+  ASSERT_EQ(out->num_groups, ref.size());
+
+  const Table& result = *out->table;
+  const size_t kcols = spec.key_columns.size();
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    std::pair<int64_t, int32_t> key{result.column(0).int64_data()[r],
+                                    p.wide_key
+                                        ? result.column(1).int32_data()[r]
+                                        : 0};
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    const Ref& e = it->second;
+    EXPECT_EQ(result.column(kcols + 0).int64_data()[r], e.sum_i);
+    EXPECT_NEAR(result.column(kcols + 1).float64_data()[r], e.sum_d,
+                1e-6 * std::abs(e.sum_d) + 1e-9);
+    EXPECT_EQ(result.column(kcols + 2).int64_data()[r], e.count_star);
+    EXPECT_EQ(result.column(kcols + 3).int64_data()[r], e.count_col);
+    EXPECT_DOUBLE_EQ(result.column(kcols + 4).float64_data()[r], e.min_d);
+    EXPECT_EQ(result.column(kcols + 5).decimal_data()[r], e.dec_sum);
+    const double avg = e.sum_d / static_cast<double>(e.count_star);
+    EXPECT_NEAR(result.column(kcols + 6).float64_data()[r], avg,
+                1e-6 * std::abs(avg) + 1e-9);
+  }
+  // KMV estimate must be within 25% of the truth (or exact when small).
+  const double est = static_cast<double>(out->kmv_estimate);
+  const double truth = static_cast<double>(ref.size());
+  if (ref.size() <= 256) {
+    EXPECT_EQ(out->kmv_estimate, ref.size());
+  } else {
+    EXPECT_NEAR(est / truth, 1.0, 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CpuGroupByParamTest,
+    ::testing::Values(Params{100, 5, 0.0, false, false},
+                      Params{5000, 100, 0.0, false, false},
+                      Params{5000, 100, 0.3, false, false},
+                      Params{20000, 1000, 0.1, false, false},
+                      Params{20000, 7, 0.0, true, false},
+                      Params{20000, 900, 0.2, true, false},
+                      Params{10000, 50, 0.0, false, true},
+                      Params{10000, 10000, 0.0, false, false},
+                      Params{1, 1, 0.0, false, false},
+                      Params{70000, 3, 0.0, false, false}));
+
+TEST(CpuGroupByTest, EmptyInputYieldsEmptyResult) {
+  Schema schema;
+  schema.AddField({"k", DataType::kInt64, false});
+  schema.AddField({"v", DataType::kInt64, false});
+  Table t(schema);
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kSum, 1, "s"}};
+  auto plan = GroupByPlan::Make(t, spec);
+  ASSERT_TRUE(plan.ok());
+  auto out = CpuGroupBy::Execute(plan.value(), nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_groups, 0u);
+  EXPECT_EQ(out->table->num_rows(), 0u);
+}
+
+TEST(CpuGroupByTest, WorksWithoutThreadPool) {
+  Schema schema;
+  schema.AddField({"k", DataType::kInt64, false});
+  schema.AddField({"v", DataType::kInt64, false});
+  Table t(schema);
+  for (int i = 0; i < 100; ++i) {
+    t.column(0).AppendInt64(i % 4);
+    t.column(1).AppendInt64(1);
+  }
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kSum, 1, "s"}};
+  auto plan = GroupByPlan::Make(t, spec);
+  auto out = CpuGroupBy::Execute(plan.value(), nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_groups, 4u);
+  EXPECT_EQ(out->table->column(1).int64_data()[0], 25);
+}
+
+}  // namespace
+}  // namespace blusim::runtime

@@ -1,0 +1,193 @@
+// Tests for the device-memory reservation system (paper section 2.1.1)
+// and the pinned host pool (section 2.1.2).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gpusim/device_memory.h"
+#include "gpusim/pinned_pool.h"
+
+namespace blusim::gpusim {
+namespace {
+
+TEST(DeviceMemoryTest, ReserveAndReleaseViaRaii) {
+  DeviceMemoryManager mgr(1000);
+  EXPECT_EQ(mgr.available(), 1000u);
+  {
+    auto r = mgr.Reserve(400);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(mgr.reserved(), 400u);
+    EXPECT_EQ(mgr.available(), 600u);
+  }
+  EXPECT_EQ(mgr.reserved(), 0u);  // released by destructor
+}
+
+TEST(DeviceMemoryTest, ReserveFailsBeyondCapacity) {
+  DeviceMemoryManager mgr(1000);
+  auto a = mgr.Reserve(800);
+  ASSERT_TRUE(a.ok());
+  auto b = mgr.Reserve(300);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfDeviceMemory);
+  EXPECT_TRUE(b.status().IsRecoverableOnHost());
+}
+
+TEST(DeviceMemoryTest, CanReserveDoesNotCommit) {
+  DeviceMemoryManager mgr(1000);
+  EXPECT_TRUE(mgr.CanReserve(1000));
+  EXPECT_FALSE(mgr.CanReserve(1001));
+  EXPECT_EQ(mgr.reserved(), 0u);
+}
+
+TEST(DeviceMemoryTest, ExplicitReleaseReturnsBytesEarly) {
+  DeviceMemoryManager mgr(100);
+  auto r = mgr.Reserve(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(mgr.CanReserve(1));
+  r->Release();
+  EXPECT_FALSE(r->active());
+  EXPECT_TRUE(mgr.CanReserve(100));
+}
+
+TEST(DeviceMemoryTest, AllocDrawsDownReservationBudget) {
+  DeviceMemoryManager mgr(1000);
+  auto r = mgr.Reserve(100);
+  ASSERT_TRUE(r.ok());
+  auto b1 = mgr.Alloc(r.value(), 60);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1->size(), 60u);
+  auto b2 = mgr.Alloc(r.value(), 41);  // exceeds remaining 40
+  ASSERT_FALSE(b2.ok());
+  EXPECT_EQ(b2.status().code(), StatusCode::kInvalidArgument);
+  auto b3 = mgr.Alloc(r.value(), 40);
+  EXPECT_TRUE(b3.ok());
+}
+
+TEST(DeviceMemoryTest, AllocAgainstInactiveReservationFails) {
+  DeviceMemoryManager mgr(1000);
+  Reservation r;  // never reserved
+  EXPECT_FALSE(mgr.Alloc(r, 1).ok());
+}
+
+TEST(DeviceMemoryTest, MoveTransfersOwnership) {
+  DeviceMemoryManager mgr(1000);
+  auto r = mgr.Reserve(500);
+  ASSERT_TRUE(r.ok());
+  Reservation moved = std::move(r).value();
+  EXPECT_TRUE(moved.active());
+  EXPECT_EQ(mgr.reserved(), 500u);
+  // Allocation still works against the moved-to handle.
+  EXPECT_TRUE(mgr.Alloc(moved, 100).ok());
+  moved.Release();
+  EXPECT_EQ(mgr.reserved(), 0u);
+}
+
+TEST(DeviceMemoryTest, ConcurrentReservationsNeverOversubscribe) {
+  DeviceMemoryManager mgr(1000);
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  // 8 threads each try to hold 300 bytes briefly, 50 times.
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 50; ++i) {
+        auto r = mgr.Reserve(300);
+        if (r.ok()) {
+          granted.fetch_add(1);
+          EXPECT_LE(mgr.reserved(), 1000u);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mgr.reserved(), 0u);
+  EXPECT_GT(granted.load(), 0);
+}
+
+TEST(DeviceMemoryTest, BufferIsZeroInitialized) {
+  DeviceMemoryManager mgr(1024);
+  auto r = mgr.Reserve(128);
+  auto buf = mgr.Alloc(r.value(), 128);
+  ASSERT_TRUE(buf.ok());
+  for (uint64_t i = 0; i < buf->size(); ++i) EXPECT_EQ(buf->data()[i], 0);
+}
+
+// --- Pinned pool ---
+
+TEST(PinnedPoolTest, AllocFreeReuse) {
+  PinnedHostPool pool(4096);
+  auto a = pool.Alloc(1000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GE(a->size(), 1000u);
+  const uint64_t used = pool.allocated();
+  a->Release();
+  EXPECT_EQ(pool.allocated(), 0u);
+  auto b = pool.Alloc(1000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pool.allocated(), used);
+}
+
+TEST(PinnedPoolTest, ExhaustionReturnsOutOfHostMemory) {
+  PinnedHostPool pool(1024);
+  auto a = pool.Alloc(1024);
+  ASSERT_TRUE(a.ok());
+  auto b = pool.Alloc(1);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfHostMemory);
+}
+
+TEST(PinnedPoolTest, FreeCoalescesNeighbors) {
+  PinnedHostPool pool(4096);
+  auto a = pool.Alloc(1024);
+  auto b = pool.Alloc(1024);
+  auto c = pool.Alloc(1024);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Free in an order that requires both-side coalescing.
+  a->Release();
+  c->Release();
+  b->Release();
+  // The whole segment must be one extent again.
+  auto all = pool.Alloc(4096);
+  EXPECT_TRUE(all.ok());
+}
+
+TEST(PinnedPoolTest, SixtyFourByteAlignment) {
+  PinnedHostPool pool(4096);
+  auto a = pool.Alloc(1);
+  auto b = pool.Alloc(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a->data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b->data()) % 64, 0u);
+}
+
+TEST(PinnedPoolTest, PeakTracking) {
+  PinnedHostPool pool(4096);
+  {
+    auto a = pool.Alloc(2048);
+    ASSERT_TRUE(a.ok());
+  }
+  auto b = pool.Alloc(64);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pool.peak_allocated(), 2048u);
+}
+
+TEST(PinnedPoolTest, ConcurrentAllocFree) {
+  PinnedHostPool pool(1 << 20);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 200; ++i) {
+        auto buf = pool.Alloc(1024);
+        if (buf.ok()) {
+          buf->data()[0] = 'x';  // touch
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool.allocated(), 0u);
+}
+
+}  // namespace
+}  // namespace blusim::gpusim

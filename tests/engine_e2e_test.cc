@@ -1,0 +1,174 @@
+// End-to-end engine tests over the generated BD Insights database:
+// GPU-on and GPU-off runs must produce identical result tables, and the
+// router must send the right query shapes to the device.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "harness/runner.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace blusim {
+namespace {
+
+using core::EngineConfig;
+using core::ExecutionPath;
+using workload::Database;
+using workload::ScaleConfig;
+using workload::WorkloadQuery;
+
+ScaleConfig SmallScale() {
+  ScaleConfig s;
+  s.store_sales_rows = 250000;
+  s.customers = 5000;
+  s.items = 1000;
+  return s;
+}
+
+EngineConfig TestConfig(bool gpu) {
+  EngineConfig c;
+  c.gpu_enabled = gpu;
+  c.cpu_threads = 2;
+  c.device_workers = 2;
+  c.sort_workers = 2;
+  // Scaled-down device (the generated data is laptop-size).
+  c.device_spec = c.device_spec.WithMemory(16ULL << 20);
+  c.pinned_pool_bytes = 64ULL << 20;
+  c.thresholds.t1_min_rows = 60000;
+  c.thresholds.t2_min_groups = 8;
+  c.sort_min_gpu_rows = 16384;
+  return c;
+}
+
+class EngineE2eTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = workload::GenerateDatabase(SmallScale());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = new Database(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+};
+
+Database* EngineE2eTest::db_ = nullptr;
+
+// Compares two result tables row by row after sorting by a non-float row
+// key. Integer and decimal cells must match exactly; float cells (SUM/AVG
+// over doubles) compare with a relative tolerance, since CPU local-merge
+// and GPU atomic-add orders legitimately differ in the last bits.
+void ExpectSameResults(const columnar::Table& a, const columnar::Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  auto row_key = [](const columnar::Table& t, size_t r) {
+    std::string s;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const columnar::Column& col = t.column(c);
+      switch (col.type()) {
+        case columnar::DataType::kFloat64:
+          break;  // excluded from the key
+        case columnar::DataType::kString:
+          s += col.string_data()[r];
+          break;
+        case columnar::DataType::kDecimal128:
+          s += col.decimal_data()[r].ToString();
+          break;
+        default:
+          s += std::to_string(col.GetInt64(r));
+          break;
+      }
+      s += "|";
+    }
+    return s;
+  };
+  auto order = [&](const columnar::Table& t) {
+    std::vector<size_t> idx(t.num_rows());
+    for (size_t r = 0; r < idx.size(); ++r) idx[r] = r;
+    std::sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+      return row_key(t, x) < row_key(t, y);
+    });
+    return idx;
+  };
+  const std::vector<size_t> ia = order(a);
+  const std::vector<size_t> ib = order(b);
+  for (size_t r = 0; r < ia.size(); ++r) {
+    ASSERT_EQ(row_key(a, ia[r]), row_key(b, ib[r])) << "row " << r;
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      if (a.column(c).type() == columnar::DataType::kFloat64) {
+        const double va = a.column(c).float64_data()[ia[r]];
+        const double vb = b.column(c).float64_data()[ib[r]];
+        const double tol =
+            1e-9 * std::max({std::fabs(va), std::fabs(vb), 1.0});
+        EXPECT_NEAR(va, vb, tol) << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_F(EngineE2eTest, GpuAndCpuResultsIdenticalAcrossQueryClasses) {
+  auto gpu_engine = harness::MakeEngine(*db_, TestConfig(true));
+  auto cpu_engine = harness::MakeEngine(*db_, TestConfig(false));
+  auto queries = workload::MakeBdiQueries(*db_);
+  // One representative per class plus the complex set.
+  std::vector<size_t> picks = {0, 3, 70, 72, 95, 96, 97, 98, 99};
+  for (size_t i : picks) {
+    SCOPED_TRACE(queries[i].spec.name);
+    auto g = gpu_engine->Execute(queries[i].spec);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    auto c = cpu_engine->Execute(queries[i].spec);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    ExpectSameResults(*g->table, *c->table);
+  }
+}
+
+TEST_F(EngineE2eTest, ComplexQueriesUseGpuSimpleDoNot) {
+  auto engine = harness::MakeEngine(*db_, TestConfig(true));
+  auto queries = workload::MakeBdiQueries(*db_);
+
+  // BDI-S1 (simple): narrow scan, must stay on CPU.
+  auto simple = engine->Execute(queries[0].spec);
+  ASSERT_TRUE(simple.ok());
+  EXPECT_FALSE(simple->profile.gpu_used);
+
+  // BDI-C1 (complex group-by over the full fact table): GPU.
+  auto complex = engine->Execute(queries[95].spec);
+  ASSERT_TRUE(complex.ok());
+  EXPECT_TRUE(complex->profile.gpu_used)
+      << "path=" << core::ExecutionPathName(complex->profile.groupby_path);
+}
+
+TEST_F(EngineE2eTest, RolapMemoryHogsFallBackToCpu) {
+  auto engine = harness::MakeEngine(*db_, TestConfig(true));
+  auto rolap = workload::MakeRolapQueries(*db_);
+  // Q35+ are constructed to exceed the scaled device memory.
+  auto heavy = engine->Execute(rolap[40].spec);
+  ASSERT_TRUE(heavy.ok()) << heavy.status().ToString();
+  EXPECT_FALSE(heavy->profile.gpu_used);
+  EXPECT_EQ(heavy->profile.groupby_path, ExecutionPath::kCpu);
+}
+
+TEST_F(EngineE2eTest, GpuOnIsFasterOnComplexQueries) {
+  auto gpu_engine = harness::MakeEngine(*db_, TestConfig(true));
+  auto cpu_engine = harness::MakeEngine(*db_, TestConfig(false));
+  auto queries = workload::MakeBdiQueries(*db_);
+  SimTime gpu_total = 0, cpu_total = 0;
+  for (size_t i = 95; i < 100; ++i) {
+    auto g = gpu_engine->Execute(queries[i].spec);
+    auto c = cpu_engine->Execute(queries[i].spec);
+    ASSERT_TRUE(g.ok() && c.ok());
+    gpu_total += g->profile.total_elapsed;
+    cpu_total += c->profile.total_elapsed;
+  }
+  EXPECT_LT(gpu_total, cpu_total)
+      << "GPU " << gpu_total << "us vs CPU " << cpu_total << "us";
+}
+
+}  // namespace
+}  // namespace blusim

@@ -1,0 +1,124 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+namespace blusim::core {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+using runtime::AggFn;
+
+std::shared_ptr<Table> MakeFact() {
+  Schema schema;
+  schema.AddField({"date_sk", DataType::kInt32, false});
+  schema.AddField({"item_sk", DataType::kInt32, false});
+  schema.AddField({"amount", DataType::kFloat64, false});
+  schema.AddField({"tag", DataType::kString, false});
+  auto t = std::make_shared<Table>(schema);
+  t->column(0).AppendInt32(1);
+  t->column(1).AppendInt32(1);
+  t->column(2).AppendDouble(1.0);
+  t->column(3).AppendString("x");
+  return t;
+}
+
+TEST(DescribeQueryTest, FullGroupByQuery) {
+  auto fact = MakeFact();
+  QuerySpec q;
+  q.name = "demo";
+  q.fact_table = "sales";
+  runtime::Predicate p;
+  p.column = 0;
+  p.op = runtime::CmpOp::kBetween;
+  p.lo = 10;
+  p.hi = 20;
+  q.fact_filters.push_back(p);
+  DimJoinSpec j;
+  j.dim_table = "item";
+  j.fact_fk_column = 1;
+  j.dim_pk_column = 0;
+  q.joins.push_back(j);
+  runtime::GroupBySpec g;
+  g.key_columns = {1};
+  g.aggregates = {{AggFn::kSum, 2, "revenue"}, {AggFn::kCount, -1, ""}};
+  q.groupby = g;
+  q.order_by = {{1, false}};
+  q.limit = 10;
+
+  const std::string sql = DescribeQuery(q, *fact);
+  EXPECT_NE(sql.find("SELECT item_sk, SUM(amount) AS revenue, COUNT(*)"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("FROM sales"), std::string::npos);
+  EXPECT_NE(sql.find("JOIN item ON item_sk = item.pk"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE date_sk BETWEEN 10 AND 20"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY item_sk"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY #1 DESC"), std::string::npos);
+  EXPECT_NE(sql.find("LIMIT 10"), std::string::npos);
+}
+
+TEST(DescribeQueryTest, ProjectionAndStringPredicate) {
+  auto fact = MakeFact();
+  QuerySpec q;
+  q.fact_table = "sales";
+  q.projection = {3, 2};
+  runtime::Predicate p;
+  p.column = 3;
+  p.op = runtime::CmpOp::kEq;
+  p.str = "hot";
+  q.fact_filters.push_back(p);
+  const std::string sql = DescribeQuery(q, *fact);
+  EXPECT_NE(sql.find("SELECT tag, amount"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("WHERE tag = 'hot'"), std::string::npos);
+}
+
+TEST(RenderChainTest, CpuChainShowsFigure1Stages) {
+  auto fact = MakeFact();
+  runtime::GroupBySpec g;
+  g.key_columns = {0, 1};
+  g.aggregates = {{AggFn::kSum, 2, "s"}, {AggFn::kCount, -1, "n"}};
+  auto plan = runtime::GroupByPlan::Make(*fact, g);
+  ASSERT_TRUE(plan.ok());
+  const std::string chain =
+      RenderGroupByChain(plan.value(), ExecutionPath::kCpu);
+  EXPECT_NE(chain.find("LCOG"), std::string::npos) << chain;
+  EXPECT_NE(chain.find("CCAT(64-bit key)"), std::string::npos);
+  EXPECT_NE(chain.find("HASH(mod)"), std::string::npos);
+  EXPECT_NE(chain.find("LGHT"), std::string::npos);
+  EXPECT_NE(chain.find("SUM"), std::string::npos);
+  EXPECT_NE(chain.find("CNT"), std::string::npos);
+  EXPECT_NE(chain.find("merge to global hash table"), std::string::npos);
+  EXPECT_EQ(chain.find("MEMCPY"), std::string::npos);
+}
+
+TEST(RenderChainTest, GpuChainShowsFigure2Stages) {
+  auto fact = MakeFact();
+  runtime::GroupBySpec g;
+  g.key_columns = {0};
+  g.aggregates = {{AggFn::kMin, 2, "m"}};
+  auto plan = runtime::GroupByPlan::Make(*fact, g);
+  ASSERT_TRUE(plan.ok());
+  const std::string chain =
+      RenderGroupByChain(plan.value(), ExecutionPath::kGpu);
+  EXPECT_NE(chain.find("KMV"), std::string::npos) << chain;
+  EXPECT_NE(chain.find("MEMCPY(pinned)"), std::string::npos);
+  EXPECT_NE(chain.find("GPU runtime"), std::string::npos);
+  EXPECT_NE(chain.find("moderator"), std::string::npos);
+  EXPECT_EQ(chain.find("LGHT"), std::string::npos);  // removed in figure 2
+}
+
+TEST(RenderChainTest, PartitionedChainShowsMerge) {
+  auto fact = MakeFact();
+  runtime::GroupBySpec g;
+  g.key_columns = {0};
+  g.aggregates = {{AggFn::kSum, 2, "s"}};
+  auto plan = runtime::GroupByPlan::Make(*fact, g);
+  const std::string chain =
+      RenderGroupByChain(plan.value(), ExecutionPath::kPartitioned);
+  EXPECT_NE(chain.find("x N chunks -> host merge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blusim::core

@@ -1,0 +1,132 @@
+// Failure-injection tests: the engine must degrade to the CPU chain (and
+// still produce correct results) when device or pinned resources are
+// exhausted, poisoned, or contended mid-flight.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/engine.h"
+#include "harness/runner.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace blusim {
+namespace {
+
+using core::EngineConfig;
+using core::QuerySpec;
+
+std::shared_ptr<columnar::Table> BigTable(uint64_t rows) {
+  columnar::Schema schema;
+  schema.AddField({"k", columnar::DataType::kInt32, false});
+  schema.AddField({"v", columnar::DataType::kInt64, false});
+  auto t = std::make_shared<columnar::Table>(schema);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i % 5000));
+    t->column(1).AppendInt64(static_cast<int64_t>(i % 13));
+  }
+  return t;
+}
+
+QuerySpec GroupByQuery() {
+  QuerySpec q;
+  q.fact_table = "t";
+  runtime::GroupBySpec g;
+  g.key_columns = {0};
+  g.aggregates = {{runtime::AggFn::kSum, 1, "s"},
+                  {runtime::AggFn::kCount, -1, "n"}};
+  q.groupby = g;
+  return q;
+}
+
+TEST(FailureInjectionTest, PinnedPoolExhaustionFallsBackToCpu) {
+  EngineConfig config;
+  config.cpu_threads = 2;
+  config.thresholds.t1_min_rows = 10000;
+  config.pinned_pool_bytes = 4096;  // far too small to stage anything
+  core::Engine engine(config);
+  ASSERT_TRUE(engine.RegisterTable("t", BigTable(120000)).ok());
+
+  auto r = engine.Execute(GroupByQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->profile.gpu_used);
+  EXPECT_EQ(r->table->num_rows(), 5000u);
+}
+
+TEST(FailureInjectionTest, DeviceMemoryExhaustionFallsBackToCpu) {
+  EngineConfig config;
+  config.cpu_threads = 2;
+  config.thresholds.t1_min_rows = 10000;
+  config.device_spec = config.device_spec.WithMemory(64 << 10);
+  core::Engine engine(config);
+  ASSERT_TRUE(engine.RegisterTable("t", BigTable(120000)).ok());
+
+  auto r = engine.Execute(GroupByQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->profile.gpu_used);
+  EXPECT_EQ(r->table->num_rows(), 5000u);
+}
+
+TEST(FailureInjectionTest, ForeignReservationSqueezesDeviceMidFlight) {
+  // A competing tenant grabs most of both devices between queries; the
+  // engine must keep answering (CPU fallback) and recover once the
+  // reservation is released.
+  EngineConfig config;
+  config.cpu_threads = 2;
+  config.thresholds.t1_min_rows = 10000;
+  config.device_spec = config.device_spec.WithMemory(16ULL << 20);
+  core::Engine engine(config);
+  ASSERT_TRUE(engine.RegisterTable("t", BigTable(120000)).ok());
+
+  auto before = engine.Execute(GroupByQuery());
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->profile.gpu_used);
+
+  {
+    auto r0 = engine.scheduler().device(0)->memory().Reserve(15ULL << 20);
+    auto r1 = engine.scheduler().device(1)->memory().Reserve(15ULL << 20);
+    ASSERT_TRUE(r0.ok() && r1.ok());
+    auto during = engine.Execute(GroupByQuery());
+    ASSERT_TRUE(during.ok()) << during.status().ToString();
+    EXPECT_FALSE(during->profile.gpu_used);
+    EXPECT_EQ(during->table->num_rows(), 5000u);
+  }
+
+  auto after = engine.Execute(GroupByQuery());
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->profile.gpu_used);
+}
+
+TEST(FailureInjectionTest, ConcurrentQueriesUnderScarcePinnedPool) {
+  // Several threads contend for a pool that can stage at most one query
+  // at a time; every query must still succeed (GPU when staging fits,
+  // CPU otherwise) and the pool must drain to zero.
+  EngineConfig config;
+  config.cpu_threads = 2;
+  config.thresholds.t1_min_rows = 10000;
+  // Roughly one query's staging footprint.
+  config.pinned_pool_bytes = 3ULL << 20;
+  core::Engine engine(config);
+  ASSERT_TRUE(engine.RegisterTable("t", BigTable(100000)).ok());
+
+  std::atomic<int> failures{0};
+  auto worker = [&]() {
+    for (int i = 0; i < 4; ++i) {
+      auto r = engine.Execute(GroupByQuery());
+      if (!r.ok() || r->table->num_rows() != 5000u) failures.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.pinned_pool().allocated(), 0u);
+}
+
+TEST(FailureInjectionTest, StatusClassifiesHostOomAsRecoverable) {
+  EXPECT_TRUE(Status::OutOfHostMemory("").IsRecoverableOnHost());
+}
+
+}  // namespace
+}  // namespace blusim

@@ -1,0 +1,208 @@
+// Randomized differential testing: a query generator produces random (but
+// valid) QuerySpecs over the BD Insights schema, and each one must yield
+// identical results on the GPU-enabled and GPU-disabled engines. Also
+// stresses concurrent Execute() calls on one engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "harness/runner.h"
+#include "workload/data_gen.h"
+
+namespace blusim {
+namespace {
+
+using core::QuerySpec;
+using runtime::AggFn;
+using runtime::CmpOp;
+
+class FuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::ScaleConfig scale;
+    scale.store_sales_rows = 80000;
+    scale.customers = 4000;
+    scale.items = 800;
+    auto db = workload::GenerateDatabase(scale);
+    ASSERT_TRUE(db.ok());
+    db_ = new workload::Database(std::move(db).value());
+
+    core::EngineConfig on;
+    on.cpu_threads = 2;
+    on.device_spec = on.device_spec.WithMemory(12ULL << 20);
+    on.thresholds.t1_min_rows = 15000;
+    on.thresholds.t2_min_groups = 4;
+    on.sort_min_gpu_rows = 8192;
+    core::EngineConfig off = on;
+    off.gpu_enabled = false;
+    gpu_ = harness::MakeEngine(*db_, on).release();
+    cpu_ = harness::MakeEngine(*db_, off).release();
+  }
+  static void TearDownTestSuite() {
+    delete gpu_;
+    delete cpu_;
+    delete db_;
+    gpu_ = nullptr;
+    cpu_ = nullptr;
+    db_ = nullptr;
+  }
+
+  // Random query over store_sales: optional filter, joins, group-by with
+  // 1-8 aggregates or a sort query.
+  static QuerySpec RandomQuery(Rng* rng, int id) {
+    const columnar::Table& ss = *db_->at("store_sales");
+    QuerySpec q;
+    q.name = "fuzz-" + std::to_string(id);
+    q.fact_table = "store_sales";
+
+    if (rng->Below(100) < 70) {
+      runtime::Predicate p;
+      p.column = workload::Col(ss, "ss_sold_date_sk");
+      p.op = CmpOp::kBetween;
+      const double dates = 1826;
+      const double width = dates * (0.1 + 0.9 * rng->NextDouble());
+      p.lo = std::floor(static_cast<double>(rng->Below(
+          static_cast<uint64_t>(dates - width) + 1)));
+      p.hi = p.lo + width;
+      q.fact_filters.push_back(p);
+    }
+    if (rng->Below(100) < 40) {
+      core::DimJoinSpec j;
+      j.dim_table = "item";
+      j.fact_fk_column = workload::Col(ss, "ss_item_sk");
+      j.dim_pk_column = workload::Col(*db_->at("item"), "i_item_sk");
+      q.joins.push_back(j);
+    }
+
+    if (rng->Below(100) < 85) {
+      runtime::GroupBySpec g;
+      const char* kKeys[5] = {"ss_store_sk", "ss_promo_sk", "ss_item_sk",
+                              "ss_customer_sk", "ss_sold_date_sk"};
+      g.key_columns.push_back(workload::Col(ss, kKeys[rng->Below(5)]));
+      if (rng->Below(100) < 30) {
+        int extra = workload::Col(ss, kKeys[rng->Below(5)]);
+        if (extra != g.key_columns[0]) g.key_columns.push_back(extra);
+      }
+      const char* kVals[5] = {"ss_quantity", "ss_net_paid", "ss_net_profit",
+                              "ss_sales_price", "ss_ext_tax"};
+      const AggFn kFns[5] = {AggFn::kSum, AggFn::kCount, AggFn::kMin,
+                             AggFn::kMax, AggFn::kAvg};
+      const int naggs = 1 + static_cast<int>(rng->Below(7));
+      for (int a = 0; a < naggs; ++a) {
+        runtime::AggregateDesc d;
+        d.fn = kFns[rng->Below(5)];
+        d.column = d.fn == AggFn::kCount && rng->Below(2) == 0
+                       ? -1
+                       : workload::Col(ss, kVals[rng->Below(5)]);
+        // AVG/SUM over decimal is allowed; AVG needs a column.
+        if (d.fn == AggFn::kAvg && d.column < 0) d.column = 5;
+        d.output_name = "a" + std::to_string(a);
+        g.aggregates.push_back(d);
+      }
+      q.groupby = g;
+      if (rng->Below(2) == 0) {
+        q.order_by = {{static_cast<int>(g.key_columns.size()), false}};
+      }
+    } else {
+      q.projection = {workload::Col(ss, "ss_ticket_number"),
+                      workload::Col(ss, "ss_net_paid")};
+      q.order_by = {{1, rng->Below(2) == 0}};
+      q.limit = 1000;
+    }
+    return q;
+  }
+
+  // Numeric fingerprint of a table, order-independent: per-column sums of
+  // value representations (floats rounded).
+  static std::vector<double> Fingerprint(const columnar::Table& t) {
+    std::vector<double> sums(t.num_columns() + 1, 0.0);
+    sums[0] = static_cast<double>(t.num_rows());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const columnar::Column& col = t.column(c);
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        double v = 0;
+        switch (col.type()) {
+          case columnar::DataType::kString:
+            v = static_cast<double>(col.string_data()[r].size());
+            break;
+          case columnar::DataType::kFloat64:
+            v = col.float64_data()[r];
+            break;
+          case columnar::DataType::kDecimal128:
+            v = col.decimal_data()[r].ToDouble();
+            break;
+          default:
+            v = static_cast<double>(col.GetInt64(r));
+            break;
+        }
+        sums[c + 1] += v;
+      }
+    }
+    return sums;
+  }
+
+  static workload::Database* db_;
+  static core::Engine* gpu_;
+  static core::Engine* cpu_;
+};
+
+workload::Database* FuzzTest::db_ = nullptr;
+core::Engine* FuzzTest::gpu_ = nullptr;
+core::Engine* FuzzTest::cpu_ = nullptr;
+
+TEST_F(FuzzTest, RandomQueriesAgreeAcrossEngines) {
+  Rng rng(20160626);
+  int gpu_used = 0;
+  for (int i = 0; i < 60; ++i) {
+    QuerySpec q = RandomQuery(&rng, i);
+    SCOPED_TRACE(q.name);
+    auto g = gpu_->Execute(q);
+    auto c = cpu_->Execute(q);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    if (g->profile.gpu_used) ++gpu_used;
+    const auto fg = Fingerprint(*g->table);
+    const auto fc = Fingerprint(*c->table);
+    ASSERT_EQ(fg.size(), fc.size());
+    for (size_t k = 0; k < fg.size(); ++k) {
+      const double tol =
+          1e-7 * std::max({std::fabs(fg[k]), std::fabs(fc[k]), 1.0});
+      EXPECT_NEAR(fg[k], fc[k], tol) << "column " << k;
+    }
+  }
+  // The mix must actually exercise the device path.
+  EXPECT_GT(gpu_used, 5) << "fuzz mix never reached the GPU";
+}
+
+TEST_F(FuzzTest, ConcurrentExecutionIsThreadSafe) {
+  Rng seed_rng(7);
+  std::vector<QuerySpec> queries;
+  for (int i = 0; i < 12; ++i) queries.push_back(RandomQuery(&seed_rng, i));
+
+  std::atomic<int> failures{0};
+  auto worker = [&](int tid) {
+    for (int rep = 0; rep < 3; ++rep) {
+      for (size_t i = static_cast<size_t>(tid); i < queries.size(); i += 3) {
+        auto r = gpu_->Execute(queries[i]);
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All device resources returned.
+  for (size_t d = 0; d < gpu_->scheduler().num_devices(); ++d) {
+    EXPECT_EQ(gpu_->scheduler().device(d)->memory().reserved(), 0u);
+    EXPECT_EQ(gpu_->scheduler().device(d)->outstanding_jobs(), 0);
+  }
+  EXPECT_EQ(gpu_->pinned_pool().allocated(), 0u);
+}
+
+}  // namespace
+}  // namespace blusim

@@ -1,0 +1,151 @@
+// Tests for the prototype device hash join (the paper's future-work item,
+// section 6) against the CPU HashJoin reference.
+
+#include "join/gpu_join.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace blusim::join {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+using runtime::JoinSpec;
+
+std::shared_ptr<Table> MakeFact(uint64_t rows, uint64_t fk_range,
+                                double null_fraction, uint64_t seed) {
+  Schema schema;
+  schema.AddField({"fk", DataType::kInt32, null_fraction > 0});
+  schema.AddField({"v", DataType::kFloat64, false});
+  auto t = std::make_shared<Table>(schema);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    if (rng.NextDouble() < null_fraction) t->column(0).AppendNull();
+    else t->column(0).AppendInt32(static_cast<int32_t>(rng.Below(fk_range)));
+    t->column(1).AppendDouble(static_cast<double>(i));
+  }
+  return t;
+}
+
+std::shared_ptr<Table> MakeDim(uint64_t rows) {
+  Schema schema;
+  schema.AddField({"pk", DataType::kInt32, false});
+  schema.AddField({"attr", DataType::kInt32, false});
+  auto t = std::make_shared<Table>(schema);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(i));
+    t->column(1).AppendInt32(static_cast<int32_t>(i % 3));
+  }
+  return t;
+}
+
+class GpuJoinTest : public ::testing::Test {
+ protected:
+  gpusim::DeviceSpec spec_;
+  gpusim::HostSpec host_;
+  gpusim::SimDevice device_{0, spec_, host_, 2};
+  gpusim::PinnedHostPool pinned_{64ULL << 20};
+
+  void VerifyAgainstCpu(const Table& fact, const Table& dim,
+                        const std::vector<uint32_t>* fact_sel,
+                        const std::vector<uint32_t>* dim_sel) {
+    JoinSpec spec{0, 0};
+    GpuJoinStats stats;
+    auto gpu = GpuHashJoin::Execute(fact, dim, spec, &device_, &pinned_,
+                                    fact_sel, dim_sel, &stats);
+    ASSERT_TRUE(gpu.ok()) << gpu.status().ToString();
+    auto cpu = runtime::HashJoin(fact, dim, spec, nullptr, fact_sel,
+                                 dim_sel);
+    ASSERT_TRUE(cpu.ok());
+    ASSERT_EQ(gpu->size(), cpu->size());
+    EXPECT_EQ(gpu->fact_rows, cpu->fact_rows);
+    EXPECT_EQ(gpu->dim_rows, cpu->dim_rows);
+  }
+};
+
+TEST_F(GpuJoinTest, MatchesCpuJoin) {
+  auto fact = MakeFact(50000, 1000, 0.0, 1);
+  auto dim = MakeDim(1000);
+  VerifyAgainstCpu(*fact, *dim, nullptr, nullptr);
+}
+
+TEST_F(GpuJoinTest, DanglingForeignKeysDropped) {
+  auto fact = MakeFact(20000, 2000, 0.0, 2);
+  auto dim = MakeDim(500);  // fks 500..1999 dangle
+  VerifyAgainstCpu(*fact, *dim, nullptr, nullptr);
+}
+
+TEST_F(GpuJoinTest, NullKeysNeverMatch) {
+  auto fact = MakeFact(20000, 400, 0.2, 3);
+  auto dim = MakeDim(400);
+  VerifyAgainstCpu(*fact, *dim, nullptr, nullptr);
+}
+
+TEST_F(GpuJoinTest, SelectionsRespected) {
+  auto fact = MakeFact(30000, 600, 0.0, 4);
+  auto dim = MakeDim(600);
+  std::vector<uint32_t> fact_sel, dim_sel;
+  for (uint32_t i = 0; i < 30000; i += 3) fact_sel.push_back(i);
+  for (uint32_t i = 0; i < 600; i += 2) dim_sel.push_back(i);
+  VerifyAgainstCpu(*fact, *dim, &fact_sel, &dim_sel);
+}
+
+TEST_F(GpuJoinTest, DuplicateBuildKeysRejected) {
+  auto fact = MakeFact(100, 10, 0.0, 5);
+  Schema schema;
+  schema.AddField({"pk", DataType::kInt32, false});
+  auto dim = std::make_shared<Table>(schema);
+  dim->column(0).AppendInt32(7);
+  dim->column(0).AppendInt32(7);
+  JoinSpec spec{0, 0};
+  GpuJoinStats stats;
+  auto r = GpuHashJoin::Execute(*fact, *dim, spec, &device_, &pinned_,
+                                nullptr, nullptr, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GpuJoinTest, EmptyInputs) {
+  auto fact = MakeFact(0, 10, 0.0, 6);
+  auto dim = MakeDim(10);
+  JoinSpec spec{0, 0};
+  GpuJoinStats stats;
+  auto r = GpuHashJoin::Execute(*fact, *dim, spec, &device_, &pinned_,
+                                nullptr, nullptr, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 0u);
+}
+
+TEST_F(GpuJoinTest, StatsAndCleanup) {
+  auto fact = MakeFact(40000, 800, 0.0, 7);
+  auto dim = MakeDim(800);
+  JoinSpec spec{0, 0};
+  GpuJoinStats stats;
+  auto r = GpuHashJoin::Execute(*fact, *dim, spec, &device_, &pinned_,
+                                nullptr, nullptr, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.transfer_in, 0);
+  EXPECT_GT(stats.build_kernel, 0);
+  EXPECT_GT(stats.probe_kernel, 0);
+  EXPECT_GT(stats.transfer_out, 0);
+  EXPECT_EQ(device_.memory().reserved(), 0u);
+  EXPECT_EQ(pinned_.allocated(), 0u);
+}
+
+TEST_F(GpuJoinTest, TooSmallDeviceIsRecoverable) {
+  gpusim::SimDevice tiny(1, spec_.WithMemory(4096), host_, 1);
+  auto fact = MakeFact(30000, 600, 0.0, 8);
+  auto dim = MakeDim(600);
+  JoinSpec spec{0, 0};
+  GpuJoinStats stats;
+  auto r = GpuHashJoin::Execute(*fact, *dim, spec, &tiny, &pinned_, nullptr,
+                                nullptr, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsRecoverableOnHost());
+}
+
+}  // namespace
+}  // namespace blusim::join

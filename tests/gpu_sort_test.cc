@@ -1,0 +1,192 @@
+// Tests for the device radix sort and duplicate-range detection, plus the
+// sort job queue.
+
+#include "sort/gpu_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.h"
+#include "sort/job_queue.h"
+
+namespace blusim::sort {
+namespace {
+
+class GpuSortTest : public ::testing::Test {
+ protected:
+  gpusim::DeviceSpec spec_;
+  gpusim::HostSpec host_;
+  gpusim::SimDevice device_{0, spec_, host_, 2};
+
+  // Sorts `data` through the device radix sort and returns the result.
+  std::vector<PkEntry> SortOnDevice(std::vector<PkEntry> data) {
+    const uint32_t n = static_cast<uint32_t>(data.size());
+    auto reservation = device_.memory().Reserve(GpuSortBytesNeeded(n));
+    EXPECT_TRUE(reservation.ok());
+    auto entries =
+        device_.memory().Alloc(reservation.value(), n * sizeof(PkEntry));
+    auto scratch =
+        device_.memory().Alloc(reservation.value(), n * sizeof(PkEntry));
+    EXPECT_TRUE(entries.ok() && scratch.ok());
+    std::memcpy(entries->data(), data.data(), n * sizeof(PkEntry));
+    Status st = GpuRadixSort(&device_, &entries.value(), &scratch.value(),
+                             n);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    std::memcpy(data.data(), entries->data(), n * sizeof(PkEntry));
+    return data;
+  }
+};
+
+TEST_F(GpuSortTest, SortsRandomKeys) {
+  Rng rng(1);
+  std::vector<PkEntry> data(100000);
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    data[i] = {static_cast<uint32_t>(rng.Next()), i};
+  }
+  auto sorted = SortOnDevice(data);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end(),
+                             [](const PkEntry& a, const PkEntry& b) {
+                               return a.key < b.key;
+                             }));
+  // Same multiset of payloads.
+  std::vector<uint32_t> payloads;
+  for (const PkEntry& e : sorted) payloads.push_back(e.payload);
+  std::sort(payloads.begin(), payloads.end());
+  for (uint32_t i = 0; i < payloads.size(); ++i) EXPECT_EQ(payloads[i], i);
+}
+
+TEST_F(GpuSortTest, StableWithinEqualKeys) {
+  // LSD radix sort must keep equal keys in input order.
+  Rng rng(2);
+  std::vector<PkEntry> data(50000);
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    data[i] = {static_cast<uint32_t>(rng.Below(64)), i};
+  }
+  auto sorted = SortOnDevice(data);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_LE(sorted[i - 1].key, sorted[i].key);
+    if (sorted[i - 1].key == sorted[i].key) {
+      EXPECT_LT(sorted[i - 1].payload, sorted[i].payload);
+    }
+  }
+}
+
+TEST_F(GpuSortTest, EdgeCases) {
+  EXPECT_TRUE(SortOnDevice({}).empty());
+  auto one = SortOnDevice({{5, 0}});
+  EXPECT_EQ(one[0].key, 5u);
+  // Already sorted and reverse sorted.
+  std::vector<PkEntry> asc, desc;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    asc.push_back({i, i});
+    desc.push_back({10000 - i, i});
+  }
+  auto s1 = SortOnDevice(asc);
+  auto s2 = SortOnDevice(desc);
+  EXPECT_TRUE(std::is_sorted(s1.begin(), s1.end(),
+                             [](auto& a, auto& b) { return a.key < b.key; }));
+  EXPECT_TRUE(std::is_sorted(s2.begin(), s2.end(),
+                             [](auto& a, auto& b) { return a.key < b.key; }));
+  // All-equal keys.
+  std::vector<PkEntry> equal(5000, PkEntry{7, 0});
+  for (uint32_t i = 0; i < equal.size(); ++i) equal[i].payload = i;
+  auto s3 = SortOnDevice(equal);
+  for (uint32_t i = 0; i < s3.size(); ++i) EXPECT_EQ(s3[i].payload, i);
+}
+
+TEST_F(GpuSortTest, ExtremeKeyValues) {
+  std::vector<PkEntry> data = {{~0u, 0}, {0, 1}, {1u << 31, 2}, {1, 3}};
+  auto s = SortOnDevice(data);
+  EXPECT_EQ(s[0].key, 0u);
+  EXPECT_EQ(s[1].key, 1u);
+  EXPECT_EQ(s[2].key, 1u << 31);
+  EXPECT_EQ(s[3].key, ~0u);
+}
+
+TEST_F(GpuSortTest, FindDuplicateRanges) {
+  // keys: 1 1 1 2 3 3 4 -> ranges [0,3) and [4,6).
+  std::vector<PkEntry> data = {{1, 0}, {1, 1}, {1, 2}, {2, 3},
+                               {3, 4}, {3, 5}, {4, 6}};
+  auto reservation = device_.memory().Reserve(4096);
+  auto buf = device_.memory().Alloc(reservation.value(),
+                                    data.size() * sizeof(PkEntry));
+  std::memcpy(buf->data(), data.data(), data.size() * sizeof(PkEntry));
+  auto ranges = FindDuplicateRanges(&device_, buf.value(),
+                                    static_cast<uint32_t>(data.size()));
+  ASSERT_TRUE(ranges.ok());
+  ASSERT_EQ(ranges->size(), 2u);
+  EXPECT_EQ((*ranges)[0], std::make_pair(0u, 3u));
+  EXPECT_EQ((*ranges)[1], std::make_pair(4u, 6u));
+}
+
+TEST_F(GpuSortTest, DuplicateRangeSpanningWholeInput) {
+  std::vector<PkEntry> data(100, PkEntry{9, 0});
+  auto reservation = device_.memory().Reserve(4096);
+  auto buf = device_.memory().Alloc(reservation.value(),
+                                    data.size() * sizeof(PkEntry));
+  std::memcpy(buf->data(), data.data(), data.size() * sizeof(PkEntry));
+  auto ranges = FindDuplicateRanges(&device_, buf.value(), 100);
+  ASSERT_TRUE(ranges.ok());
+  ASSERT_EQ(ranges->size(), 1u);
+  EXPECT_EQ((*ranges)[0], std::make_pair(0u, 100u));
+}
+
+TEST_F(GpuSortTest, BytesNeededCoversBuffers) {
+  // The reservation must cover both ping-pong buffers.
+  EXPECT_GE(GpuSortBytesNeeded(1000), 2 * 1000 * sizeof(PkEntry));
+}
+
+// --- job queue ---
+
+TEST(SortJobQueueTest, CompletesWhenAllJobsDone) {
+  SortJobQueue queue;
+  queue.Push(SortJob{0, 100, 0});
+  auto job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  queue.TaskDone();
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(SortJobQueueTest, ChildJobsKeepWorkersAlive) {
+  SortJobQueue queue;
+  queue.Push(SortJob{0, 100, 0});
+  auto job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  queue.Push(SortJob{0, 50, 1});  // child before TaskDone
+  queue.TaskDone();
+  auto child = queue.Pop();
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->level, 1);
+  queue.TaskDone();
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_EQ(queue.jobs_pushed(), 2u);
+}
+
+TEST(SortJobQueueTest, ConcurrentWorkersDrainRecursiveJobs) {
+  SortJobQueue queue;
+  queue.Push(SortJob{0, 1 << 12, 0});
+  std::atomic<uint64_t> processed{0};
+  auto worker = [&]() {
+    while (auto job = queue.Pop()) {
+      // Split jobs larger than 16 rows in half, two levels deep max.
+      if (job->size() > 16 && job->level < 6) {
+        const uint32_t mid = job->begin + job->size() / 2;
+        queue.Push(SortJob{job->begin, mid, job->level + 1});
+        queue.Push(SortJob{mid, job->end, job->level + 1});
+      }
+      processed.fetch_add(1);
+      queue.TaskDone();
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(processed.load(), queue.jobs_pushed());
+  EXPECT_GT(processed.load(), 100u);
+}
+
+}  // namespace
+}  // namespace blusim::sort

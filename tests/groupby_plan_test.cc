@@ -1,0 +1,200 @@
+// Tests for group-by planning: key packing (CCAT), slot compilation and
+// the equality-faithfulness property the device kernels rely on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "columnar/table.h"
+#include "common/rng.h"
+#include "runtime/groupby_plan.h"
+
+namespace blusim::runtime {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+
+std::shared_ptr<Table> MixedTable(uint64_t rows) {
+  Schema schema;
+  schema.AddField({"i32", DataType::kInt32, false});
+  schema.AddField({"i64", DataType::kInt64, false});
+  schema.AddField({"f64", DataType::kFloat64, false});
+  schema.AddField({"str", DataType::kString, false});
+  schema.AddField({"dec", DataType::kDecimal128, false});
+  auto t = std::make_shared<Table>(schema);
+  Rng rng(3);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt32(static_cast<int32_t>(rng.Range(-50, 50)));
+    t->column(1).AppendInt64(rng.Range(-1000, 1000));
+    t->column(2).AppendDouble(static_cast<double>(rng.Below(100)));
+    t->column(3).AppendString("s" + std::to_string(rng.Below(20)));
+    t->column(4).AppendDecimal(columnar::Decimal128(rng.Range(-5, 5)));
+  }
+  return t;
+}
+
+TEST(GroupByPlanTest, SingleNarrowColumnsPack) {
+  auto t = MixedTable(10);
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kCount, -1, "n"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->wide_key());
+  EXPECT_EQ(plan->key_bits(), 32);
+}
+
+TEST(GroupByPlanTest, TwoInt32ColumnsStayNarrow) {
+  auto t = MixedTable(10);
+  GroupBySpec spec;
+  spec.key_columns = {0, 0};
+  spec.aggregates = {{AggFn::kCount, -1, "n"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->wide_key());
+  EXPECT_EQ(plan->key_bits(), 64);
+}
+
+TEST(GroupByPlanTest, Int64PlusInt32GoesWide) {
+  auto t = MixedTable(10);
+  GroupBySpec spec;
+  spec.key_columns = {1, 0};
+  spec.aggregates = {{AggFn::kCount, -1, "n"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->wide_key());
+  EXPECT_EQ(plan->key_bytes(), 12);
+}
+
+TEST(GroupByPlanTest, StringKeyUsesDictionaryCode) {
+  auto t = MixedTable(10);
+  GroupBySpec spec;
+  spec.key_columns = {3};
+  spec.aggregates = {{AggFn::kCount, -1, "n"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->wide_key());
+  EXPECT_FALSE(plan->string_codes()[0].empty());
+}
+
+TEST(GroupByPlanTest, OversizedKeyRejected) {
+  auto t = MixedTable(4);
+  GroupBySpec spec;
+  spec.key_columns = {4, 4, 1};  // 16 + 16 + 8 = 40 bytes > 32 cap
+  spec.aggregates = {{AggFn::kCount, -1, "n"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(GroupByPlanTest, AvgDecomposesIntoSumAndCount) {
+  auto t = MixedTable(4);
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kAvg, 2, "avg"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->slots().size(), 2u);
+  EXPECT_EQ(plan->slots()[0].fn, AggFn::kSum);
+  EXPECT_EQ(plan->slots()[1].fn, AggFn::kCount);
+  ASSERT_EQ(plan->outputs().size(), 1u);
+  EXPECT_EQ(plan->outputs()[0].slot, 0);
+  EXPECT_EQ(plan->outputs()[0].count_slot, 1);
+}
+
+TEST(GroupByPlanTest, DecimalSlotRequiresLock) {
+  auto t = MixedTable(4);
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kSum, 4, "dec_sum"},
+                     {AggFn::kSum, 1, "int_sum"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->slots()[0].lock_required);
+  EXPECT_FALSE(plan->slots()[1].lock_required);
+  EXPECT_TRUE(plan->needs_locks());
+}
+
+TEST(GroupByPlanTest, ErrorsOnBadInput) {
+  auto t = MixedTable(4);
+  GroupBySpec spec;
+  spec.key_columns = {};
+  spec.aggregates = {{AggFn::kCount, -1, "n"}};
+  EXPECT_FALSE(GroupByPlan::Make(*t, spec).ok());
+  spec.key_columns = {99};
+  EXPECT_FALSE(GroupByPlan::Make(*t, spec).ok());
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kSum, 3, "s"}};  // SUM over string
+  EXPECT_FALSE(GroupByPlan::Make(*t, spec).ok());
+  spec.aggregates = {{AggFn::kSum, -1, "s"}};  // SUM without column
+  EXPECT_FALSE(GroupByPlan::Make(*t, spec).ok());
+}
+
+// Property: PackKey / FillWideKey must be equality-faithful -- two rows get
+// the same packed key iff their grouping-column tuples are equal.
+class KeyFaithfulnessTest
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(KeyFaithfulnessTest, PackedKeysMatchTupleEquality) {
+  auto t = MixedTable(2000);
+  GroupBySpec spec;
+  spec.key_columns = GetParam();
+  spec.aggregates = {{AggFn::kCount, -1, "n"}};
+  auto plan = GroupByPlan::Make(*t, spec);
+  ASSERT_TRUE(plan.ok());
+
+  auto tuple_of = [&](size_t row) {
+    std::string s;
+    for (int c : spec.key_columns) {
+      const columnar::Column& col = t->column(static_cast<size_t>(c));
+      switch (col.type()) {
+        case DataType::kString: s += col.string_data()[row]; break;
+        case DataType::kFloat64:
+          s += std::to_string(col.float64_data()[row]);
+          break;
+        case DataType::kDecimal128:
+          s += col.decimal_data()[row].ToString();
+          break;
+        default: s += std::to_string(col.GetInt64(row)); break;
+      }
+      s += "\x1f";
+    }
+    return s;
+  };
+
+  std::map<std::string, std::set<std::string>> tuple_to_keys;
+  std::map<std::string, std::set<std::string>> key_to_tuples;
+  for (size_t row = 0; row < t->num_rows(); ++row) {
+    std::string key_repr;
+    if (plan->wide_key()) {
+      WideKey wk;
+      plan->FillWideKey(row, &wk);
+      key_repr.assign(reinterpret_cast<const char*>(wk.bytes), wk.len);
+    } else {
+      const uint64_t k = plan->PackKey(row);
+      key_repr.assign(reinterpret_cast<const char*>(&k), sizeof(k));
+    }
+    tuple_to_keys[tuple_of(row)].insert(key_repr);
+    key_to_tuples[key_repr].insert(tuple_of(row));
+  }
+  for (const auto& [tuple, keys] : tuple_to_keys) {
+    EXPECT_EQ(keys.size(), 1u) << "tuple maps to multiple keys: " << tuple;
+  }
+  for (const auto& [key, tuples] : key_to_tuples) {
+    EXPECT_EQ(tuples.size(), 1u) << "key collision across tuples";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyCombos, KeyFaithfulnessTest,
+    ::testing::Values(std::vector<int>{0}, std::vector<int>{1},
+                      std::vector<int>{2}, std::vector<int>{3},
+                      std::vector<int>{4}, std::vector<int>{0, 3},
+                      std::vector<int>{1, 0}, std::vector<int>{3, 0, 1},
+                      std::vector<int>{4, 0}));
+
+}  // namespace
+}  // namespace blusim::runtime

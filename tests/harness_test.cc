@@ -1,0 +1,90 @@
+// Tests for the harness: serial runner determinism, report formatting and
+// the CSV writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/monitor_report.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace blusim::harness {
+namespace {
+
+TEST(SerialRunnerTest, DeterministicAcrossRunsAndReps) {
+  workload::ScaleConfig scale;
+  scale.store_sales_rows = 15000;
+  scale.customers = 1500;
+  scale.items = 300;
+  auto db = workload::GenerateDatabase(scale);
+  ASSERT_TRUE(db.ok());
+  core::EngineConfig config;
+  config.cpu_threads = 2;
+  config.device_spec = config.device_spec.WithMemory(8ULL << 20);
+  config.thresholds.t1_min_rows = 4000;
+  auto engine = MakeEngine(*db, config);
+
+  auto queries = workload::FilterByClass(workload::MakeBdiQueries(*db),
+                                         workload::QueryClass::kComplex);
+  SerialRunOptions options;
+  options.reps = 1;
+  auto r1 = RunSerial(engine.get(), queries, options);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = RunSerial(engine.get(), queries, options);
+  ASSERT_TRUE(r2.ok());
+  options.reps = 3;
+  auto r3 = RunSerial(engine.get(), queries, options);
+  ASSERT_TRUE(r3.ok());
+  for (size_t i = 0; i < r1->size(); ++i) {
+    EXPECT_EQ((*r1)[i].elapsed, (*r2)[i].elapsed) << (*r1)[i].name;
+    // Simulated time is deterministic, so the rep-average equals a single
+    // run exactly.
+    EXPECT_EQ((*r1)[i].elapsed, (*r3)[i].elapsed) << (*r1)[i].name;
+  }
+  EXPECT_EQ(TotalElapsed(*r1), TotalElapsed(*r2));
+}
+
+TEST(SerialRunnerTest, UnknownTablePropagatesQueryName) {
+  core::EngineConfig config;
+  config.cpu_threads = 1;
+  core::Engine engine(config);
+  workload::WorkloadQuery wq;
+  wq.spec.name = "ghost";
+  wq.spec.fact_table = "missing";
+  auto engine_ptr = &engine;
+  auto r = RunSerial(engine_ptr, {wq}, SerialRunOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(FormatMs(1234567, 1), "1234.6");
+  EXPECT_EQ(FormatMs(500, 2), "0.50");
+  EXPECT_EQ(FormatPct(0.0833, 2), "8.33%");
+  EXPECT_EQ(FormatPct(-0.05, 1), "-5.0%");
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+}
+
+TEST(CsvWriterTest, QuotesAndRoundTrips) {
+  const std::string path = "/tmp/blusim_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.Row({"a", "b,with comma", "c\"quoted\""});
+    csv.Row({"1", "2", "3"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,with comma\",\"c\"\"quoted\"\"\"");
+  EXPECT_EQ(line2, "1,2,3");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace blusim::harness

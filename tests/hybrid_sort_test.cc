@@ -1,0 +1,155 @@
+// Parameterized end-to-end tests of the hybrid sort against the reference
+// full-key ordering, across type mixes, directions, duplicate densities
+// and CPU/GPU splits.
+
+#include "sort/hybrid_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
+#include "sort/sds.h"
+
+namespace blusim::sort {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+
+struct Params {
+  uint64_t rows;
+  uint64_t key_range;   // small range => deep duplicate recursion
+  bool use_gpu;
+  uint32_t min_gpu_rows;
+  bool descending;
+  bool with_string_key;
+};
+
+class HybridSortParamTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(HybridSortParamTest, MatchesReferenceOrdering) {
+  const Params p = GetParam();
+  Schema schema;
+  schema.AddField({"a", DataType::kInt64, false});
+  schema.AddField({"b", DataType::kFloat64, false});
+  schema.AddField({"s", DataType::kString, false});
+  Table t(schema);
+  Rng rng(p.rows * 31 + p.key_range);
+  for (uint64_t i = 0; i < p.rows; ++i) {
+    t.column(0).AppendInt64(
+        rng.Range(-static_cast<int64_t>(p.key_range),
+                  static_cast<int64_t>(p.key_range)));
+    t.column(1).AppendDouble(static_cast<double>(rng.Below(50)));
+    t.column(2).AppendString(std::string(1 + rng.Below(3), 'a') +
+                             static_cast<char>('a' + rng.Below(5)));
+  }
+  std::vector<SortKey> keys = {{0, !p.descending}, {1, true}};
+  if (p.with_string_key) keys.push_back({2, true});
+
+  HybridSortOptions options;
+  gpusim::DeviceSpec spec;
+  gpusim::HostSpec host;
+  std::unique_ptr<gpusim::SimDevice> device;
+  std::unique_ptr<gpusim::PinnedHostPool> pinned;
+  if (p.use_gpu) {
+    device = std::make_unique<gpusim::SimDevice>(0, spec, host, 2);
+    pinned = std::make_unique<gpusim::PinnedHostPool>(32ULL << 20);
+    options.device = device.get();
+    options.pinned_pool = pinned.get();
+    options.min_gpu_rows = p.min_gpu_rows;
+    options.num_workers = 2;
+  }
+  HybridSortStats stats;
+  auto perm = HybridSorter::Sort(t, keys, options, &stats);
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+
+  // Reference: std::sort with the SDS comparator.
+  auto sds = SortDataStore::Make(t, keys);
+  ASSERT_TRUE(sds.ok());
+  std::vector<uint32_t> ref(p.rows);
+  std::iota(ref.begin(), ref.end(), 0);
+  std::sort(ref.begin(), ref.end(),
+            [&](uint32_t a, uint32_t b) { return sds->RowLess(a, b); });
+  EXPECT_EQ(*perm, ref);
+
+  if (p.use_gpu && p.rows >= std::max<uint64_t>(2, p.min_gpu_rows)) {
+    EXPECT_GE(stats.jobs_gpu, 1u);
+  }
+  EXPECT_EQ(stats.jobs_total, stats.jobs_cpu + stats.jobs_gpu);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HybridSortParamTest,
+    ::testing::Values(
+        Params{2000, 1000000, false, 0, false, false},
+        Params{2000, 10, false, 0, false, false},
+        Params{2000, 10, false, 0, true, true},
+        Params{50000, 1000000, true, 4096, false, false},
+        Params{50000, 20, true, 4096, false, false},   // deep duplicates
+        Params{50000, 3, true, 4096, false, true},     // very deep + string
+        Params{50000, 20, true, 4096, true, false},    // descending
+        Params{40000, 40000, true, 1024, false, false},
+        Params{100, 5, true, 16, false, false},        // tiny GPU jobs
+        Params{0, 1, false, 0, false, false},          // empty input
+        Params{1, 1, true, 1, false, false}));
+
+TEST(HybridSortTest, DeterministicAcrossRuns) {
+  Schema schema;
+  schema.AddField({"a", DataType::kInt32, false});
+  Table t(schema);
+  Rng rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    t.column(0).AppendInt32(static_cast<int32_t>(rng.Below(7)));
+  }
+  gpusim::DeviceSpec spec;
+  gpusim::HostSpec host;
+  gpusim::SimDevice device(0, spec, host, 2);
+  gpusim::PinnedHostPool pinned(16ULL << 20);
+  HybridSortOptions options;
+  options.device = &device;
+  options.pinned_pool = &pinned;
+  options.min_gpu_rows = 2048;
+  options.num_workers = 3;
+  auto p1 = HybridSorter::Sort(t, {{0, true}}, options, nullptr);
+  auto p2 = HybridSorter::Sort(t, {{0, true}}, options, nullptr);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, *p2);  // ties broken by row id, not scheduling order
+}
+
+TEST(HybridSortTest, FallsBackWhenDeviceMemoryTooSmall) {
+  Schema schema;
+  schema.AddField({"a", DataType::kInt64, false});
+  Table t(schema);
+  Rng rng(6);
+  for (int i = 0; i < 60000; ++i) t.column(0).AppendInt64(rng.Range(0, 100));
+  gpusim::DeviceSpec spec;
+  gpusim::HostSpec host;
+  gpusim::SimDevice tiny(0, spec.WithMemory(1024), host, 1);
+  gpusim::PinnedHostPool pinned(16ULL << 20);
+  HybridSortOptions options;
+  options.device = &tiny;
+  options.pinned_pool = &pinned;
+  options.min_gpu_rows = 1024;
+  options.num_workers = 2;
+  HybridSortStats stats;
+  auto perm = HybridSorter::Sort(t, {{0, true}}, options, &stats);
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(stats.jobs_gpu, 0u);
+  EXPECT_GE(stats.gpu_fallbacks, 1u);  // wanted the GPU, fell back
+  EXPECT_TRUE(std::is_sorted(perm->begin(), perm->end(),
+                             [&](uint32_t a, uint32_t b) {
+                               return t.column(0).int64_data()[a] <
+                                      t.column(0).int64_data()[b] ||
+                                      (t.column(0).int64_data()[a] ==
+                                           t.column(0).int64_data()[b] &&
+                                       a < b);
+                             }));
+}
+
+}  // namespace
+}  // namespace blusim::sort

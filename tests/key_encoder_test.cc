@@ -1,0 +1,214 @@
+// Property tests for the binary-sortable key encoding (section 3: the
+// sort is independent of column types because every key becomes a byte
+// stream ordered 4 bytes at a time).
+
+#include "sort/key_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sort/sds.h"
+
+namespace blusim::sort {
+namespace {
+
+using columnar::DataType;
+using columnar::Decimal128;
+using columnar::Schema;
+using columnar::Table;
+
+// Builds a one-column table of the given type with interesting values.
+std::shared_ptr<Table> OneColumn(DataType type, uint64_t rows,
+                                 uint64_t seed) {
+  Schema schema;
+  schema.AddField({"c", type, false});
+  auto t = std::make_shared<Table>(schema);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    switch (type) {
+      case DataType::kInt32:
+      case DataType::kDate:
+        t->column(0).AppendInt32(static_cast<int32_t>(rng.Range(-1000,
+                                                                1000)));
+        break;
+      case DataType::kInt64:
+        t->column(0).AppendInt64(rng.Range(-1000000, 1000000));
+        break;
+      case DataType::kFloat64:
+        t->column(0).AppendDouble((rng.NextDouble() - 0.5) * 2000.0);
+        break;
+      case DataType::kDecimal128:
+        t->column(0).AppendDecimal(Decimal128(rng.Range(-500, 500)));
+        break;
+      case DataType::kString: {
+        std::string s;
+        const uint64_t len = rng.Below(9);
+        for (uint64_t c = 0; c < len; ++c) {
+          s += static_cast<char>('a' + rng.Below(4));
+        }
+        t->column(0).AppendString(s);
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+// Typed comparison for verification.
+bool TypedLess(const Table& t, uint32_t a, uint32_t b) {
+  const columnar::Column& c = t.column(0);
+  switch (c.type()) {
+    case DataType::kInt32:
+    case DataType::kDate:
+      return c.int32_data()[a] < c.int32_data()[b];
+    case DataType::kInt64:
+      return c.int64_data()[a] < c.int64_data()[b];
+    case DataType::kFloat64:
+      return c.float64_data()[a] < c.float64_data()[b];
+    case DataType::kDecimal128:
+      return c.decimal_data()[a] < c.decimal_data()[b];
+    case DataType::kString:
+      return c.string_data()[a] < c.string_data()[b];
+  }
+  return false;
+}
+
+bool TypedEqual(const Table& t, uint32_t a, uint32_t b) {
+  return !TypedLess(t, a, b) && !TypedLess(t, b, a);
+}
+
+class EncoderOrderTest : public ::testing::TestWithParam<DataType> {};
+
+TEST_P(EncoderOrderTest, EncodedOrderMatchesTypedOrder) {
+  auto t = OneColumn(GetParam(), 500, 17);
+  auto sds = SortDataStore::Make(*t, {{0, true}});
+  ASSERT_TRUE(sds.ok());
+  Rng rng(3);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.Below(500));
+    const uint32_t b = static_cast<uint32_t>(rng.Below(500));
+    if (TypedEqual(*t, a, b)) {
+      EXPECT_TRUE(sds->RowEqual(a, b)) << "rows " << a << "," << b;
+      // Tie-break by row id.
+      EXPECT_EQ(sds->RowLess(a, b), a < b);
+    } else {
+      EXPECT_EQ(sds->RowLess(a, b), TypedLess(*t, a, b))
+          << "rows " << a << "," << b;
+    }
+  }
+}
+
+TEST_P(EncoderOrderTest, DescendingInvertsOrder) {
+  auto t = OneColumn(GetParam(), 200, 23);
+  auto asc = SortDataStore::Make(*t, {{0, true}});
+  auto desc = SortDataStore::Make(*t, {{0, false}});
+  ASSERT_TRUE(asc.ok() && desc.ok());
+  for (uint32_t a = 0; a < 200; ++a) {
+    for (uint32_t b = a + 1; b < 200; b += 17) {
+      if (asc->RowEqual(a, b)) continue;
+      EXPECT_NE(asc->RowLess(a, b), desc->RowLess(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, EncoderOrderTest,
+                         ::testing::Values(DataType::kInt32, DataType::kInt64,
+                                           DataType::kFloat64,
+                                           DataType::kDecimal128,
+                                           DataType::kString));
+
+TEST(KeyEncoderTest, PartialKeyPrefixDecidesOrder) {
+  // If the first differing 4-byte level of two rows differs, the full
+  // order must agree with that level's comparison -- the invariant the
+  // GPU radix sort relies on.
+  auto t = OneColumn(DataType::kInt64, 300, 31);
+  auto sds = SortDataStore::Make(*t, {{0, true}});
+  ASSERT_TRUE(sds.ok());
+  for (uint32_t a = 0; a < 300; ++a) {
+    for (uint32_t b = a + 1; b < 300; b += 13) {
+      for (int level = 0; level < sds->levels(); ++level) {
+        const uint32_t ka = sds->PartialKey(a, level);
+        const uint32_t kb = sds->PartialKey(b, level);
+        if (ka != kb) {
+          EXPECT_EQ(sds->RowLess(a, b), ka < kb)
+              << "rows " << a << "," << b << " level " << level;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(KeyEncoderTest, StringPrefixFreeness) {
+  // "ab" must sort before "abc" (terminator byte keeps prefixes distinct
+  // and ordered).
+  Schema schema;
+  schema.AddField({"s", DataType::kString, false});
+  Table t(schema);
+  t.column(0).AppendString("ab");
+  t.column(0).AppendString("abc");
+  t.column(0).AppendString("abb");
+  auto sds = SortDataStore::Make(t, {{0, true}});
+  ASSERT_TRUE(sds.ok());
+  EXPECT_TRUE(sds->RowLess(0, 1));   // ab < abc
+  EXPECT_TRUE(sds->RowLess(0, 2));   // ab < abb
+  EXPECT_TRUE(sds->RowLess(2, 1));   // abb < abc
+  EXPECT_FALSE(sds->RowEqual(0, 1));
+}
+
+TEST(KeyEncoderTest, MultiKeyLexicographic) {
+  Schema schema;
+  schema.AddField({"a", DataType::kInt32, false});
+  schema.AddField({"b", DataType::kFloat64, false});
+  Table t(schema);
+  // (1, 5.0), (1, 2.0), (0, 9.0)
+  t.column(0).AppendInt32(1);
+  t.column(1).AppendDouble(5.0);
+  t.column(0).AppendInt32(1);
+  t.column(1).AppendDouble(2.0);
+  t.column(0).AppendInt32(0);
+  t.column(1).AppendDouble(9.0);
+  auto sds = SortDataStore::Make(t, {{0, true}, {1, true}});
+  ASSERT_TRUE(sds.ok());
+  EXPECT_TRUE(sds->RowLess(2, 1));  // a=0 first
+  EXPECT_TRUE(sds->RowLess(1, 0));  // then by b
+}
+
+TEST(KeyEncoderTest, NegativeAndSpecialDoubles) {
+  Schema schema;
+  schema.AddField({"d", DataType::kFloat64, false});
+  Table t(schema);
+  const double values[] = {-1e300, -1.0, -0.0, 0.0, 1.0, 1e300};
+  for (double v : values) t.column(0).AppendDouble(v);
+  auto sds = SortDataStore::Make(t, {{0, true}});
+  ASSERT_TRUE(sds.ok());
+  for (int i = 0; i + 1 < 6; ++i) {
+    // -0.0 and 0.0 encode differently but order adjacently; others strict.
+    if (i == 2) continue;
+    EXPECT_TRUE(sds->RowLess(static_cast<uint32_t>(i),
+                             static_cast<uint32_t>(i + 1)))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(KeyEncoderTest, ErrorsOnBadKeys) {
+  Schema schema;
+  schema.AddField({"a", DataType::kInt32, false});
+  Table t(schema);
+  EXPECT_FALSE(KeyEncoder::Make(t, {}).ok());
+  EXPECT_FALSE(KeyEncoder::Make(t, {{5, true}}).ok());
+}
+
+TEST(SdsTest, RowLevelsMatchEncodedLength) {
+  auto t = OneColumn(DataType::kInt64, 10, 3);
+  auto sds = SortDataStore::Make(*t, {{0, true}});
+  ASSERT_TRUE(sds.ok());
+  // int64 encodes to 8 bytes -> 2 levels.
+  EXPECT_EQ(sds->RowLevels(0), 2);
+  EXPECT_EQ(sds->levels(), 2);
+  // Past-the-end partial keys are zero-padded.
+  EXPECT_EQ(sds->PartialKey(0, 5), 0u);
+}
+
+}  // namespace
+}  // namespace blusim::sort

@@ -1,0 +1,132 @@
+// Tests for the device hash-table layout and initialization mask
+// (section 4.3.1, table 1).
+
+#include "groupby/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "columnar/table.h"
+#include "common/bit_util.h"
+
+namespace blusim::groupby {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+using runtime::AggFn;
+using runtime::GroupByPlan;
+using runtime::GroupBySpec;
+
+std::shared_ptr<Table> PaperTable() {
+  // The paper's example: C1, C2 64-bit ints, C3 32-bit int.
+  Schema schema;
+  schema.AddField({"C1", DataType::kInt64, false});
+  schema.AddField({"C2", DataType::kInt64, false});
+  schema.AddField({"C3", DataType::kInt32, false});
+  auto t = std::make_shared<Table>(schema);
+  t->column(0).AppendInt64(1);
+  t->column(1).AppendInt64(1);
+  t->column(2).AppendInt32(1);
+  return t;
+}
+
+GroupByPlan PaperPlan(const Table& t) {
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kSum, 0, "SUM(C1)"},
+                     {AggFn::kMax, 1, "MAX(C2)"},
+                     {AggFn::kMin, 2, "MIN(C3)"}};
+  auto plan = GroupByPlan::Make(t, spec);
+  EXPECT_TRUE(plan.ok());
+  return std::move(plan).value();
+}
+
+TEST(LayoutTest, Table1MaskValues) {
+  auto t = PaperTable();
+  GroupByPlan plan = PaperPlan(*t);
+  HashTableLayout layout(plan);
+  const std::vector<char> mask = layout.BuildMask(plan);
+
+  // Grouping portion: sequence of Fs.
+  for (int i = 0; i < layout.key_bytes(); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(mask[static_cast<size_t>(i)]), 0xFF);
+  }
+  // SUM(C1) -> 0.
+  int64_t sum_init;
+  std::memcpy(&sum_init, mask.data() + layout.slot_offset(0), 8);
+  EXPECT_EQ(sum_init, 0);
+  // MAX(C2) -> smallest 64-bit integer (the paper's
+  // -9223372036854775808).
+  int64_t max_init;
+  std::memcpy(&max_init, mask.data() + layout.slot_offset(1), 8);
+  EXPECT_EQ(max_init, std::numeric_limits<int64_t>::min());
+  // MIN(C3) -> largest 32-bit integer (the paper's 2147483647).
+  int32_t min_init;
+  std::memcpy(&min_init, mask.data() + layout.slot_offset(2), 4);
+  EXPECT_EQ(min_init, std::numeric_limits<int32_t>::max());
+  // Lock word cleared, rep row all-Fs.
+  uint32_t lock, rep;
+  std::memcpy(&lock, mask.data() + layout.lock_offset(), 4);
+  std::memcpy(&rep, mask.data() + layout.rep_row_offset(), 4);
+  EXPECT_EQ(lock, 0u);
+  EXPECT_EQ(rep, kEmptyRow);
+}
+
+TEST(LayoutTest, SlotsNaturallyAligned) {
+  auto t = PaperTable();
+  GroupByPlan plan = PaperPlan(*t);
+  HashTableLayout layout(plan);
+  for (size_t s = 0; s < layout.num_slots(); ++s) {
+    const int bytes = plan.slots()[s].slot_bytes;
+    const int align = bytes >= 16 ? 16 : bytes;
+    EXPECT_EQ(layout.slot_offset(s) % align, 0) << "slot " << s;
+  }
+  EXPECT_EQ(layout.entry_bytes() % 8, 0);
+  EXPECT_GE(layout.padding_bytes(), 0);
+}
+
+TEST(LayoutTest, DecimalSlotSixteenByteAligned) {
+  Schema schema;
+  schema.AddField({"k", DataType::kInt32, false});
+  schema.AddField({"d", DataType::kDecimal128, false});
+  schema.AddField({"v", DataType::kInt32, false});
+  Table t(schema);
+  t.column(0).AppendInt32(1);
+  t.column(1).AppendDecimal(columnar::Decimal128(1));
+  t.column(2).AppendInt32(1);
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kMin, 2, "m"}, {AggFn::kSum, 1, "d"}};
+  auto plan = GroupByPlan::Make(t, spec);
+  ASSERT_TRUE(plan.ok());
+  HashTableLayout layout(plan.value());
+  // Slot 1 is the 16-byte decimal; it must sit on a 16-byte boundary even
+  // though the preceding 4-byte MIN slot misaligns the cursor.
+  EXPECT_EQ(layout.slot_offset(1) % 16, 0);
+}
+
+TEST(LayoutTest, TableBytesScalesWithCapacity) {
+  auto t = PaperTable();
+  GroupByPlan plan = PaperPlan(*t);
+  HashTableLayout layout(plan);
+  EXPECT_EQ(layout.TableBytes(128),
+            128u * static_cast<uint64_t>(layout.entry_bytes()));
+}
+
+TEST(ChooseCapacityTest, PowerOfTwoWithHeadroom) {
+  for (uint64_t groups : {0ULL, 1ULL, 10ULL, 100ULL, 4095ULL, 4096ULL,
+                          1000000ULL}) {
+    const uint64_t cap = ChooseCapacity(groups);
+    EXPECT_TRUE(IsPow2(cap)) << groups;
+    EXPECT_GE(cap, 64u);
+    // Load factor stays under ~0.7 at the estimate.
+    EXPECT_LT(static_cast<double>(groups), 0.70 * static_cast<double>(cap));
+  }
+}
+
+}  // namespace
+}  // namespace blusim::groupby

@@ -1,0 +1,175 @@
+// Tests for the partitioned multi-device group-by (section 2.2's
+// range-partition + merge mechanism, implemented as an extension).
+
+#include "groupby/partitioned.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "runtime/cpu_groupby.h"
+
+namespace blusim::groupby {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+using runtime::AggFn;
+using runtime::GroupByPlan;
+using runtime::GroupBySpec;
+
+std::shared_ptr<Table> MakeTable(uint64_t rows, uint64_t groups) {
+  Schema schema;
+  schema.AddField({"k", DataType::kInt64, false});
+  schema.AddField({"v", DataType::kInt64, false});
+  schema.AddField({"d", DataType::kFloat64, false});
+  auto t = std::make_shared<Table>(schema);
+  Rng rng(99);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t->column(0).AppendInt64(static_cast<int64_t>(rng.Below(groups)));
+    t->column(1).AppendInt64(rng.Range(-20, 20));
+    t->column(2).AppendDouble(static_cast<double>(rng.Below(100)));
+  }
+  return t;
+}
+
+GroupBySpec Spec() {
+  GroupBySpec spec;
+  spec.key_columns = {0};
+  spec.aggregates = {{AggFn::kSum, 1, "s"},
+                     {AggFn::kCount, -1, "n"},
+                     {AggFn::kMin, 2, "m"},
+                     {AggFn::kMax, 2, "x"}};
+  return spec;
+}
+
+class PartitionedTest : public ::testing::Test {
+ protected:
+  gpusim::HostSpec host_;
+  gpusim::DeviceSpec spec_;
+  // Small devices force multiple chunks for a 120k-row input.
+  gpusim::SimDevice d0_{0, spec_.WithMemory(4ULL << 20), host_, 2};
+  gpusim::SimDevice d1_{1, spec_.WithMemory(4ULL << 20), host_, 2};
+  sched::GpuScheduler scheduler_{{&d0_, &d1_}};
+  gpusim::PinnedHostPool pinned_{64ULL << 20};
+  runtime::ThreadPool pool_{2};
+  GpuModerator moderator_;
+};
+
+TEST_F(PartitionedTest, MatchesCpuChainAcrossChunks) {
+  auto t = MakeTable(120000, 5000);
+  auto plan = GroupByPlan::Make(*t, Spec());
+  ASSERT_TRUE(plan.ok());
+  std::vector<uint32_t> selection(t->num_rows());
+  for (uint32_t i = 0; i < selection.size(); ++i) selection[i] = i;
+
+  PartitionedStats stats;
+  auto out = PartitionedGroupBy::Execute(plan.value(), &scheduler_, &pinned_,
+                                         &pool_, &moderator_, selection, {},
+                                         &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GE(stats.chunks.size(), 2u) << "input should not fit one chunk";
+  EXPECT_GT(stats.merge_time, 0);
+  EXPECT_GT(stats.elapsed, 0);
+  // Both devices participated.
+  std::set<int> devices;
+  for (const auto& c : stats.chunks) devices.insert(c.device_id);
+  EXPECT_EQ(devices.size(), 2u);
+
+  auto cpu = runtime::CpuGroupBy::Execute(plan.value(), &pool_, &selection);
+  ASSERT_TRUE(cpu.ok());
+  ASSERT_EQ(out->num_groups, cpu->num_groups);
+
+  // Compare per-key aggregates.
+  auto index = [](const Table& t2) {
+    std::map<int64_t, size_t> m;
+    for (size_t r = 0; r < t2.num_rows(); ++r) {
+      m[t2.column(0).int64_data()[r]] = r;
+    }
+    return m;
+  };
+  const auto gi = index(*out->table);
+  const auto ci = index(*cpu->table);
+  for (const auto& [key, grow] : gi) {
+    auto it = ci.find(key);
+    ASSERT_NE(it, ci.end());
+    EXPECT_EQ(out->table->column(1).int64_data()[grow],
+              cpu->table->column(1).int64_data()[it->second]);
+    EXPECT_EQ(out->table->column(2).int64_data()[grow],
+              cpu->table->column(2).int64_data()[it->second]);
+    EXPECT_DOUBLE_EQ(out->table->column(3).float64_data()[grow],
+                     cpu->table->column(3).float64_data()[it->second]);
+    EXPECT_DOUBLE_EQ(out->table->column(4).float64_data()[grow],
+                     cpu->table->column(4).float64_data()[it->second]);
+  }
+}
+
+TEST_F(PartitionedTest, FailsCleanlyWhenTableExceedsSmallestDevice) {
+  auto t = MakeTable(50000, 49000);  // groups ~ rows: giant hash table
+  auto plan = GroupByPlan::Make(*t, Spec());
+  ASSERT_TRUE(plan.ok());
+  gpusim::SimDevice tiny(2, spec_.WithMemory(64 << 10), host_, 1);
+  sched::GpuScheduler sched({&tiny});
+  std::vector<uint32_t> selection(t->num_rows());
+  for (uint32_t i = 0; i < selection.size(); ++i) selection[i] = i;
+  PartitionedStats stats;
+  auto out = PartitionedGroupBy::Execute(plan.value(), &sched, &pinned_,
+                                         &pool_, &moderator_, selection, {},
+                                         &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsRecoverableOnHost());
+}
+
+TEST_F(PartitionedTest, MaxRowsPerChunkScalesWithMemory) {
+  auto t = MakeTable(100, 10);
+  auto plan = GroupByPlan::Make(*t, Spec());
+  ASSERT_TRUE(plan.ok());
+  const uint64_t small =
+      PartitionedGroupBy::MaxRowsPerChunk(plan.value(), 1000, 4ULL << 20);
+  const uint64_t large =
+      PartitionedGroupBy::MaxRowsPerChunk(plan.value(), 1000, 64ULL << 20);
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(PartitionedGroupBy::MaxRowsPerChunk(plan.value(), 1u << 24,
+                                                1 << 20),
+            0u);
+}
+
+TEST_F(PartitionedTest, EngineRunsOversizeQueryOnPartitionedPath) {
+  // End-to-end: a T3-exceeding query with the extension enabled must use
+  // the partitioned path and match the baseline engine's result rows.
+  auto t = MakeTable(150000, 2000);
+  blusim::core::EngineConfig on;
+  on.cpu_threads = 2;
+  on.device_spec = on.device_spec.WithMemory(3ULL << 20);
+  on.enable_partitioned_gpu = true;
+  on.thresholds.t1_min_rows = 1000;
+  blusim::core::EngineConfig off = on;
+  off.gpu_enabled = false;
+  blusim::core::Engine gpu_engine(on), cpu_engine(off);
+  ASSERT_TRUE(gpu_engine.RegisterTable("t", t).ok());
+  ASSERT_TRUE(cpu_engine.RegisterTable("t", t).ok());
+
+  blusim::core::QuerySpec q;
+  q.fact_table = "t";
+  q.groupby = Spec();
+  auto g = gpu_engine.Execute(q);
+  auto c = cpu_engine.Execute(q);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(g->profile.groupby_path, blusim::core::ExecutionPath::kPartitioned);
+  EXPECT_TRUE(g->profile.gpu_used);
+  EXPECT_EQ(g->table->num_rows(), c->table->num_rows());
+  // Multiple partition phases recorded.
+  int gpu_phases = 0;
+  for (const auto& phase : g->profile.phases) {
+    if (phase.kind == blusim::core::PhaseRecord::Kind::kGpu) ++gpu_phases;
+  }
+  EXPECT_GE(gpu_phases, 2);
+}
+
+}  // namespace
+}  // namespace blusim::groupby

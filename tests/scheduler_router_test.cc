@@ -1,0 +1,167 @@
+// Tests for the multi-GPU scheduler (section 2.2) and the T1/T2/T3 router
+// (figure 3).
+
+#include <gtest/gtest.h>
+
+#include "core/router.h"
+#include "sched/gpu_scheduler.h"
+
+namespace blusim {
+namespace {
+
+using core::ChooseGroupByPath;
+using core::ChooseSortPath;
+using core::ExecutionPath;
+using core::OptimizerEstimates;
+using core::RouterThresholds;
+using gpusim::DeviceSpec;
+using gpusim::HostSpec;
+using gpusim::SimDevice;
+using sched::GpuScheduler;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  HostSpec host_;
+  DeviceSpec spec_;
+  SimDevice d0_{0, spec_.WithMemory(1 << 20), host_, 1};
+  SimDevice d1_{1, spec_.WithMemory(4 << 20), host_, 1};
+  GpuScheduler sched_{{&d0_, &d1_}};
+};
+
+TEST_F(SchedulerTest, PicksLeastLoadedDevice) {
+  d0_.JobStarted();
+  d0_.JobStarted();
+  d1_.JobStarted();
+  auto pick = sched_.PickDevice(1024);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick.value()->id(), 1);
+  d0_.JobFinished();
+  d0_.JobFinished();
+  d1_.JobFinished();
+}
+
+TEST_F(SchedulerTest, TieBreaksByFreeMemory) {
+  // Equal job counts: prefer the device with more free memory.
+  auto pick = sched_.PickDevice(1024);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick.value()->id(), 1);  // 4 MB free vs 1 MB
+}
+
+TEST_F(SchedulerTest, SkipsDevicesWithoutMemory) {
+  // Needs 2 MB: only device 1 qualifies even though device 0 is idle.
+  d1_.JobStarted();
+  d1_.JobStarted();
+  auto pick = sched_.PickDevice(2 << 20);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick.value()->id(), 1);
+  d1_.JobFinished();
+  d1_.JobFinished();
+}
+
+TEST_F(SchedulerTest, HeterogeneousDevicesSupported) {
+  // The paper: "the GPUs do not need to be homogenous". A request too big
+  // for the small device still lands on the big one.
+  auto pick = sched_.PickDevice(3 << 20);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick.value()->id(), 1);
+}
+
+TEST_F(SchedulerTest, UnavailableWhenNothingFits) {
+  auto pick = sched_.PickDevice(100 << 20);
+  ASSERT_FALSE(pick.ok());
+  EXPECT_EQ(pick.status().code(), StatusCode::kDeviceUnavailable);
+}
+
+TEST_F(SchedulerTest, ReservedMemoryAffectsChoice) {
+  auto r = d1_.memory().Reserve(4 << 20);
+  ASSERT_TRUE(r.ok());
+  auto pick = sched_.PickDevice(512 << 10);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick.value()->id(), 0);  // d1 is full now
+}
+
+TEST(PartitionRowsTest, BalancedContiguousChunks) {
+  auto parts = GpuScheduler::PartitionRows(100, 30);
+  ASSERT_EQ(parts.size(), 4u);
+  uint64_t covered = 0;
+  uint64_t prev_end = 0;
+  for (auto [begin, end] : parts) {
+    EXPECT_EQ(begin, prev_end);
+    EXPECT_LE(end - begin, 30u);
+    EXPECT_GE(end - begin, 25u - 1);  // balanced, not one tiny tail
+    covered += end - begin;
+    prev_end = end;
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(PartitionRowsTest, EdgeCases) {
+  EXPECT_TRUE(GpuScheduler::PartitionRows(0, 10).empty());
+  EXPECT_TRUE(GpuScheduler::PartitionRows(10, 0).empty());
+  auto one = GpuScheduler::PartitionRows(5, 10);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (std::pair<uint64_t, uint64_t>(0, 5)));
+}
+
+// --- router (figure 3) ---
+
+TEST(RouterTest, SmallRowsGoCpu) {
+  RouterThresholds t;  // T1 = 100000
+  EXPECT_EQ(ChooseGroupByPath({50000, 1000}, t, true), ExecutionPath::kCpu);
+}
+
+TEST(RouterTest, TinyGroupCountGoesCpu) {
+  RouterThresholds t;  // T2 = 8
+  EXPECT_EQ(ChooseGroupByPath({5000000, 4}, t, true), ExecutionPath::kCpu);
+}
+
+TEST(RouterTest, MidSizeGoesGpu) {
+  RouterThresholds t;
+  EXPECT_EQ(ChooseGroupByPath({5000000, 5000}, t, true),
+            ExecutionPath::kGpu);
+}
+
+TEST(RouterTest, OversizeGoesPartitioned) {
+  RouterThresholds t;
+  t.t3_max_rows = 1000000;
+  EXPECT_EQ(ChooseGroupByPath({2000000, 5000}, t, true),
+            ExecutionPath::kPartitioned);
+}
+
+TEST(RouterTest, NoGpuForcesCpu) {
+  RouterThresholds t;
+  EXPECT_EQ(ChooseGroupByPath({5000000, 5000}, t, false),
+            ExecutionPath::kCpu);
+}
+
+TEST(RouterTest, ThresholdBoundariesExact) {
+  RouterThresholds t;
+  t.t1_min_rows = 100;
+  t.t2_min_groups = 10;
+  t.t3_max_rows = 1000;
+  EXPECT_EQ(ChooseGroupByPath({99, 50}, t, true), ExecutionPath::kCpu);
+  EXPECT_EQ(ChooseGroupByPath({100, 50}, t, true), ExecutionPath::kGpu);
+  EXPECT_EQ(ChooseGroupByPath({100, 9}, t, true), ExecutionPath::kCpu);
+  EXPECT_EQ(ChooseGroupByPath({100, 10}, t, true), ExecutionPath::kGpu);
+  EXPECT_EQ(ChooseGroupByPath({1000, 50}, t, true), ExecutionPath::kGpu);
+  EXPECT_EQ(ChooseGroupByPath({1001, 50}, t, true),
+            ExecutionPath::kPartitioned);
+}
+
+TEST(RouterTest, SortPathGate) {
+  RouterThresholds t;
+  t.t1_min_rows = 100;
+  EXPECT_EQ(ChooseSortPath(99, t, true), ExecutionPath::kCpu);
+  EXPECT_EQ(ChooseSortPath(100, t, true), ExecutionPath::kGpu);
+  EXPECT_EQ(ChooseSortPath(100000, t, false), ExecutionPath::kCpu);
+}
+
+TEST(RouterTest, PathNames) {
+  EXPECT_STREQ(core::ExecutionPathName(ExecutionPath::kCpu), "CPU");
+  EXPECT_STREQ(core::ExecutionPathName(ExecutionPath::kGpu), "GPU");
+  EXPECT_STREQ(core::ExecutionPathName(ExecutionPath::kPartitioned),
+               "PARTITIONED");
+}
+
+}  // namespace
+}  // namespace blusim

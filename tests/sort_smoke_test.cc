@@ -1,0 +1,87 @@
+// Hybrid sort must match a reference full-key sort on randomized inputs,
+// both CPU-only and with GPU offload.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "columnar/table.h"
+#include "common/rng.h"
+#include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
+#include "sort/hybrid_sort.h"
+#include "sort/sds.h"
+
+namespace blusim {
+namespace {
+
+using columnar::DataType;
+using columnar::Field;
+using columnar::Schema;
+using columnar::Table;
+using sort::HybridSorter;
+using sort::HybridSortOptions;
+using sort::HybridSortStats;
+using sort::SortKey;
+
+std::shared_ptr<Table> MakeTable(uint64_t rows, uint64_t key_range,
+                                 uint64_t seed) {
+  Schema schema;
+  schema.AddField(Field{"a", DataType::kInt64, false});
+  schema.AddField(Field{"b", DataType::kFloat64, false});
+  auto table = std::make_shared<Table>(schema);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    table->column(0).AppendInt64(rng.Range(-static_cast<int64_t>(key_range),
+                                           static_cast<int64_t>(key_range)));
+    table->column(1).AppendDouble(rng.NextDouble() * 100.0 - 50.0);
+  }
+  return table;
+}
+
+std::vector<uint32_t> ReferenceSort(const Table& t,
+                                    const std::vector<SortKey>& keys) {
+  auto sds = sort::SortDataStore::Make(t, keys);
+  EXPECT_TRUE(sds.ok());
+  std::vector<uint32_t> perm(t.num_rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return sds->RowLess(a, b);
+  });
+  return perm;
+}
+
+TEST(HybridSortTest, CpuOnlyMatchesReference) {
+  auto table = MakeTable(5000, 300, 7);
+  const std::vector<SortKey> keys = {{0, true}, {1, false}};
+  HybridSortStats stats;
+  auto perm = HybridSorter::Sort(*table, keys, HybridSortOptions{}, &stats);
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+  EXPECT_EQ(*perm, ReferenceSort(*table, keys));
+  EXPECT_EQ(stats.jobs_gpu, 0u);
+  EXPECT_GE(stats.jobs_cpu, 1u);
+}
+
+TEST(HybridSortTest, GpuOffloadMatchesReference) {
+  auto table = MakeTable(60000, 50, 11);  // heavy duplicates -> deep jobs
+  const std::vector<SortKey> keys = {{0, true}, {1, true}};
+  gpusim::DeviceSpec spec;
+  gpusim::HostSpec host;
+  gpusim::SimDevice device(0, spec, host, /*workers=*/2);
+  gpusim::PinnedHostPool pinned(32ULL << 20);
+  HybridSortOptions options;
+  options.device = &device;
+  options.pinned_pool = &pinned;
+  options.min_gpu_rows = 4096;
+  options.num_workers = 2;
+  HybridSortStats stats;
+  auto perm = HybridSorter::Sort(*table, keys, options, &stats);
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+  EXPECT_EQ(*perm, ReferenceSort(*table, keys));
+  EXPECT_GE(stats.jobs_gpu, 1u);
+  EXPECT_GT(stats.gpu_kernel_time, 0);
+}
+
+}  // namespace
+}  // namespace blusim

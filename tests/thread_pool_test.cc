@@ -1,0 +1,74 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace blusim::runtime {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversAllMorsels) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorksWithSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&](uint64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneMorsels) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(64, [&](uint64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&]() { done.fetch_add(1); });
+  }
+  while (done.load() < 50) std::this_thread::yield();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(MorselTest, GetMorselRanges) {
+  EXPECT_EQ(NumMorsels(100, 30), 4u);
+  MorselRange r0 = GetMorsel(100, 30, 0);
+  EXPECT_EQ(r0.begin, 0u);
+  EXPECT_EQ(r0.end, 30u);
+  MorselRange r3 = GetMorsel(100, 30, 3);
+  EXPECT_EQ(r3.begin, 90u);
+  EXPECT_EQ(r3.end, 100u);
+  EXPECT_EQ(r3.size(), 10u);
+}
+
+TEST(MorselTest, MorselsPartitionExactly) {
+  const uint64_t total = 123457;
+  const uint64_t morsel = 1000;
+  uint64_t covered = 0;
+  for (uint64_t m = 0; m < NumMorsels(total, morsel); ++m) {
+    covered += GetMorsel(total, morsel, m).size();
+  }
+  EXPECT_EQ(covered, total);
+}
+
+}  // namespace
+}  // namespace blusim::runtime

@@ -1,0 +1,142 @@
+// Tests for the BD Insights database generator and the workload query
+// sets: schema shape, determinism, paper-mandated query counts, and
+// executability of every generated query.
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace blusim::workload {
+namespace {
+
+ScaleConfig TinyScale() {
+  ScaleConfig s;
+  s.store_sales_rows = 20000;
+  s.customers = 2000;
+  s.items = 500;
+  return s;
+}
+
+TEST(DataGenTest, SchemaHasSevenFactsAndSeventeenDims) {
+  auto db = GenerateDatabase(TinyScale());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 24u);
+  const char* facts[] = {"store_sales",   "catalog_sales", "web_sales",
+                         "store_returns", "catalog_returns", "web_returns",
+                         "inventory"};
+  for (const char* f : facts) {
+    ASSERT_TRUE(db->count(f)) << f;
+    EXPECT_GT(db->at(f)->num_rows(), 0u) << f;
+  }
+  const char* dims[] = {"date_dim",   "time_dim",  "item",
+                        "store",      "customer",  "customer_address",
+                        "customer_demographics", "household_demographics",
+                        "promotion",  "warehouse", "income_band",
+                        "ship_mode",  "reason",    "web_site",
+                        "web_page",   "catalog_page", "call_center"};
+  for (const char* d : dims) {
+    ASSERT_TRUE(db->count(d)) << d;
+  }
+}
+
+TEST(DataGenTest, DeterministicForSameSeed) {
+  auto a = GenerateDatabase(TinyScale());
+  auto b = GenerateDatabase(TinyScale());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& sa = *a->at("store_sales");
+  const auto& sb = *b->at("store_sales");
+  ASSERT_EQ(sa.num_rows(), sb.num_rows());
+  for (size_t i = 0; i < sa.num_rows(); i += 997) {
+    EXPECT_EQ(sa.column(0).GetInt64(i), sb.column(0).GetInt64(i));
+    EXPECT_EQ(sa.column(8).GetDouble(i), sb.column(8).GetDouble(i));
+  }
+}
+
+TEST(DataGenTest, ForeignKeysResolve) {
+  auto db = GenerateDatabase(TinyScale());
+  ASSERT_TRUE(db.ok());
+  const auto& ss = *db->at("store_sales");
+  const uint64_t dates = db->at("date_dim")->num_rows();
+  const uint64_t items = db->at("item")->num_rows();
+  for (size_t i = 0; i < ss.num_rows(); i += 101) {
+    const int64_t d = ss.column(0).GetInt64(i);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, static_cast<int64_t>(dates));
+    const int64_t it = ss.column(1).GetInt64(i);
+    EXPECT_GE(it, 1);
+    EXPECT_LE(it, static_cast<int64_t>(items));
+  }
+}
+
+TEST(DataGenTest, FactProportionsFollowScale) {
+  ScaleConfig s = TinyScale();
+  auto db = GenerateDatabase(s);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->at("store_sales")->num_rows(), s.store_sales_rows);
+  EXPECT_EQ(db->at("catalog_sales")->num_rows(),
+            static_cast<uint64_t>(s.store_sales_rows *
+                                  s.catalog_sales_ratio));
+  EXPECT_EQ(db->at("store_returns")->num_rows(),
+            static_cast<uint64_t>(s.store_sales_rows * s.returns_ratio));
+}
+
+TEST(QueriesTest, BdiCountsMatchPaper) {
+  auto db = GenerateDatabase(TinyScale());
+  ASSERT_TRUE(db.ok());
+  auto queries = MakeBdiQueries(*db);
+  EXPECT_EQ(queries.size(), 100u);  // "100 distinct queries"
+  EXPECT_EQ(FilterByClass(queries, QueryClass::kSimple).size(), 70u);
+  EXPECT_EQ(FilterByClass(queries, QueryClass::kIntermediate).size(), 25u);
+  EXPECT_EQ(FilterByClass(queries, QueryClass::kComplex).size(), 5u);
+}
+
+TEST(QueriesTest, RolapCountMatchesPaper) {
+  auto db = GenerateDatabase(TinyScale());
+  ASSERT_TRUE(db.ok());
+  auto queries = MakeRolapQueries(*db);
+  EXPECT_EQ(queries.size(), 46u);  // "composed of 46 complex ... queries"
+}
+
+TEST(QueriesTest, QueryNamesUnique) {
+  auto db = GenerateDatabase(TinyScale());
+  ASSERT_TRUE(db.ok());
+  std::set<std::string> names;
+  for (const auto& q : MakeBdiQueries(*db)) names.insert(q.spec.name);
+  for (const auto& q : MakeRolapQueries(*db)) names.insert(q.spec.name);
+  for (const auto& q : MakeHandwrittenHeavyQueries(*db)) {
+    names.insert(q.spec.name);
+  }
+  EXPECT_EQ(names.size(), 100u + 46u + 2u);
+}
+
+TEST(QueriesTest, EveryQueryExecutes) {
+  auto db = GenerateDatabase(TinyScale());
+  ASSERT_TRUE(db.ok());
+  core::EngineConfig config;
+  config.cpu_threads = 2;
+  config.device_spec = config.device_spec.WithMemory(8ULL << 20);
+  config.thresholds.t1_min_rows = 8000;
+  auto engine = harness::MakeEngine(*db, config);
+
+  auto run_all = [&](const std::vector<WorkloadQuery>& queries) {
+    for (const auto& q : queries) {
+      auto r = engine->Execute(q.spec);
+      ASSERT_TRUE(r.ok()) << q.spec.name << ": "
+                          << r.status().ToString();
+      ASSERT_TRUE(r->table->Validate().ok()) << q.spec.name;
+    }
+  };
+  run_all(MakeBdiQueries(*db));
+  run_all(MakeRolapQueries(*db));
+  run_all(MakeHandwrittenHeavyQueries(*db));
+}
+
+TEST(QueriesTest, ClassNames) {
+  EXPECT_STREQ(QueryClassName(QueryClass::kSimple), "simple");
+  EXPECT_STREQ(QueryClassName(QueryClass::kRolap), "rolap");
+}
+
+}  // namespace
+}  // namespace blusim::workload
