@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossover_scaling.dir/bench_crossover_scaling.cc.o"
+  "CMakeFiles/bench_crossover_scaling.dir/bench_crossover_scaling.cc.o.d"
+  "bench_crossover_scaling"
+  "bench_crossover_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossover_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bdi_complex.dir/bench_fig5_bdi_complex.cc.o"
+  "CMakeFiles/bench_fig5_bdi_complex.dir/bench_fig5_bdi_complex.cc.o.d"
+  "bench_fig5_bdi_complex"
+  "bench_fig5_bdi_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bdi_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

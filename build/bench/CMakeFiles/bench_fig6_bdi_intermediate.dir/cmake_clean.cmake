@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bdi_intermediate.dir/bench_fig6_bdi_intermediate.cc.o"
+  "CMakeFiles/bench_fig6_bdi_intermediate.dir/bench_fig6_bdi_intermediate.cc.o.d"
+  "bench_fig6_bdi_intermediate"
+  "bench_fig6_bdi_intermediate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bdi_intermediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

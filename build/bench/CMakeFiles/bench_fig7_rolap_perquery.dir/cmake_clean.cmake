@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rolap_perquery.dir/bench_fig7_rolap_perquery.cc.o"
+  "CMakeFiles/bench_fig7_rolap_perquery.dir/bench_fig7_rolap_perquery.cc.o.d"
+  "bench_fig7_rolap_perquery"
+  "bench_fig7_rolap_perquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rolap_perquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

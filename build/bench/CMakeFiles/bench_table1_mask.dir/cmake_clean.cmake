@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mask.dir/bench_table1_mask.cc.o"
+  "CMakeFiles/bench_table1_mask.dir/bench_table1_mask.cc.o.d"
+  "bench_table1_mask"
+  "bench_table1_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

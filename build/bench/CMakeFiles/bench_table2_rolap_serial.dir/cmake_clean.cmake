@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rolap_serial.dir/bench_table2_rolap_serial.cc.o"
+  "CMakeFiles/bench_table2_rolap_serial.dir/bench_table2_rolap_serial.cc.o.d"
+  "bench_table2_rolap_serial"
+  "bench_table2_rolap_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rolap_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

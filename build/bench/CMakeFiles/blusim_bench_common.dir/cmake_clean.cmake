@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/blusim_bench_common.dir/bench_common.cc.o.d"
+  "libblusim_bench_common.a"
+  "libblusim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

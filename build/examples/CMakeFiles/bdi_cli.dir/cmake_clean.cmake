@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_cli.dir/bdi_cli.cpp.o"
+  "CMakeFiles/bdi_cli.dir/bdi_cli.cpp.o.d"
+  "bdi_cli"
+  "bdi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

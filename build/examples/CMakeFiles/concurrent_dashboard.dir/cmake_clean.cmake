@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_dashboard.dir/concurrent_dashboard.cpp.o"
+  "CMakeFiles/concurrent_dashboard.dir/concurrent_dashboard.cpp.o.d"
+  "concurrent_dashboard"
+  "concurrent_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_oversize.dir/partitioned_oversize.cpp.o"
+  "CMakeFiles/partitioned_oversize.dir/partitioned_oversize.cpp.o.d"
+  "partitioned_oversize"
+  "partitioned_oversize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_oversize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

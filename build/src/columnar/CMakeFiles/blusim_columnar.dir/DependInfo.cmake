@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/column.cc" "src/columnar/CMakeFiles/blusim_columnar.dir/column.cc.o" "gcc" "src/columnar/CMakeFiles/blusim_columnar.dir/column.cc.o.d"
+  "/root/repo/src/columnar/dictionary.cc" "src/columnar/CMakeFiles/blusim_columnar.dir/dictionary.cc.o" "gcc" "src/columnar/CMakeFiles/blusim_columnar.dir/dictionary.cc.o.d"
+  "/root/repo/src/columnar/schema.cc" "src/columnar/CMakeFiles/blusim_columnar.dir/schema.cc.o" "gcc" "src/columnar/CMakeFiles/blusim_columnar.dir/schema.cc.o.d"
+  "/root/repo/src/columnar/table.cc" "src/columnar/CMakeFiles/blusim_columnar.dir/table.cc.o" "gcc" "src/columnar/CMakeFiles/blusim_columnar.dir/table.cc.o.d"
+  "/root/repo/src/columnar/types.cc" "src/columnar/CMakeFiles/blusim_columnar.dir/types.cc.o" "gcc" "src/columnar/CMakeFiles/blusim_columnar.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

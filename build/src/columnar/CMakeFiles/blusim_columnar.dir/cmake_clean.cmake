@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_columnar.dir/column.cc.o"
+  "CMakeFiles/blusim_columnar.dir/column.cc.o.d"
+  "CMakeFiles/blusim_columnar.dir/dictionary.cc.o"
+  "CMakeFiles/blusim_columnar.dir/dictionary.cc.o.d"
+  "CMakeFiles/blusim_columnar.dir/schema.cc.o"
+  "CMakeFiles/blusim_columnar.dir/schema.cc.o.d"
+  "CMakeFiles/blusim_columnar.dir/table.cc.o"
+  "CMakeFiles/blusim_columnar.dir/table.cc.o.d"
+  "CMakeFiles/blusim_columnar.dir/types.cc.o"
+  "CMakeFiles/blusim_columnar.dir/types.cc.o.d"
+  "libblusim_columnar.a"
+  "libblusim_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

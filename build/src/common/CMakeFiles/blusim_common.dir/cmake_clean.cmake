@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_common.dir/hash.cc.o"
+  "CMakeFiles/blusim_common.dir/hash.cc.o.d"
+  "CMakeFiles/blusim_common.dir/kmv.cc.o"
+  "CMakeFiles/blusim_common.dir/kmv.cc.o.d"
+  "CMakeFiles/blusim_common.dir/logging.cc.o"
+  "CMakeFiles/blusim_common.dir/logging.cc.o.d"
+  "CMakeFiles/blusim_common.dir/rng.cc.o"
+  "CMakeFiles/blusim_common.dir/rng.cc.o.d"
+  "CMakeFiles/blusim_common.dir/status.cc.o"
+  "CMakeFiles/blusim_common.dir/status.cc.o.d"
+  "libblusim_common.a"
+  "libblusim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

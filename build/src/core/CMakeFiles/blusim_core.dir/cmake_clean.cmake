@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_core.dir/engine.cc.o"
+  "CMakeFiles/blusim_core.dir/engine.cc.o.d"
+  "CMakeFiles/blusim_core.dir/explain.cc.o"
+  "CMakeFiles/blusim_core.dir/explain.cc.o.d"
+  "CMakeFiles/blusim_core.dir/router.cc.o"
+  "CMakeFiles/blusim_core.dir/router.cc.o.d"
+  "libblusim_core.a"
+  "libblusim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

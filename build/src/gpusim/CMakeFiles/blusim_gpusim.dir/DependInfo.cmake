@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cost_model.cc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/cost_model.cc.o" "gcc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/device_memory.cc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/device_memory.cc.o" "gcc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/device_memory.cc.o.d"
+  "/root/repo/src/gpusim/kernel.cc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/kernel.cc.o" "gcc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/kernel.cc.o.d"
+  "/root/repo/src/gpusim/perf_monitor.cc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/perf_monitor.cc.o" "gcc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/perf_monitor.cc.o.d"
+  "/root/repo/src/gpusim/pinned_pool.cc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/pinned_pool.cc.o" "gcc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/pinned_pool.cc.o.d"
+  "/root/repo/src/gpusim/sim_device.cc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/sim_device.cc.o" "gcc" "src/gpusim/CMakeFiles/blusim_gpusim.dir/sim_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/blusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

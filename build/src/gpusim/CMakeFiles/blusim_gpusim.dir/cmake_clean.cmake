@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_gpusim.dir/cost_model.cc.o"
+  "CMakeFiles/blusim_gpusim.dir/cost_model.cc.o.d"
+  "CMakeFiles/blusim_gpusim.dir/device_memory.cc.o"
+  "CMakeFiles/blusim_gpusim.dir/device_memory.cc.o.d"
+  "CMakeFiles/blusim_gpusim.dir/kernel.cc.o"
+  "CMakeFiles/blusim_gpusim.dir/kernel.cc.o.d"
+  "CMakeFiles/blusim_gpusim.dir/perf_monitor.cc.o"
+  "CMakeFiles/blusim_gpusim.dir/perf_monitor.cc.o.d"
+  "CMakeFiles/blusim_gpusim.dir/pinned_pool.cc.o"
+  "CMakeFiles/blusim_gpusim.dir/pinned_pool.cc.o.d"
+  "CMakeFiles/blusim_gpusim.dir/sim_device.cc.o"
+  "CMakeFiles/blusim_gpusim.dir/sim_device.cc.o.d"
+  "libblusim_gpusim.a"
+  "libblusim_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/groupby/gpu_groupby.cc" "src/groupby/CMakeFiles/blusim_groupby.dir/gpu_groupby.cc.o" "gcc" "src/groupby/CMakeFiles/blusim_groupby.dir/gpu_groupby.cc.o.d"
+  "/root/repo/src/groupby/kernels.cc" "src/groupby/CMakeFiles/blusim_groupby.dir/kernels.cc.o" "gcc" "src/groupby/CMakeFiles/blusim_groupby.dir/kernels.cc.o.d"
+  "/root/repo/src/groupby/layout.cc" "src/groupby/CMakeFiles/blusim_groupby.dir/layout.cc.o" "gcc" "src/groupby/CMakeFiles/blusim_groupby.dir/layout.cc.o.d"
+  "/root/repo/src/groupby/moderator.cc" "src/groupby/CMakeFiles/blusim_groupby.dir/moderator.cc.o" "gcc" "src/groupby/CMakeFiles/blusim_groupby.dir/moderator.cc.o.d"
+  "/root/repo/src/groupby/partitioned.cc" "src/groupby/CMakeFiles/blusim_groupby.dir/partitioned.cc.o" "gcc" "src/groupby/CMakeFiles/blusim_groupby.dir/partitioned.cc.o.d"
+  "/root/repo/src/groupby/staging.cc" "src/groupby/CMakeFiles/blusim_groupby.dir/staging.cc.o" "gcc" "src/groupby/CMakeFiles/blusim_groupby.dir/staging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/blusim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/blusim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/blusim_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_groupby.dir/gpu_groupby.cc.o"
+  "CMakeFiles/blusim_groupby.dir/gpu_groupby.cc.o.d"
+  "CMakeFiles/blusim_groupby.dir/kernels.cc.o"
+  "CMakeFiles/blusim_groupby.dir/kernels.cc.o.d"
+  "CMakeFiles/blusim_groupby.dir/layout.cc.o"
+  "CMakeFiles/blusim_groupby.dir/layout.cc.o.d"
+  "CMakeFiles/blusim_groupby.dir/moderator.cc.o"
+  "CMakeFiles/blusim_groupby.dir/moderator.cc.o.d"
+  "CMakeFiles/blusim_groupby.dir/partitioned.cc.o"
+  "CMakeFiles/blusim_groupby.dir/partitioned.cc.o.d"
+  "CMakeFiles/blusim_groupby.dir/staging.cc.o"
+  "CMakeFiles/blusim_groupby.dir/staging.cc.o.d"
+  "libblusim_groupby.a"
+  "libblusim_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

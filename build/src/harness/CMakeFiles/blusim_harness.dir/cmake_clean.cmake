@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_harness.dir/concurrency_sim.cc.o"
+  "CMakeFiles/blusim_harness.dir/concurrency_sim.cc.o.d"
+  "CMakeFiles/blusim_harness.dir/monitor_report.cc.o"
+  "CMakeFiles/blusim_harness.dir/monitor_report.cc.o.d"
+  "CMakeFiles/blusim_harness.dir/report.cc.o"
+  "CMakeFiles/blusim_harness.dir/report.cc.o.d"
+  "CMakeFiles/blusim_harness.dir/runner.cc.o"
+  "CMakeFiles/blusim_harness.dir/runner.cc.o.d"
+  "libblusim_harness.a"
+  "libblusim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

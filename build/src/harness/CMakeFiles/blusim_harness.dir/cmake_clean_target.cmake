@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblusim_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_join.dir/gpu_join.cc.o"
+  "CMakeFiles/blusim_join.dir/gpu_join.cc.o.d"
+  "libblusim_join.a"
+  "libblusim_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

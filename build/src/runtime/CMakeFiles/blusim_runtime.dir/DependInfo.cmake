@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/agg.cc" "src/runtime/CMakeFiles/blusim_runtime.dir/agg.cc.o" "gcc" "src/runtime/CMakeFiles/blusim_runtime.dir/agg.cc.o.d"
+  "/root/repo/src/runtime/cpu_groupby.cc" "src/runtime/CMakeFiles/blusim_runtime.dir/cpu_groupby.cc.o" "gcc" "src/runtime/CMakeFiles/blusim_runtime.dir/cpu_groupby.cc.o.d"
+  "/root/repo/src/runtime/evaluators.cc" "src/runtime/CMakeFiles/blusim_runtime.dir/evaluators.cc.o" "gcc" "src/runtime/CMakeFiles/blusim_runtime.dir/evaluators.cc.o.d"
+  "/root/repo/src/runtime/group_result.cc" "src/runtime/CMakeFiles/blusim_runtime.dir/group_result.cc.o" "gcc" "src/runtime/CMakeFiles/blusim_runtime.dir/group_result.cc.o.d"
+  "/root/repo/src/runtime/groupby_plan.cc" "src/runtime/CMakeFiles/blusim_runtime.dir/groupby_plan.cc.o" "gcc" "src/runtime/CMakeFiles/blusim_runtime.dir/groupby_plan.cc.o.d"
+  "/root/repo/src/runtime/operators.cc" "src/runtime/CMakeFiles/blusim_runtime.dir/operators.cc.o" "gcc" "src/runtime/CMakeFiles/blusim_runtime.dir/operators.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "src/runtime/CMakeFiles/blusim_runtime.dir/thread_pool.cc.o" "gcc" "src/runtime/CMakeFiles/blusim_runtime.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/blusim_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

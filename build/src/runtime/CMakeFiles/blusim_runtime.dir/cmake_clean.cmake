@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_runtime.dir/agg.cc.o"
+  "CMakeFiles/blusim_runtime.dir/agg.cc.o.d"
+  "CMakeFiles/blusim_runtime.dir/cpu_groupby.cc.o"
+  "CMakeFiles/blusim_runtime.dir/cpu_groupby.cc.o.d"
+  "CMakeFiles/blusim_runtime.dir/evaluators.cc.o"
+  "CMakeFiles/blusim_runtime.dir/evaluators.cc.o.d"
+  "CMakeFiles/blusim_runtime.dir/group_result.cc.o"
+  "CMakeFiles/blusim_runtime.dir/group_result.cc.o.d"
+  "CMakeFiles/blusim_runtime.dir/groupby_plan.cc.o"
+  "CMakeFiles/blusim_runtime.dir/groupby_plan.cc.o.d"
+  "CMakeFiles/blusim_runtime.dir/operators.cc.o"
+  "CMakeFiles/blusim_runtime.dir/operators.cc.o.d"
+  "CMakeFiles/blusim_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/blusim_runtime.dir/thread_pool.cc.o.d"
+  "libblusim_runtime.a"
+  "libblusim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_sched.dir/gpu_scheduler.cc.o"
+  "CMakeFiles/blusim_sched.dir/gpu_scheduler.cc.o.d"
+  "libblusim_sched.a"
+  "libblusim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/gpu_sort.cc" "src/sort/CMakeFiles/blusim_sort.dir/gpu_sort.cc.o" "gcc" "src/sort/CMakeFiles/blusim_sort.dir/gpu_sort.cc.o.d"
+  "/root/repo/src/sort/hybrid_sort.cc" "src/sort/CMakeFiles/blusim_sort.dir/hybrid_sort.cc.o" "gcc" "src/sort/CMakeFiles/blusim_sort.dir/hybrid_sort.cc.o.d"
+  "/root/repo/src/sort/job_queue.cc" "src/sort/CMakeFiles/blusim_sort.dir/job_queue.cc.o" "gcc" "src/sort/CMakeFiles/blusim_sort.dir/job_queue.cc.o.d"
+  "/root/repo/src/sort/key_encoder.cc" "src/sort/CMakeFiles/blusim_sort.dir/key_encoder.cc.o" "gcc" "src/sort/CMakeFiles/blusim_sort.dir/key_encoder.cc.o.d"
+  "/root/repo/src/sort/sds.cc" "src/sort/CMakeFiles/blusim_sort.dir/sds.cc.o" "gcc" "src/sort/CMakeFiles/blusim_sort.dir/sds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/blusim_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/blusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/blusim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

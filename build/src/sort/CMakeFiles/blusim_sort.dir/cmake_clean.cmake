@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_sort.dir/gpu_sort.cc.o"
+  "CMakeFiles/blusim_sort.dir/gpu_sort.cc.o.d"
+  "CMakeFiles/blusim_sort.dir/hybrid_sort.cc.o"
+  "CMakeFiles/blusim_sort.dir/hybrid_sort.cc.o.d"
+  "CMakeFiles/blusim_sort.dir/job_queue.cc.o"
+  "CMakeFiles/blusim_sort.dir/job_queue.cc.o.d"
+  "CMakeFiles/blusim_sort.dir/key_encoder.cc.o"
+  "CMakeFiles/blusim_sort.dir/key_encoder.cc.o.d"
+  "CMakeFiles/blusim_sort.dir/sds.cc.o"
+  "CMakeFiles/blusim_sort.dir/sds.cc.o.d"
+  "libblusim_sort.a"
+  "libblusim_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blusim_workload.dir/data_gen.cc.o"
+  "CMakeFiles/blusim_workload.dir/data_gen.cc.o.d"
+  "CMakeFiles/blusim_workload.dir/queries.cc.o"
+  "CMakeFiles/blusim_workload.dir/queries.cc.o.d"
+  "libblusim_workload.a"
+  "libblusim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blusim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

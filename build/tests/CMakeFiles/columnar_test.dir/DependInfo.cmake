@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/columnar_test.cc" "tests/CMakeFiles/columnar_test.dir/columnar_test.cc.o" "gcc" "tests/CMakeFiles/columnar_test.dir/columnar_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/blusim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/blusim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blusim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/blusim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/groupby/CMakeFiles/blusim_groupby.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/blusim_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/blusim_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/blusim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/blusim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/blusim_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/blusim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

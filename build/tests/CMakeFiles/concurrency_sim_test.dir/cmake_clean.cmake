@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_sim_test.dir/concurrency_sim_test.cc.o"
+  "CMakeFiles/concurrency_sim_test.dir/concurrency_sim_test.cc.o.d"
+  "concurrency_sim_test"
+  "concurrency_sim_test.pdb"
+  "concurrency_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_e2e_test.dir/engine_e2e_test.cc.o"
+  "CMakeFiles/engine_e2e_test.dir/engine_e2e_test.cc.o.d"
+  "engine_e2e_test"
+  "engine_e2e_test.pdb"
+  "engine_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_chain_test.dir/evaluator_chain_test.cc.o"
+  "CMakeFiles/evaluator_chain_test.dir/evaluator_chain_test.cc.o.d"
+  "evaluator_chain_test"
+  "evaluator_chain_test.pdb"
+  "evaluator_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

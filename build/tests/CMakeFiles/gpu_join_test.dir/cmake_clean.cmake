@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_join_test.dir/gpu_join_test.cc.o"
+  "CMakeFiles/gpu_join_test.dir/gpu_join_test.cc.o.d"
+  "gpu_join_test"
+  "gpu_join_test.pdb"
+  "gpu_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_plan_test.dir/groupby_plan_test.cc.o"
+  "CMakeFiles/groupby_plan_test.dir/groupby_plan_test.cc.o.d"
+  "groupby_plan_test"
+  "groupby_plan_test.pdb"
+  "groupby_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

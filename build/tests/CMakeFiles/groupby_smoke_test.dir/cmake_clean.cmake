@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_smoke_test.dir/groupby_smoke_test.cc.o"
+  "CMakeFiles/groupby_smoke_test.dir/groupby_smoke_test.cc.o.d"
+  "groupby_smoke_test"
+  "groupby_smoke_test.pdb"
+  "groupby_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

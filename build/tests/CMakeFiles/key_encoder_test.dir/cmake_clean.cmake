@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_encoder_test.dir/key_encoder_test.cc.o"
+  "CMakeFiles/key_encoder_test.dir/key_encoder_test.cc.o.d"
+  "key_encoder_test"
+  "key_encoder_test.pdb"
+  "key_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

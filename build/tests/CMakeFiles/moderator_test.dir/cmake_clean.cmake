@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moderator_test.dir/moderator_test.cc.o"
+  "CMakeFiles/moderator_test.dir/moderator_test.cc.o.d"
+  "moderator_test"
+  "moderator_test.pdb"
+  "moderator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moderator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
