@@ -1,0 +1,258 @@
+// CPU group-by hot-path benchmark: flat open-addressing aggregation with
+// partitioned merge (the current CpuGroupBy) vs. the pre-change
+// implementation (per-morsel std::unordered_map with per-group heap
+// allocated accumulators and a global-mutex merge), which is kept here
+// verbatim as the "before" baseline.
+//
+// Emits BENCH_cpu_groupby.json with rows/sec for low-, mid- and
+// high-cardinality keys at 1 thread and N threads, so the perf trajectory
+// of the CPU chain (which feeds the T1/T2/T3 routing decisions) stays
+// measurable.
+//
+// Env knobs: BLUSIM_BENCH_ROWS (default 2000000), BLUSIM_BENCH_REPS
+// (default 3, best-of), BLUSIM_BENCH_THREADS (default hardware).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/hash.h"
+#include "common/kmv.h"
+#include "common/rng.h"
+#include "runtime/cpu_groupby.h"
+#include "runtime/evaluators.h"
+#include "runtime/group_result.h"
+
+namespace blusim::runtime {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// The pre-flat-table implementation, preserved as the benchmark baseline.
+
+struct U64Hash {
+  size_t operator()(uint64_t k) const { return static_cast<size_t>(Mix64(k)); }
+};
+
+Result<GroupByOutput> LegacyCpuGroupBy(const GroupByPlan& plan,
+                                       ThreadPool* pool) {
+  const uint64_t total_rows = plan.table().num_rows();
+  const uint64_t num_morsels =
+      NumMorsels(total_rows, CpuGroupBy::kMorselRows);
+  GroupByChain chain(&plan);
+  const size_t num_slots = plan.slots().size();
+
+  std::mutex mu;
+  std::unordered_map<uint64_t, GroupEntry, U64Hash> global;
+  KmvSketch global_kmv(256);
+  Status first_error;
+
+  auto process_morsel = [&](uint64_t m) {
+    Stride stride;
+    stride.range = GetMorsel(total_rows, CpuGroupBy::kMorselRows, m);
+    Status st = chain.ProcessStride(&stride);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = st;
+      return;
+    }
+    std::unordered_map<uint64_t, GroupEntry, U64Hash> local;
+    const uint64_t n = stride.num_rows();
+    for (uint64_t i = 0; i < n; ++i) {
+      auto [it, inserted] = local.try_emplace(stride.packed_keys[i]);
+      GroupEntry& entry = it->second;
+      if (inserted) {
+        entry.rep_row = stride.InputRow(i);
+        entry.slots.resize(num_slots);
+        for (size_t s = 0; s < num_slots; ++s) {
+          InitAcc(plan.slots()[s], &entry.slots[s]);
+        }
+      }
+      for (size_t s = 0; s < num_slots; ++s) {
+        AccumulateRow(plan.slots()[s], stride.payloads[s], i,
+                      &entry.slots[s]);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    global_kmv.Merge(stride.kmv);
+    for (auto& [key, entry] : local) {
+      auto [git, inserted] = global.try_emplace(key, std::move(entry));
+      if (!inserted) {
+        for (size_t s = 0; s < num_slots; ++s) {
+          MergeAcc(plan.slots()[s], entry.slots[s], &git->second.slots[s]);
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_morsels, process_morsel);
+  } else {
+    for (uint64_t m = 0; m < num_morsels; ++m) process_morsel(m);
+  }
+  BLUSIM_RETURN_NOT_OK(first_error);
+
+  std::vector<GroupEntry> groups;
+  groups.reserve(global.size());
+  for (auto& [key, entry] : global) groups.push_back(std::move(entry));
+  GroupByOutput out;
+  out.num_groups = groups.size();
+  out.kmv_estimate = global_kmv.Estimate();
+  out.input_rows = total_rows;
+  BLUSIM_ASSIGN_OR_RETURN(out.table, MaterializeGroups(plan, groups));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+struct CaseResult {
+  std::string name;
+  uint64_t groups_target = 0;
+  uint64_t groups_actual = 0;
+  double flat_t1 = 0, flat_tn = 0;      // rows/sec
+  double legacy_t1 = 0, legacy_tn = 0;  // rows/sec
+};
+
+columnar::Table MakeTable(uint64_t rows, uint64_t groups) {
+  columnar::Schema schema;
+  schema.AddField({"k", columnar::DataType::kInt64, false});
+  schema.AddField({"v", columnar::DataType::kInt64, false});
+  columnar::Table t(schema);
+  t.Reserve(rows);
+  Rng rng(rows ^ groups);
+  for (uint64_t r = 0; r < rows; ++r) {
+    // Scrambled keys so neither path benefits from sequential insertion.
+    t.column(0).AppendInt64(
+        static_cast<int64_t>(Mix64(rng.Below(groups)) >> 8));
+    t.column(1).AppendInt64(rng.Range(-1000, 1000));
+  }
+  return t;
+}
+
+template <typename Fn>
+double MeasureRowsPerSec(uint64_t rows, int reps, Fn run) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    best = std::max(best, static_cast<double>(rows) / secs);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace blusim::runtime
+
+int main() {
+  using namespace blusim;
+  using namespace blusim::runtime;
+
+  const uint64_t rows = std::max<uint64_t>(
+      EnvU64("BLUSIM_BENCH_ROWS", 2000000), 1);
+  const int reps = std::max<int>(
+      static_cast<int>(EnvU64("BLUSIM_BENCH_REPS", 3)), 1);
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int threads = static_cast<int>(
+      EnvU64("BLUSIM_BENCH_THREADS", hc == 0 ? 4 : hc));
+
+  struct CaseSpec {
+    const char* name;
+    uint64_t groups;
+  };
+  const CaseSpec cases[] = {
+      {"low_cardinality", 64},
+      {"mid_cardinality", 65536},
+      {"high_cardinality", rows},  // groups ~= rows
+  };
+
+  ThreadPool pool(threads);
+  std::vector<CaseResult> results;
+  for (const CaseSpec& c : cases) {
+    columnar::Table t = MakeTable(rows, c.groups);
+    GroupBySpec spec;
+    spec.key_columns = {0};
+    spec.aggregates = {{AggFn::kSum, 1, "s"}, {AggFn::kCount, -1, "n"}};
+    auto plan = GroupByPlan::Make(t, spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+
+    CaseResult r;
+    r.name = c.name;
+    r.groups_target = c.groups;
+    {
+      auto out = CpuGroupBy::Execute(plan.value(), &pool);
+      if (!out.ok()) {
+        std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+        return 1;
+      }
+      r.groups_actual = out->num_groups;
+    }
+    r.flat_t1 = MeasureRowsPerSec(rows, reps, [&] {
+      (void)CpuGroupBy::Execute(plan.value(), nullptr);
+    });
+    r.flat_tn = MeasureRowsPerSec(rows, reps, [&] {
+      (void)CpuGroupBy::Execute(plan.value(), &pool);
+    });
+    r.legacy_t1 = MeasureRowsPerSec(rows, reps, [&] {
+      (void)LegacyCpuGroupBy(plan.value(), nullptr);
+    });
+    r.legacy_tn = MeasureRowsPerSec(rows, reps, [&] {
+      (void)LegacyCpuGroupBy(plan.value(), &pool);
+    });
+    results.push_back(r);
+    std::printf(
+        "%-17s groups=%-8llu  flat 1T %7.2f Mrows/s  %dT %7.2f Mrows/s | "
+        "legacy 1T %7.2f Mrows/s  %dT %7.2f Mrows/s | multi speedup %.2fx\n",
+        r.name.c_str(),
+        static_cast<unsigned long long>(r.groups_actual), r.flat_t1 / 1e6,
+        threads, r.flat_tn / 1e6, r.legacy_t1 / 1e6, threads,
+        r.legacy_tn / 1e6, r.flat_tn / r.legacy_tn);
+  }
+
+  FILE* f = std::fopen("BENCH_cpu_groupby.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_cpu_groupby.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"cpu_groupby_hotpath\",\n"
+               "  \"rows\": %llu,\n  \"reps\": %d,\n  \"threads\": %d,\n"
+               "  \"cases\": [\n",
+               static_cast<unsigned long long>(rows), reps, threads);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"case\": \"%s\", \"groups\": %llu,\n"
+        "     \"after_flat\": {\"rows_per_sec_1t\": %.0f, "
+        "\"rows_per_sec_nt\": %.0f},\n"
+        "     \"before_unordered_map\": {\"rows_per_sec_1t\": %.0f, "
+        "\"rows_per_sec_nt\": %.0f},\n"
+        "     \"speedup_1t\": %.3f, \"speedup_nt\": %.3f}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.groups_actual),
+        r.flat_t1, r.flat_tn, r.legacy_t1, r.legacy_tn,
+        r.flat_t1 / r.legacy_t1, r.flat_tn / r.legacy_tn,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_cpu_groupby.json\n");
+  return 0;
+}

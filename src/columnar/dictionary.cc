@@ -50,6 +50,7 @@ std::vector<int32_t> Dictionary::Sort() {
   }
   values_ = std::move(sorted);
   index_.clear();
+  index_.reserve(values_.size());
   for (size_t i = 0; i < values_.size(); ++i) {
     index_.emplace(values_[i], static_cast<int32_t>(i));
   }

@@ -1,0 +1,76 @@
+#ifndef BLUSIM_COMMON_FLAT_MAP_H_
+#define BLUSIM_COMMON_FLAT_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace blusim {
+
+// Open-addressing int64 -> uint32 map for hot build/probe loops (hash-join
+// build side). One flat slot array, linear probing on the mixed hash,
+// power-of-two capacity sized up front via HashTableCapacity. No erase.
+//
+// Compared with std::unordered_map this removes the per-node allocation and
+// pointer chase: a probe touches one contiguous 16-byte slot per step.
+class FlatMap64 {
+ public:
+  explicit FlatMap64(uint64_t expected_entries = 0) {
+    Rehash(HashTableCapacity(expected_entries));
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return slots_.size(); }
+
+  // Inserts (key, value) if the key is absent. Returns true on insert,
+  // false if the key was already present (value left unchanged).
+  bool Insert(int64_t key, uint32_t value) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+    uint64_t i = Mix64(static_cast<uint64_t>(key)) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{key, value, 1};
+    ++size_;
+    return true;
+  }
+
+  // Returns a pointer to the value for `key`, or nullptr if absent.
+  const uint32_t* Find(int64_t key) const {
+    uint64_t i = Mix64(static_cast<uint64_t>(key)) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    uint32_t value = 0;
+    uint32_t used = 0;
+  };
+
+  void Rehash(uint64_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    for (const Slot& s : old) {
+      if (!s.used) continue;
+      uint64_t i = Mix64(static_cast<uint64_t>(s.key)) & mask_;
+      while (slots_[i].used) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace blusim
+
+#endif  // BLUSIM_COMMON_FLAT_MAP_H_

@@ -29,6 +29,33 @@ inline uint64_t ModHash(uint64_t key, uint64_t buckets) {
   return key % buckets;
 }
 
+// Capacity policy shared by the device hash table (groupby/layout) and the
+// CPU flat aggregation table: "slightly larger than the estimated number of
+// groups" (section 4.3.1) with 1.5x headroom so the linear-probe load factor
+// stays under ~0.67 when the KMV estimate is mildly low. Power of two,
+// minimum 64.
+// Degenerate KMV estimates (e.g. adversarially sequential hash values) can
+// be astronomically large; callers should clamp by a row-count bound, and
+// this guard keeps the capacity allocatable regardless.
+inline uint64_t HashTableCapacity(uint64_t estimated_groups) {
+  constexpr uint64_t kMaxCapacity = 1ULL << 40;
+  const uint64_t want = estimated_groups + estimated_groups / 2 + 8;
+  uint64_t cap = 64;
+  while (cap < want && cap < kMaxCapacity) cap <<= 1;
+  return cap;
+}
+
+// Partition index for a hashed key, taken from the TOP bits of the hash.
+// Open-addressing tables probe with the LOW bits (hash & (capacity - 1)),
+// so a top-bit partition keeps shard choice independent of probe position.
+// `num_partitions` must be a power of two.
+inline uint32_t HashPartition(uint64_t hash, uint32_t num_partitions) {
+  if (num_partitions <= 1) return 0;
+  uint32_t shift = 64;
+  for (uint32_t p = num_partitions; p > 1; p >>= 1) --shift;
+  return static_cast<uint32_t>(hash >> shift);
+}
+
 }  // namespace blusim
 
 #endif  // BLUSIM_COMMON_HASH_H_

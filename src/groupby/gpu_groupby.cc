@@ -84,6 +84,9 @@ std::vector<GroupEntry> ScanTable(const GroupByPlan& plan,
                                   const HashTableLayout& layout,
                                   const char* table, uint64_t capacity) {
   std::vector<GroupEntry> groups;
+  // Capacity carries ~1.5x headroom (HashTableCapacity), so half-full is
+  // the common case; avoids log2(n) regrows while scanning.
+  groups.reserve(capacity / 2);
   const uint64_t entry_bytes = static_cast<uint64_t>(layout.entry_bytes());
   for (uint64_t e = 0; e < capacity; ++e) {
     const char* entry = table + e * entry_bytes;

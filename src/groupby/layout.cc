@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bit_util.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "runtime/agg.h"
 
@@ -49,10 +50,9 @@ std::vector<char> HashTableLayout::BuildMask(const GroupByPlan& plan) const {
 }
 
 uint64_t ChooseCapacity(uint64_t estimated_groups) {
-  // 1.5x headroom keeps the linear-probe load factor under ~0.67 even when
-  // the KMV estimate is mildly low; rounded up to a power of two.
-  const uint64_t want = estimated_groups + estimated_groups / 2 + 8;
-  return std::max<uint64_t>(64, NextPow2(want));
+  // Shared with the CPU flat aggregation table so the T1/T2/T3 routing
+  // compares like-for-like table builds on both sides.
+  return HashTableCapacity(estimated_groups);
 }
 
 }  // namespace blusim::groupby

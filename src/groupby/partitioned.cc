@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
 
 #include "common/hash.h"
 #include "common/kmv.h"
 #include "common/logging.h"
 #include "groupby/layout.h"
+#include "runtime/flat_table.h"
 
 namespace blusim::groupby {
 
@@ -21,36 +21,34 @@ namespace {
 // Host-side merge cost per partial group entry (hash + per-slot merge).
 constexpr double kMergeNsPerEntry = 40.0;
 
-struct WideKeyHash {
-  size_t operator()(const WideKey& k) const {
-    return static_cast<size_t>(Murmur3_64(k.bytes, k.len));
-  }
-};
-
-// Merges partial entries into `merged` keyed by the (recomputed) grouping
-// key of each entry's representative row.
-template <typename Key, typename Hash, typename GetKey>
-std::vector<GroupEntry> MergeChunks(
+// Merges partial entries into one flat table keyed by the (recomputed)
+// grouping key + hash of each entry's representative row, then materializes
+// the table's dense arrays directly.
+template <typename Key, typename GetKey, typename HashKey>
+Result<runtime::GroupByOutput> MergeChunks(
     const GroupByPlan& plan,
-    std::vector<std::vector<GroupEntry>>* chunks, GetKey get_key) {
-  std::unordered_map<Key, GroupEntry, Hash> merged;
-  for (auto& chunk : *chunks) {
-    for (GroupEntry& entry : chunk) {
+    const std::vector<std::vector<GroupEntry>>& chunks, uint64_t total_partial,
+    GetKey get_key, HashKey hash_key) {
+  runtime::FlatAggTable<Key> merged(&plan, total_partial);
+  const size_t num_slots = plan.slots().size();
+  for (const auto& chunk : chunks) {
+    for (const GroupEntry& entry : chunk) {
       const Key key = get_key(entry.rep_row);
-      auto [it, inserted] = merged.try_emplace(key, std::move(entry));
-      if (!inserted) {
-        for (size_t s = 0; s < plan.slots().size(); ++s) {
-          // Partial COUNTs merge additively; MergeAcc's kCount branch
-          // already sums, and the other functions merge naturally.
-          runtime::MergeAcc(plan.slots()[s], entry.slots[s],
-                            &it->second.slots[s]);
-        }
+      const uint32_t g =
+          merged.FindOrInsert(key, hash_key(key), entry.rep_row);
+      runtime::AccValue* into = merged.group_accs(g);
+      for (size_t s = 0; s < num_slots; ++s) {
+        // Partial COUNTs merge additively; MergeAcc's kCount branch
+        // already sums, and the other functions merge naturally.
+        runtime::MergeAcc(plan.slots()[s], entry.slots[s], &into[s]);
       }
     }
   }
-  std::vector<GroupEntry> out;
-  out.reserve(merged.size());
-  for (auto& [key, entry] : merged) out.push_back(std::move(entry));
+  runtime::GroupByOutput out;
+  out.num_groups = merged.num_groups();
+  BLUSIM_ASSIGN_OR_RETURN(
+      out.table, runtime::MaterializeGroupsFlat(plan, merged.rep_rows(),
+                                                merged.accs()));
   return out;
 }
 
@@ -157,24 +155,22 @@ Result<GroupByOutput> PartitionedGroupBy::Execute(
   }
 
   // Final host-side merge (the paper's "merged together in the final
-  // step").
-  std::vector<GroupEntry> merged;
-  if (plan.wide_key()) {
-    merged = MergeChunks<WideKey, WideKeyHash>(
-        plan, &chunk_groups, [&](uint32_t row) {
-          WideKey wk;
-          plan.FillWideKey(row, &wk);
-          return wk;
-        });
-  } else {
-    struct U64Hash {
-      size_t operator()(uint64_t k) const {
-        return static_cast<size_t>(Mix64(k));
-      }
-    };
-    merged = MergeChunks<uint64_t, U64Hash>(
-        plan, &chunk_groups, [&](uint32_t row) { return plan.PackKey(row); });
-  }
+  // step"), through the same flat table the CPU chain aggregates with.
+  Result<GroupByOutput> merged =
+      plan.wide_key()
+          ? MergeChunks<WideKey>(
+                plan, chunk_groups, total_partial,
+                [&](uint32_t row) {
+                  WideKey wk;
+                  plan.FillWideKey(row, &wk);
+                  return wk;
+                },
+                [](const WideKey& k) { return Murmur3_64(k.bytes, k.len); })
+          : MergeChunks<uint64_t>(
+                plan, chunk_groups, total_partial,
+                [&](uint32_t row) { return plan.PackKey(row); },
+                [](uint64_t k) { return Mix64(k); });
+  BLUSIM_RETURN_NOT_OK(merged.status());
 
   stats->merge_time = static_cast<SimTime>(
       static_cast<double>(total_partial) * kMergeNsPerEntry / 1000.0);
@@ -184,12 +180,9 @@ Result<GroupByOutput> PartitionedGroupBy::Execute(
   }
   stats->elapsed = slowest_device + stats->merge_time;
 
-  GroupByOutput out;
-  out.num_groups = merged.size();
+  GroupByOutput out = std::move(merged).value();
   out.kmv_estimate = kmv_estimate;
   out.input_rows = selection.size();
-  BLUSIM_ASSIGN_OR_RETURN(out.table,
-                          runtime::MaterializeGroups(plan, merged));
   return out;
 }
 

@@ -88,13 +88,19 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
       std::memcpy(staged.keys.as<WideKey>() + base, stride.wide_keys.data(),
                   rows * sizeof(WideKey));
     } else {
+      // Sentinel check fused into the copy: one pass over the keys instead
+      // of a scan followed by a memcpy.
+      const uint64_t* src = stride.packed_keys.data();
+      uint64_t* dst = staged.keys.as<uint64_t>() + base;
+      uint64_t sentinel_seen = 0;
       for (uint64_t i = 0; i < rows; ++i) {
-        if (stride.packed_keys[i] == kEmptyKey64) {
-          key_sentinel_hit.store(true, std::memory_order_relaxed);
-        }
+        const uint64_t k = src[i];
+        sentinel_seen |= (k == kEmptyKey64);
+        dst[i] = k;
       }
-      std::memcpy(staged.keys.as<uint64_t>() + base,
-                  stride.packed_keys.data(), rows * sizeof(uint64_t));
+      if (sentinel_seen != 0) {
+        key_sentinel_hit.store(true, std::memory_order_relaxed);
+      }
     }
     uint32_t* row_ids = staged.row_ids.as<uint32_t>() + base;
     for (uint64_t i = 0; i < rows; ++i) row_ids[i] = stride.InputRow(i);
@@ -118,10 +124,22 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
         }
       }
       // Validity ships independently of values: COUNT(col) stages only
-      // the validity bytes.
+      // the validity bytes. Expanded 8 rows at a time: the flag bytes are
+      // packed into one word and stored with a single 8-byte write.
       if (staged.validity[s].valid()) {
         uint8_t* vb = staged.validity[s].as<uint8_t>() + base;
-        for (uint64_t i = 0; i < rows; ++i) vb[i] = pv.IsValid(i) ? 1 : 0;
+        const uint64_t wide_end = rows & ~UINT64_C(7);
+        for (uint64_t i = 0; i < wide_end; i += 8) {
+          uint64_t word = 0;
+          for (uint64_t j = 0; j < 8; ++j) {
+            word |= static_cast<uint64_t>(pv.IsValid(i + j) ? 1 : 0)
+                    << (8 * j);
+          }
+          std::memcpy(vb + i, &word, 8);
+        }
+        for (uint64_t i = wide_end; i < rows; ++i) {
+          vb[i] = pv.IsValid(i) ? 1 : 0;
+        }
       }
     }
 

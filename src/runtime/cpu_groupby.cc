@@ -1,35 +1,36 @@
 #include "runtime/cpu_groupby.h"
 
+#include <algorithm>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
 
+#include "common/bit_util.h"
 #include "common/hash.h"
 #include "runtime/evaluators.h"
+#include "runtime/flat_table.h"
 #include "runtime/group_result.h"
 
 namespace blusim::runtime {
 
 namespace {
 
-struct WideKeyHash {
-  size_t operator()(const WideKey& k) const {
-    return static_cast<size_t>(Murmur3_64(k.bytes, k.len));
-  }
+// Per-morsel LGHT result: the worker's private flat table plus its group
+// ids scattered into per-shard lists (by the top bits of each group's
+// hash) for the second merge phase.
+template <typename Key>
+struct MorselPartial {
+  MorselPartial(const GroupByPlan* plan, uint64_t expected_groups,
+                uint32_t shards)
+      : table(plan, expected_groups), shard_groups(shards) {}
+
+  FlatAggTable<Key> table;
+  std::vector<std::vector<uint32_t>> shard_groups;
 };
 
-struct U64Hash {
-  size_t operator()(uint64_t k) const { return static_cast<size_t>(Mix64(k)); }
-};
-
-// Local hash table used by LGHT: key -> group accumulators. Templated on
-// the key representation (packed 64-bit vs. wide).
-template <typename Key, typename Hash>
-using LocalTable = std::unordered_map<Key, GroupEntry, Hash>;
-
-template <typename Key, typename Hash, typename GetKey>
+template <typename Key, typename GetKey>
 Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
                           const std::vector<uint32_t>* selection,
-                          GetKey get_key) {
+                          GetKey get_key, CpuGroupByStats* stats) {
   const uint64_t total_rows =
       selection ? selection->size() : plan.table().num_rows();
   const uint64_t num_morsels =
@@ -38,11 +39,23 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
   GroupByChain chain(&plan);
   const size_t num_slots = plan.slots().size();
 
-  // Global state guarded by `mu`: the merged hash table + merged KMV.
+  // Merge shards for phase 2: enough to keep every worker busy (workers =
+  // pool threads + the calling thread), capped so small queries don't pay
+  // per-shard setup. Power of two so HashPartition can use top hash bits.
+  uint32_t shards = 1;
+  if (pool != nullptr && num_morsels > 1) {
+    shards = static_cast<uint32_t>(std::min<uint64_t>(
+        CpuGroupBy::kMaxMergeShards,
+        NextPow2(static_cast<uint64_t>(pool->num_threads()) + 1)));
+  }
+
+  // Small mutex: KMV merge and first-error tracking only. Group merging
+  // never takes it — phase 2 is per-shard parallel with no shared state.
   std::mutex mu;
-  LocalTable<Key, Hash> global;
   KmvSketch global_kmv(256);
   Status first_error;
+
+  std::vector<std::unique_ptr<MorselPartial<Key>>> partials(num_morsels);
 
   auto process_morsel = [&](uint64_t m) {
     Stride stride;
@@ -55,38 +68,37 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
       return;
     }
 
-    // LGHT: local grouping with aggregates applied inline.
-    LocalTable<Key, Hash> local;
+    // LGHT: local grouping with aggregates applied inline. The table is
+    // sized from this stride's KMV estimate — the same signal the GPU path
+    // sizes its device table with (section 4.2) — and grows-and-rehashes
+    // if the estimate was low.
     const uint64_t n = stride.num_rows();
+    const uint64_t expected = std::min<uint64_t>(
+        n, std::max<uint64_t>(stride.kmv.Estimate(), 16));
+    auto partial = std::make_unique<MorselPartial<Key>>(&plan, expected,
+                                                        shards);
+    FlatAggTable<Key>& local = partial->table;
     for (uint64_t i = 0; i < n; ++i) {
-      const Key key = get_key(stride, i);
-      auto [it, inserted] = local.try_emplace(key);
-      GroupEntry& entry = it->second;
-      if (inserted) {
-        entry.rep_row = stride.InputRow(i);
-        entry.slots.resize(num_slots);
-        for (size_t s = 0; s < num_slots; ++s) {
-          InitAcc(plan.slots()[s], &entry.slots[s]);
-        }
-      }
+      const uint32_t g = local.FindOrInsert(get_key(stride, i),
+                                            stride.hashes[i],
+                                            stride.InputRow(i));
+      AccValue* accs = local.group_accs(g);
       for (size_t s = 0; s < num_slots; ++s) {
-        AccumulateRow(plan.slots()[s], stride.payloads[s], i,
-                      &entry.slots[s]);
+        AccumulateRow(plan.slots()[s], stride.payloads[s], i, &accs[s]);
       }
     }
 
-    // Merge the local table into the global hash table (figure 1's final
-    // merge step).
-    std::lock_guard<std::mutex> lock(mu);
-    global_kmv.Merge(stride.kmv);
-    for (auto& [key, entry] : local) {
-      auto [git, inserted] = global.try_emplace(key, std::move(entry));
-      if (!inserted) {
-        for (size_t s = 0; s < num_slots; ++s) {
-          MergeAcc(plan.slots()[s], entry.slots[s], &git->second.slots[s]);
-        }
+    // Scatter this morsel's groups into merge shards.
+    if (shards > 1) {
+      for (uint32_t g = 0; g < local.num_groups(); ++g) {
+        const uint32_t p = HashPartition(local.group_hash(g), shards);
+        partial->shard_groups[p].push_back(g);
       }
     }
+    partials[m] = std::move(partial);
+
+    std::lock_guard<std::mutex> lock(mu);
+    global_kmv.Merge(stride.kmv);
   };
 
   if (pool != nullptr) {
@@ -96,15 +108,91 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
   }
   BLUSIM_RETURN_NOT_OK(first_error);
 
-  std::vector<GroupEntry> groups;
-  groups.reserve(global.size());
-  for (auto& [key, entry] : global) groups.push_back(std::move(entry));
+  const uint64_t kmv_estimate = global_kmv.Estimate();
+
+  if (stats != nullptr) {
+    stats->merge_shards = shards;
+    for (const auto& partial : partials) {
+      stats->partial_groups += partial->table.num_groups();
+      stats->local_rehashes += partial->table.rehash_count();
+    }
+  }
 
   GroupByOutput out;
-  out.num_groups = groups.size();
-  out.kmv_estimate = global_kmv.Estimate();
+  out.kmv_estimate = kmv_estimate;
   out.input_rows = total_rows;
-  BLUSIM_ASSIGN_OR_RETURN(out.table, MaterializeGroups(plan, groups));
+
+  // Single morsel: its local table already is the global result.
+  if (num_morsels == 1) {
+    const FlatAggTable<Key>& only = partials[0]->table;
+    out.num_groups = only.num_groups();
+    BLUSIM_ASSIGN_OR_RETURN(
+        out.table, MaterializeGroupsFlat(plan, only.rep_rows(), only.accs()));
+    return out;
+  }
+
+  // Phase 2: merge each shard independently — no shared lock. Morsels are
+  // visited in index order, so merge order (and float summation order) is
+  // deterministic run-to-run, unlike the old completion-order global merge.
+  std::vector<std::unique_ptr<FlatAggTable<Key>>> shard_tables(shards);
+  auto merge_shard = [&](uint64_t p) {
+    uint64_t shard_sum = 0;
+    uint64_t largest = 0;
+    for (const auto& partial : partials) {
+      const uint64_t c = shards > 1 ? partial->shard_groups[p].size()
+                                    : partial->table.num_groups();
+      shard_sum += c;
+      largest = std::max(largest, c);
+    }
+    // Size from the global KMV estimate split across shards, never below
+    // the largest single contribution, and never above the exact count of
+    // partial entries this shard will see (which caps degenerate KMV
+    // estimates — e.g. adversarially sequential hash values).
+    auto table = std::make_unique<FlatAggTable<Key>>(
+        &plan, std::min(shard_sum,
+                        std::max<uint64_t>(kmv_estimate / shards, largest)));
+    for (const auto& partial : partials) {
+      const FlatAggTable<Key>& src = partial->table;
+      auto merge_group = [&](uint32_t g) {
+        const uint32_t dst = table->FindOrInsert(
+            src.group_key(g), src.group_hash(g), src.group_rep_row(g));
+        const AccValue* from = src.group_accs(g);
+        AccValue* into = table->group_accs(dst);
+        for (size_t s = 0; s < num_slots; ++s) {
+          MergeAcc(plan.slots()[s], from[s], &into[s]);
+        }
+      };
+      if (shards > 1) {
+        for (uint32_t g : partial->shard_groups[p]) merge_group(g);
+      } else {
+        for (uint32_t g = 0; g < src.num_groups(); ++g) merge_group(g);
+      }
+    }
+    shard_tables[p] = std::move(table);
+  };
+
+  if (pool != nullptr && shards > 1) {
+    pool->ParallelFor(shards, merge_shard);
+  } else {
+    for (uint32_t p = 0; p < shards; ++p) merge_shard(p);
+  }
+
+  uint64_t total_groups = 0;
+  for (const auto& t : shard_tables) total_groups += t->num_groups();
+  std::vector<uint32_t> rep_rows;
+  std::vector<AccValue> accs;
+  rep_rows.reserve(total_groups);
+  accs.reserve(total_groups * num_slots);
+  for (const auto& t : shard_tables) {
+    rep_rows.insert(rep_rows.end(), t->rep_rows().begin(),
+                    t->rep_rows().end());
+    accs.insert(accs.end(), t->accs().begin(), t->accs().end());
+    if (stats != nullptr) stats->merge_rehashes += t->rehash_count();
+  }
+
+  out.num_groups = total_groups;
+  BLUSIM_ASSIGN_OR_RETURN(out.table,
+                          MaterializeGroupsFlat(plan, rep_rows, accs));
   return out;
 }
 
@@ -112,15 +200,18 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
 
 Result<GroupByOutput> CpuGroupBy::Execute(
     const GroupByPlan& plan, ThreadPool* pool,
-    const std::vector<uint32_t>* selection) {
+    const std::vector<uint32_t>* selection, CpuGroupByStats* stats) {
   if (plan.wide_key()) {
-    return Run<WideKey, WideKeyHash>(
+    return Run<WideKey>(
         plan, pool, selection,
-        [](const Stride& s, uint64_t i) { return s.wide_keys[i]; });
+        [](const Stride& s, uint64_t i) -> const WideKey& {
+          return s.wide_keys[i];
+        },
+        stats);
   }
-  return Run<uint64_t, U64Hash>(
+  return Run<uint64_t>(
       plan, pool, selection,
-      [](const Stride& s, uint64_t i) { return s.packed_keys[i]; });
+      [](const Stride& s, uint64_t i) { return s.packed_keys[i]; }, stats);
 }
 
 }  // namespace blusim::runtime

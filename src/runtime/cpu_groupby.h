@@ -22,19 +22,39 @@ struct GroupByOutput {
   uint64_t input_rows = 0;
 };
 
+// Observability counters for one CpuGroupBy execution (used by tests and
+// the hot-path benchmark to assert the partitioned merge actually ran).
+struct CpuGroupByStats {
+  // Merge shards used in phase 2 (1 = serial merge, no partitioning).
+  uint32_t merge_shards = 0;
+  // Sum of per-morsel local group counts fed into the merge.
+  uint64_t partial_groups = 0;
+  // Grow-and-rehash events in the LGHT local tables (KMV undersized them).
+  uint64_t local_rehashes = 0;
+  // Grow-and-rehash events in the shard merge tables.
+  uint64_t merge_rehashes = 0;
+};
+
 // The original DB2 BLU CPU group-by chain (paper figure 1):
-// parallel threads run LCOG/LCOV -> CCAT -> HASH -> LGHT (local hash
-// tables with AGGD/SUM/CNT applied inline), then the local results are
-// merged into a global hash table.
+// parallel threads run LCOG/LCOV -> CCAT -> HASH -> LGHT (local flat
+// open-addressing tables with AGGD/SUM/CNT applied inline), then the local
+// results are merged in two lock-free phases: each worker scatters its
+// groups into merge shards by the top bits of the key hash, and a second
+// ParallelFor merges each shard independently. Only KMV merging and
+// first-error tracking share a mutex.
 class CpuGroupBy {
  public:
   // `selection`: optional filtered/joined row-id list; nullptr = all rows.
   static Result<GroupByOutput> Execute(
       const GroupByPlan& plan, ThreadPool* pool,
-      const std::vector<uint32_t>* selection = nullptr);
+      const std::vector<uint32_t>* selection = nullptr,
+      CpuGroupByStats* stats = nullptr);
 
   // Morsel size used by the parallel chain.
   static constexpr uint64_t kMorselRows = 65536;
+  // Upper bound on merge shards; enough to keep a large pool busy without
+  // making tiny queries pay per-shard setup.
+  static constexpr uint32_t kMaxMergeShards = 64;
 };
 
 }  // namespace blusim::runtime

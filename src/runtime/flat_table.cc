@@ -1,0 +1,10 @@
+#include "runtime/flat_table.h"
+
+namespace blusim::runtime {
+
+// The two key representations produced by CCAT (packed 64-bit and wide);
+// instantiated once here so every user of the table shares the code.
+template class FlatAggTable<uint64_t>;
+template class FlatAggTable<WideKey>;
+
+}  // namespace blusim::runtime

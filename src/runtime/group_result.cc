@@ -158,10 +158,12 @@ void AppendKeyValue(const Column& src, uint32_t row, Column* dst) {
   }
 }
 
-}  // namespace
-
-Result<std::shared_ptr<Table>> MaterializeGroups(
-    const GroupByPlan& plan, const std::vector<GroupEntry>& groups) {
+// Core materialization over any group container exposing the group count,
+// per-group representative row, and per-(group, slot) accumulator.
+template <typename RepRowFn, typename AccFn>
+Result<std::shared_ptr<Table>> MaterializeImpl(const GroupByPlan& plan,
+                                               size_t num_groups,
+                                               RepRowFn rep_row, AccFn acc) {
   const Table& input = plan.table();
 
   Schema schema;
@@ -186,46 +188,66 @@ Result<std::shared_ptr<Table>> MaterializeGroups(
   }
 
   auto result = std::make_shared<Table>(std::move(schema));
-  result->Reserve(groups.size());
+  result->Reserve(num_groups);
 
   const size_t num_keys = plan.spec().key_columns.size();
-  for (const GroupEntry& g : groups) {
+  for (size_t g = 0; g < num_groups; ++g) {
+    const uint32_t rep = rep_row(g);
     for (size_t k = 0; k < num_keys; ++k) {
       const Column& src = input.column(
           static_cast<size_t>(plan.spec().key_columns[k]));
-      AppendKeyValue(src, g.rep_row, &result->column(k));
+      AppendKeyValue(src, rep, &result->column(k));
     }
     for (size_t o = 0; o < plan.outputs().size(); ++o) {
       const OutputAgg& out = plan.outputs()[o];
       const AggSlot& slot = plan.slots()[static_cast<size_t>(out.slot)];
-      const AccValue& acc = g.slots[static_cast<size_t>(out.slot)];
+      const AccValue& a = acc(g, static_cast<size_t>(out.slot));
       Column& dst = result->column(num_keys + o);
       if (out.desc.fn == AggFn::kAvg) {
-        const int64_t count =
-            g.slots[static_cast<size_t>(out.count_slot)].i64;
+        const int64_t count = acc(g, static_cast<size_t>(out.count_slot)).i64;
         double sum;
         switch (slot.acc_type) {
-          case DataType::kFloat64: sum = acc.f64; break;
-          case DataType::kDecimal128: sum = acc.dec.ToDouble(); break;
-          default: sum = static_cast<double>(acc.i64); break;
+          case DataType::kFloat64: sum = a.f64; break;
+          case DataType::kDecimal128: sum = a.dec.ToDouble(); break;
+          default: sum = static_cast<double>(a.i64); break;
         }
         dst.AppendDouble(count == 0 ? 0.0 : sum / static_cast<double>(count));
         continue;
       }
       switch (slot.acc_type) {
-        case DataType::kFloat64: dst.AppendDouble(acc.f64); break;
-        case DataType::kDecimal128: dst.AppendDecimal(acc.dec); break;
+        case DataType::kFloat64: dst.AppendDouble(a.f64); break;
+        case DataType::kDecimal128: dst.AppendDecimal(a.dec); break;
         case DataType::kInt32:
         case DataType::kDate:
-          dst.AppendInt32(static_cast<int32_t>(acc.i64));
+          dst.AppendInt32(static_cast<int32_t>(a.i64));
           break;
-        default: dst.AppendInt64(acc.i64); break;
+        default: dst.AppendInt64(a.i64); break;
       }
     }
   }
 
   BLUSIM_RETURN_NOT_OK(result->Validate());
   return result;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> MaterializeGroups(
+    const GroupByPlan& plan, const std::vector<GroupEntry>& groups) {
+  return MaterializeImpl(
+      plan, groups.size(), [&](size_t g) { return groups[g].rep_row; },
+      [&](size_t g, size_t s) -> const AccValue& { return groups[g].slots[s]; });
+}
+
+Result<std::shared_ptr<Table>> MaterializeGroupsFlat(
+    const GroupByPlan& plan, const std::vector<uint32_t>& rep_rows,
+    const std::vector<AccValue>& accs) {
+  const size_t num_slots = plan.slots().size();
+  return MaterializeImpl(
+      plan, rep_rows.size(), [&](size_t g) { return rep_rows[g]; },
+      [&](size_t g, size_t s) -> const AccValue& {
+        return accs[g * num_slots + s];
+      });
 }
 
 }  // namespace blusim::runtime

@@ -43,6 +43,14 @@ void MergeAcc(const AggSlot& slot, const AccValue& from, AccValue* into);
 Result<std::shared_ptr<columnar::Table>> MaterializeGroups(
     const GroupByPlan& plan, const std::vector<GroupEntry>& groups);
 
+// Same, over the flat structure-of-arrays form produced by the CPU flat
+// aggregation table: group i has representative row `rep_rows[i]` and
+// accumulators `accs[i * plan.slots().size() + s]`. Avoids re-boxing each
+// group into a heap-allocated GroupEntry just to materialize it.
+Result<std::shared_ptr<columnar::Table>> MaterializeGroupsFlat(
+    const GroupByPlan& plan, const std::vector<uint32_t>& rep_rows,
+    const std::vector<AccValue>& accs);
+
 }  // namespace blusim::runtime
 
 #endif  // BLUSIM_RUNTIME_GROUP_RESULT_H_

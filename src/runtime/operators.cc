@@ -1,8 +1,8 @@
 #include "runtime/operators.h"
 
 #include <mutex>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/logging.h"
 
 namespace blusim::runtime {
@@ -109,17 +109,17 @@ Result<JoinResult> HashJoin(const Table& fact, const Table& dim,
   const Column& fk = fact.column(static_cast<size_t>(spec.fact_fk_column));
   const Column& pk = dim.column(static_cast<size_t>(spec.dim_pk_column));
 
-  // Build phase (dimension side, typically small).
-  std::unordered_map<int64_t, uint32_t> build;
+  // Build phase (dimension side, typically small). Flat open-addressing
+  // table sized up front: probes in the parallel phase below touch one
+  // contiguous slot per step instead of chasing unordered_map nodes.
   const uint64_t build_rows = dim_selection ? dim_selection->size()
                                             : dim.num_rows();
-  build.reserve(build_rows);
+  FlatMap64 build(build_rows);
   for (uint64_t i = 0; i < build_rows; ++i) {
     const uint32_t row = dim_selection ? (*dim_selection)[i]
                                        : static_cast<uint32_t>(i);
     if (pk.IsNull(row)) continue;
-    auto [it, inserted] = build.emplace(pk.GetInt64(row), row);
-    if (!inserted) {
+    if (!build.Insert(pk.GetInt64(row), row)) {
       return Status::InvalidArgument("duplicate build key in dimension");
     }
   }
@@ -137,10 +137,10 @@ Result<JoinResult> HashJoin(const Table& fact, const Table& dim,
       const uint32_t row = fact_selection ? (*fact_selection)[i]
                                           : static_cast<uint32_t>(i);
       if (fk.IsNull(row)) continue;
-      auto it = build.find(fk.GetInt64(row));
-      if (it != build.end()) {
+      const uint32_t* dim_row = build.Find(fk.GetInt64(row));
+      if (dim_row != nullptr) {
         out.fact_rows.push_back(row);
-        out.dim_rows.push_back(it->second);
+        out.dim_rows.push_back(*dim_row);
       }
     }
   };
