@@ -1,19 +1,59 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstring>
 
 namespace blusim {
 
 namespace {
+
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+// false until the BLUSIM_LOG_LEVEL environment variable has been consulted.
+std::atomic<bool> g_env_checked{false};
+
+bool ParseLogLevel(const char* s, LogLevel* out) {
+  if (s == nullptr || *s == '\0') return false;
+  if (std::strlen(s) == 1 && *s >= '0' && *s <= '4') {
+    *out = static_cast<LogLevel>(*s - '0');
+    return true;
+  }
+  auto eq = [s](const char* name) { return std::strcmp(s, name) == 0; };
+  if (eq("debug")) { *out = LogLevel::kDebug; return true; }
+  if (eq("info")) { *out = LogLevel::kInfo; return true; }
+  if (eq("warning") || eq("warn")) { *out = LogLevel::kWarning; return true; }
+  if (eq("error")) { *out = LogLevel::kError; return true; }
+  if (eq("off") || eq("none")) { *out = LogLevel::kOff; return true; }
+  return false;
+}
+
+void InitFromEnvOnce() {
+  if (g_env_checked.load(std::memory_order_acquire)) return;
+  LogLevel level;
+  if (ParseLogLevel(std::getenv("BLUSIM_LOG_LEVEL"), &level)) {
+    g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  g_env_checked.store(true, std::memory_order_release);
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() {
+  InitFromEnvOnce();
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
 void SetLogLevel(LogLevel level) {
+  // An explicit call wins over the environment, including a later first
+  // GetLogLevel(): mark the env as consumed.
+  g_env_checked.store(true, std::memory_order_release);
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel ReinitLogLevelFromEnvForTest() {
+  g_log_level.store(static_cast<int>(LogLevel::kWarning),
+                    std::memory_order_relaxed);
+  g_env_checked.store(false, std::memory_order_release);
+  return GetLogLevel();
 }
 
 namespace internal {

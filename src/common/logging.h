@@ -1,6 +1,8 @@
 #ifndef BLUSIM_COMMON_LOGGING_H_
 #define BLUSIM_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -16,10 +18,17 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
-// Global log threshold; messages below it are dropped. Default: warnings and
-// errors only, so tests and benches stay quiet unless asked.
+// Global log threshold; messages below it are dropped. The default is
+// warnings and errors only, so tests and benches stay quiet unless asked.
+// On first use the threshold is seeded from the BLUSIM_LOG_LEVEL
+// environment variable (debug|info|warning|error|off, or 0-4);
+// SetLogLevel() overrides it afterwards.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Re-reads BLUSIM_LOG_LEVEL as if the process just started; returns the
+// resulting level. Exists for tests -- production code never needs it.
+LogLevel ReinitLogLevelFromEnvForTest();
 
 namespace internal {
 
@@ -65,5 +74,20 @@ struct Voidify {
   } while (0)
 
 #define BLUSIM_DCHECK(cond) BLUSIM_CHECK(cond)
+
+// Rate-limited logging: emits on the 1st, (n+1)th, (2n+1)th, ... hit of
+// this statement (across all threads). Use for per-row/per-job diagnostics
+// that would otherwise flood the log. Statement form:
+//   BLUSIM_LOG_EVERY_N(Warning, 1000) << "slow path taken";
+#define BLUSIM_LOG_EVERY_N(level, n)                                         \
+  static ::std::atomic<uint64_t> BLUSIM_LOG_COUNTER_NAME(__LINE__){0};       \
+  if (BLUSIM_LOG_COUNTER_NAME(__LINE__).fetch_add(                           \
+          1, ::std::memory_order_relaxed) %                                  \
+          static_cast<uint64_t>(n) ==                                        \
+      0)                                                                     \
+  BLUSIM_LOG(level)
+
+#define BLUSIM_LOG_COUNTER_NAME(line) BLUSIM_LOG_COUNTER_CONCAT(line)
+#define BLUSIM_LOG_COUNTER_CONCAT(line) blusim_log_every_n_counter_##line
 
 #endif  // BLUSIM_COMMON_LOGGING_H_

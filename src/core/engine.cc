@@ -110,10 +110,19 @@ Engine::Engine(EngineConfig config)
     : config_(config),
       cost_(config.host, config.device_spec),
       devices_(MakeDevices(config)),
-      scheduler_(DevicePointers(devices_)),
-      pinned_(config.pinned_pool_bytes),
-      pool_(config.cpu_threads),
+      scheduler_(DevicePointers(devices_), &metrics_),
+      pinned_(config.pinned_pool_bytes, &metrics_),
+      pool_(config.cpu_threads, &metrics_),
       moderator_(config.moderator_options) {}
+
+void Engine::RecordPhase(PhaseRecord phase, const char* category,
+                         QueryProfile* profile, obs::TraceBuilder* trace) {
+  phase.elapsed = phase.IdleElapsed(cost_.HostParallelFactor(phase.dop));
+  if (trace != nullptr) {
+    trace->AddPhase(phase.label, category, phase.elapsed, phase.device_id);
+  }
+  profile->phases.push_back(std::move(phase));
+}
 
 SimTime Engine::startup_registration_time() const {
   if (devices_.empty()) return 0;
@@ -165,13 +174,15 @@ uint64_t Engine::EstimateGroups(const GroupByPlan& plan,
 
 Result<Engine::GroupByOutcome> Engine::RunGroupBy(
     const QuerySpec& query, const Table& fact,
-    const std::vector<uint32_t>& selection, QueryProfile* profile) {
+    const std::vector<uint32_t>& selection, QueryProfile* profile,
+    obs::TraceBuilder* trace) {
   BLUSIM_ASSIGN_OR_RETURN(GroupByPlan plan,
                           GroupByPlan::Make(fact, *query.groupby));
 
   OptimizerEstimates estimates;
   estimates.rows = selection.size();
   estimates.groups = EstimateGroups(plan, selection);
+  trace->Annotate("kmv_estimate", std::to_string(estimates.groups));
 
   // Cap T3 by what actually fits on a device (inputs + table).
   RouterThresholds thresholds = config_.thresholds;
@@ -187,6 +198,12 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
   ExecutionPath path =
       ChooseGroupByPath(estimates, thresholds, !devices_.empty());
   profile->groupby_path = path;
+  trace->Annotate("groupby_path", ExecutionPathName(path));
+  metrics_
+      .GetCounter("blusim_router_groupby_total",
+                  {{"path", ExecutionPathName(path)}},
+                  "Group-by routing decisions by figure-3 outcome")
+      ->Add(1);
 
   GroupByOutcome outcome;
   outcome.path = path;
@@ -207,14 +224,23 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
         gp.device_time = chunk.gpu.total();
         gp.device_mem = chunk.gpu.device_bytes_reserved;
         gp.device_id = chunk.device_id;
-        profile->phases.push_back(gp);
+        RecordPhase(std::move(gp), obs::kCatGpu, profile, trace);
+        metrics_
+            .GetCounter("blusim_moderator_kernel_total",
+                        {{"kernel",
+                          gpusim::GroupByKernelKindName(
+                              chunk.gpu.kernel_used)}},
+                        "Group-by kernel executions by moderator choice")
+            ->Add(1);
       }
       PhaseRecord merge;
       merge.kind = PhaseRecord::Kind::kCpu;
       merge.label = "groupby-merge";
       merge.cpu_work = pstats.merge_time;
       merge.dop = 1;
-      profile->phases.push_back(merge);
+      RecordPhase(std::move(merge), obs::kCatCpu, profile, trace);
+      trace->Annotate("actual_groups",
+                      std::to_string(part_out->table->num_rows()));
       outcome.table = part_out->table;
       outcome.gpu_used = true;
       return outcome;
@@ -229,7 +255,19 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
     const uint64_t bytes_needed =
         groupby::GpuGroupBy::DeviceBytesNeeded(plan, estimates.rows,
                                                capacity);
-    auto device = scheduler_.PickDevice(bytes_needed);
+    SimTime waited = 0;
+    auto device = scheduler_.PickDeviceWithWait(bytes_needed, &waited);
+    if (waited > 0) {
+      // A blocked agent holds its thread while polling for device memory,
+      // so the wait is charged as a dop-1 phase (and shows up as a wait
+      // span in the trace).
+      PhaseRecord wait;
+      wait.kind = PhaseRecord::Kind::kCpu;
+      wait.label = "reservation-wait";
+      wait.cpu_work = waited;
+      wait.dop = 1;
+      RecordPhase(std::move(wait), obs::kCatWait, profile, trace);
+    }
     if (device.ok()) {
       groupby::GpuGroupByStats stats;
       auto gpu_out = groupby::GpuGroupBy::Execute(
@@ -244,7 +282,7 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
         stage.label = "groupby-stage";
         stage.cpu_work = stats.stage_time;
         stage.dop = config_.query_dop;
-        profile->phases.push_back(stage);
+        RecordPhase(std::move(stage), obs::kCatCpu, profile, trace);
 
         PhaseRecord gpu;
         gpu.kind = PhaseRecord::Kind::kGpu;
@@ -253,8 +291,31 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
                           stats.kernel_time + stats.transfer_out;
         gpu.device_mem = stats.device_bytes_reserved;
         gpu.device_id = device.value()->id();
-        profile->phases.push_back(gpu);
+        // The device job breaks into timestamped sub-spans instead of one
+        // opaque trace block (the profile keeps the aggregate phase).
+        const char* kernel_name =
+            gpusim::GroupByKernelKindName(stats.kernel_used);
+        trace->AddPhase("transfer-in", obs::kCatTransfer, stats.transfer_in,
+                        gpu.device_id);
+        trace->AddPhase("hash-init", obs::kCatGpu, stats.table_init,
+                        gpu.device_id);
+        trace->AddPhase(std::string("kernel:") + kernel_name,
+                        obs::kCatKernel, stats.kernel_time, gpu.device_id,
+                        {{"retries", std::to_string(stats.retries)},
+                         {"raced", stats.raced ? "true" : "false"}});
+        trace->AddPhase("transfer-out", obs::kCatTransfer,
+                        stats.transfer_out, gpu.device_id);
+        trace->Annotate("kernel", kernel_name);
+        gpu.elapsed = gpu.IdleElapsed(cost_.HostParallelFactor(gpu.dop));
+        profile->phases.push_back(std::move(gpu));
+        metrics_
+            .GetCounter("blusim_moderator_kernel_total",
+                        {{"kernel", kernel_name}},
+                        "Group-by kernel executions by moderator choice")
+            ->Add(1);
 
+        trace->Annotate("actual_groups",
+                        std::to_string(gpu_out->table->num_rows()));
         outcome.table = gpu_out->table;
         outcome.gpu_used = true;
         return outcome;
@@ -268,12 +329,18 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
     }
     profile->groupby_path = ExecutionPath::kCpu;
     outcome.path = ExecutionPath::kCpu;
+    trace->Annotate("groupby_fallback", "cpu");
+    metrics_
+        .GetCounter("blusim_router_groupby_fallbacks_total", {},
+                    "GPU-routed group-bys that fell back to the CPU chain")
+        ->Add(1);
   }
 
   // CPU chain (baseline figure-1 path; also the fallback and the
   // "partitioned" case, which the prototype runs on the CPU).
   auto cpu_out = runtime::CpuGroupBy::Execute(plan, &pool_, &selection);
   BLUSIM_RETURN_NOT_OK(cpu_out.status());
+  trace->Annotate("actual_groups", std::to_string(cpu_out->num_groups));
 
   PhaseRecord phase;
   phase.kind = PhaseRecord::Kind::kCpu;
@@ -282,7 +349,7 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
       selection.size(), cpu_out->num_groups,
       static_cast<int>(plan.slots().size()), 1);
   phase.dop = config_.query_dop;
-  profile->phases.push_back(phase);
+  RecordPhase(std::move(phase), obs::kCatCpu, profile, trace);
 
   outcome.table = cpu_out->table;
   return outcome;
@@ -293,6 +360,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
                           GetTable(query.fact_table));
   QueryProfile profile;
   profile.query_name = query.name;
+  obs::TraceBuilder trace(query.name);
 
   // --- Scan + filter the fact table ---
   BLUSIM_ASSIGN_OR_RETURN(
@@ -307,7 +375,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
         query.fact_filters.empty() ? 4 : ScanWidth(*fact, query.fact_filters),
         1);
     scan.dop = config_.query_dop;
-    profile.phases.push_back(scan);
+    RecordPhase(std::move(scan), obs::kCatCpu, &profile, &trace);
   }
 
   // --- Star joins (semi-join reduction of the fact selection) ---
@@ -336,7 +404,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
         dim_sel_ptr ? dim_selection.size() : dim->num_rows(),
         selection.size(), 1);
     jp.dop = config_.query_dop;
-    profile.phases.push_back(jp);
+    RecordPhase(std::move(jp), obs::kCatCpu, &profile, &trace);
     selection = std::move(joined.fact_rows);
   }
 
@@ -344,8 +412,9 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
 
   // --- Group by / aggregation ---
   if (query.groupby.has_value()) {
-    BLUSIM_ASSIGN_OR_RETURN(GroupByOutcome outcome,
-                            RunGroupBy(query, *fact, selection, &profile));
+    BLUSIM_ASSIGN_OR_RETURN(
+        GroupByOutcome outcome,
+        RunGroupBy(query, *fact, selection, &profile, &trace));
     profile.gpu_used = profile.gpu_used || outcome.gpu_used;
     result = outcome.table;
   }
@@ -367,7 +436,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
       sp.label = "sort-result";
       sp.cpu_work = cost_.HostSortTime(perm.size(), 1);
       sp.dop = config_.query_dop;
-      profile.phases.push_back(sp);
+      RecordPhase(std::move(sp), obs::kCatCpu, &profile, &trace);
       profile.sort_path = ExecutionPath::kCpu;
     } else {
       // Sorting the selected fact rows: hybrid CPU/GPU sort.
@@ -377,9 +446,12 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
       const ExecutionPath path = ChooseSortPath(
           base->num_rows(), config_.thresholds, !devices_.empty());
       profile.sort_path = path;
+      trace.Annotate("sort_path", ExecutionPathName(path));
       sort::HybridSortOptions options;
       options.min_gpu_rows = config_.sort_min_gpu_rows;
       options.num_workers = config_.sort_workers;
+      options.trace = &trace;
+      options.metrics = &metrics_;
       bool gpu_possible = false;
       if (path == ExecutionPath::kGpu) {
         // Job-level placement: the hybrid sorter asks the scheduler for a
@@ -405,7 +477,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
       keygen.cpu_work = cost_.HostKeyGenTime(base->num_rows(), 1) +
                         stats.cpu_sort_time;
       keygen.dop = config_.query_dop;
-      profile.phases.push_back(keygen);
+      RecordPhase(std::move(keygen), obs::kCatCpu, &profile, &trace);
       if (stats.jobs_gpu > 0 && gpu_possible) {
         PhaseRecord gp;
         gp.kind = PhaseRecord::Kind::kGpu;
@@ -414,7 +486,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
         gp.device_mem = sort::GpuSortBytesNeeded(
             static_cast<uint32_t>(base->num_rows()));
         gp.device_id = 0;  // the DES rebalances devices at replay time
-        profile.phases.push_back(gp);
+        RecordPhase(std::move(gp), obs::kCatGpu, &profile, &trace);
         profile.gpu_used = true;
       }
     }
@@ -429,7 +501,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
     mp.label = "project";
     mp.cpu_work = cost_.HostScanTime(selection.size(), 16, 1);
     mp.dop = config_.query_dop;
-    profile.phases.push_back(mp);
+    RecordPhase(std::move(mp), obs::kCatCpu, &profile, &trace);
   }
 
   // --- Limit ---
@@ -442,9 +514,19 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
   profile.result_rows = result->num_rows();
   profile.total_elapsed = 0;
   for (const PhaseRecord& phase : profile.phases) {
-    profile.total_elapsed +=
-        phase.IdleElapsed(cost_.HostParallelFactor(phase.dop));
+    profile.total_elapsed += phase.elapsed;
   }
+
+  metrics_
+      .GetCounter("blusim_queries_total",
+                  {{"gpu", profile.gpu_used ? "true" : "false"}},
+                  "Queries executed, by whether any phase used a device")
+      ->Add(1);
+  metrics_
+      .GetHistogram("blusim_query_elapsed_us", {},
+                    "Serial elapsed time per query (simulated microseconds)")
+      ->Observe(static_cast<uint64_t>(profile.total_elapsed));
+  profile.trace = trace.Finish();
 
   QueryResult qr;
   qr.table = std::move(result);

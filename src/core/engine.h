@@ -17,6 +17,8 @@
 #include "gpusim/sim_device.h"
 #include "groupby/gpu_groupby.h"
 #include "groupby/moderator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "sched/gpu_scheduler.h"
 
@@ -81,6 +83,11 @@ class Engine {
   runtime::ThreadPool& pool() { return pool_; }
   gpusim::PinnedHostPool& pinned_pool() { return pinned_; }
   groupby::GpuModerator& moderator() { return moderator_; }
+  // Engine-wide instrument registry: scheduler, pinned pool, thread pool,
+  // router and moderator counters all live here. Snapshot it for the
+  // Prometheus/JSON exporters.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   // One-time startup cost of registering the pinned segment with the
   // devices (simulated; section 2.1.2 motivates paying it once).
@@ -110,10 +117,18 @@ class Engine {
   Result<GroupByOutcome> RunGroupBy(const QuerySpec& query,
                                     const columnar::Table& fact,
                                     const std::vector<uint32_t>& selection,
-                                    QueryProfile* profile);
+                                    QueryProfile* profile,
+                                    obs::TraceBuilder* trace);
+
+  // Appends `phase` to the profile, stamps its serial elapsed time and
+  // mirrors it as one span in the query trace.
+  void RecordPhase(PhaseRecord phase, const char* category,
+                   QueryProfile* profile, obs::TraceBuilder* trace);
 
   EngineConfig config_;
   gpusim::CostModel cost_;
+  // Declared before the components so they can register instruments.
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<gpusim::SimDevice>> devices_;
   sched::GpuScheduler scheduler_;
   gpusim::PinnedHostPool pinned_;

@@ -1,5 +1,6 @@
 #include "core/explain.h"
 
+#include <iomanip>
 #include <sstream>
 
 namespace blusim::core {
@@ -136,6 +137,45 @@ std::string RenderGroupByChain(const GroupByPlan& plan, ExecutionPath path) {
       }
     }
     os << " -> merge to global hash table";
+  }
+  return os.str();
+}
+
+std::string ExplainAnalyze(const QuerySpec& query, const Table& fact,
+                           const QueryProfile& profile) {
+  std::ostringstream os;
+  os << DescribeQuery(query, fact) << "\n\n";
+  os << "EXPLAIN ANALYZE (" << profile.query_name << ")\n";
+  os << "  groupby path: " << ExecutionPathName(profile.groupby_path)
+     << "   sort path: " << ExecutionPathName(profile.sort_path)
+     << "   gpu used: " << (profile.gpu_used ? "yes" : "no") << "\n";
+
+  os << "  " << std::left << std::setw(24) << "node" << std::right
+     << std::setw(12) << "actual ms" << std::setw(8) << "dop"
+     << std::setw(8) << "dev" << "\n";
+  SimTime sum = 0;
+  for (const PhaseRecord& phase : profile.phases) {
+    sum += phase.elapsed;
+    os << "  " << std::left << std::setw(24) << phase.label << std::right
+       << std::setw(12) << std::fixed << std::setprecision(3)
+       << (static_cast<double>(phase.elapsed) / 1000.0);
+    if (phase.kind == PhaseRecord::Kind::kCpu) {
+      os << std::setw(8) << phase.dop << std::setw(8) << "-";
+    } else {
+      os << std::setw(8) << "-" << std::setw(8) << phase.device_id;
+    }
+    os << "\n";
+  }
+  os << "  " << std::left << std::setw(24) << "total" << std::right
+     << std::setw(12) << std::fixed << std::setprecision(3)
+     << (static_cast<double>(sum) / 1000.0) << "\n";
+
+  if (!profile.trace.annotations.empty()) {
+    os << "  annotations:";
+    for (const auto& [key, value] : profile.trace.annotations) {
+      os << " " << key << "=" << value;
+    }
+    os << "\n";
   }
   return os.str();
 }

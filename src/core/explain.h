@@ -4,6 +4,7 @@
 #include <string>
 
 #include "columnar/table.h"
+#include "core/profile.h"
 #include "core/query.h"
 #include "core/router.h"
 #include "runtime/groupby_plan.h"
@@ -23,6 +24,13 @@ std::string DescribeQuery(const QuerySpec& query,
 //                         GPU runtime [moderator -> kernel K1/K2/K3]
 std::string RenderGroupByChain(const runtime::GroupByPlan& plan,
                                ExecutionPath path);
+
+// EXPLAIN ANALYZE: the query text plus a per-node table of *measured*
+// simulated times from the execution profile. Each row is one PhaseRecord
+// (plan node); the rows sum to QueryProfile::total_elapsed. Routing and
+// estimate annotations from the query trace are appended.
+std::string ExplainAnalyze(const QuerySpec& query, const columnar::Table& fact,
+                           const QueryProfile& profile);
 
 }  // namespace blusim::core
 

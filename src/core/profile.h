@@ -7,6 +7,7 @@
 
 #include "common/sim_clock.h"
 #include "core/router.h"
+#include "obs/trace.h"
 
 namespace blusim::core {
 
@@ -21,6 +22,10 @@ struct PhaseRecord {
 
   Kind kind = Kind::kCpu;
   std::string label;
+  // Serial elapsed time of this phase as the engine measured it (simulated
+  // microseconds); what ExplainAnalyze prints per plan node. Sums to
+  // QueryProfile::total_elapsed.
+  SimTime elapsed = 0;
   // kCpu: single-thread work in simulated microseconds and the degree of
   // parallelism the operator used.
   SimTime cpu_work = 0;
@@ -52,6 +57,11 @@ struct QueryProfile {
   // Serial elapsed time (microseconds) on an idle system; `factors[dop]`
   // must come from CostModel::HostParallelFactor.
   SimTime total_elapsed = 0;
+
+  // Timestamped span tree of the execution (scan/keygen/transfer/kernel/
+  // merge/...), with routing and estimate annotations. Feeds the Chrome
+  // trace exporter and ExplainAnalyze.
+  obs::QueryTrace trace;
 };
 
 }  // namespace blusim::core

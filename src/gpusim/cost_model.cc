@@ -106,6 +106,15 @@ SimTime CostModel::HashTableInitTime(uint64_t table_bytes) const {
   return static_cast<SimTime>(us + 0.5) + 5;  // + small launch cost
 }
 
+const char* GroupByKernelKindName(GroupByKernelKind kind) {
+  switch (kind) {
+    case GroupByKernelKind::kRegular: return "groupby_regular";
+    case GroupByKernelKind::kSharedMem: return "groupby_sharedmem";
+    case GroupByKernelKind::kRowLock: return "groupby_rowlock";
+  }
+  return "groupby_unknown";
+}
+
 SimTime CostModel::GroupByKernelTime(GroupByKernelKind kind,
                                      const GroupByKernelParams& p) const {
   const double effective_cores =

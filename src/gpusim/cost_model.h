@@ -15,6 +15,11 @@ enum class GroupByKernelKind {
   kRowLock = 3,    // kernel 3: one row lock, all aggregates under it
 };
 
+// Stable kernel name used by the monitor, the metrics registry and the
+// trace exporters ("groupby_regular" / "groupby_sharedmem" /
+// "groupby_rowlock").
+const char* GroupByKernelKindName(GroupByKernelKind kind);
+
 // Parameters describing one group-by/aggregation kernel invocation.
 struct GroupByKernelParams {
   uint64_t rows = 0;

@@ -37,6 +37,16 @@ uint64_t DeviceMemoryManager::available() const {
   return capacity_ - reserved_total_;
 }
 
+uint64_t DeviceMemoryManager::peak_reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_reserved_;
+}
+
+uint64_t DeviceMemoryManager::reservation_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reservation_failures_;
+}
+
 bool DeviceMemoryManager::CanReserve(uint64_t bytes) const {
   std::lock_guard<std::mutex> lock(mu_);
   return reserved_total_ + bytes <= capacity_;
@@ -45,11 +55,13 @@ bool DeviceMemoryManager::CanReserve(uint64_t bytes) const {
 Result<Reservation> DeviceMemoryManager::Reserve(uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (reserved_total_ + bytes > capacity_) {
+    ++reservation_failures_;
     return Status::OutOfDeviceMemory(
         "reservation of " + std::to_string(bytes) + " bytes exceeds " +
         std::to_string(capacity_ - reserved_total_) + " available");
   }
   reserved_total_ += bytes;
+  peak_reserved_ = std::max(peak_reserved_, reserved_total_);
   const uint64_t id = next_id_++;
   in_use_.push_back(ReservationUse{id, bytes, 0});
   return Reservation(this, id, bytes);

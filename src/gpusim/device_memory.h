@@ -82,6 +82,11 @@ class DeviceMemoryManager {
   uint64_t capacity() const { return capacity_; }
   uint64_t reserved() const;
   uint64_t available() const;
+  // High-water mark of reserved bytes (drives the figure-9 utilization
+  // gauges and the metrics exporter).
+  uint64_t peak_reserved() const;
+  // Up-front reservations rejected for lack of free capacity.
+  uint64_t reservation_failures() const;
 
   // Attempts to reserve `bytes` up front. On failure the caller either
   // waits for memory or falls back to the CPU path (section 2.1.1).
@@ -110,6 +115,8 @@ class DeviceMemoryManager {
   const uint64_t capacity_;
   mutable std::mutex mu_;
   uint64_t reserved_total_ = 0;
+  uint64_t peak_reserved_ = 0;
+  uint64_t reservation_failures_ = 0;
   uint64_t next_id_ = 1;
   std::vector<ReservationUse> in_use_;
 };

@@ -37,13 +37,28 @@ void PinnedBuffer::Release() {
   }
 }
 
-PinnedHostPool::PinnedHostPool(uint64_t segment_bytes)
+PinnedHostPool::PinnedHostPool(uint64_t segment_bytes,
+                               obs::MetricsRegistry* metrics)
     : segment_size_(AlignUp(segment_bytes, kAlignment)),
       segment_(std::make_unique<char[]>(segment_size_ + kAlignment)) {
   // Align the segment base so every sub-allocation is 64-byte aligned.
   const uintptr_t raw = reinterpret_cast<uintptr_t>(segment_.get());
   base_ = segment_.get() + (AlignUp(raw, kAlignment) - raw);
   free_list_.push_back(FreeExtent{0, segment_size_});
+  if (metrics != nullptr) {
+    bytes_in_use_gauge_ = metrics->GetGauge(
+        "blusim_pinned_pool_bytes_in_use", {},
+        "Bytes currently sub-allocated from the registered segment");
+    highwater_gauge_ = metrics->GetGauge(
+        "blusim_pinned_pool_bytes_highwater", {},
+        "High-water mark of pinned-pool sub-allocations");
+    allocs_total_ = metrics->GetCounter(
+        "blusim_pinned_pool_allocs_total", {},
+        "Successful pinned-pool sub-allocations");
+    alloc_failures_total_ = metrics->GetCounter(
+        "blusim_pinned_pool_alloc_failures_total", {},
+        "Pinned-pool allocations rejected (exhausted or fragmented)");
+  }
 }
 
 uint64_t PinnedHostPool::allocated() const {
@@ -70,9 +85,15 @@ Result<PinnedBuffer> PinnedHostPool::Alloc(uint64_t bytes) {
       }
       allocated_ += size;
       peak_allocated_ = std::max(peak_allocated_, allocated_);
+      if (bytes_in_use_gauge_ != nullptr) {
+        bytes_in_use_gauge_->Set(static_cast<int64_t>(allocated_));
+        highwater_gauge_->SetMax(static_cast<int64_t>(peak_allocated_));
+        allocs_total_->Add(1);
+      }
       return PinnedBuffer(this, base_ + offset, offset, size);
     }
   }
+  if (alloc_failures_total_ != nullptr) alloc_failures_total_->Add(1);
   return Status::OutOfHostMemory(
       "pinned pool exhausted: need " + std::to_string(size) + " bytes, " +
       std::to_string(segment_size_ - allocated_) + " free (fragmented)");
@@ -82,6 +103,9 @@ void PinnedHostPool::Free(uint64_t offset, uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   BLUSIM_CHECK(allocated_ >= bytes);
   allocated_ -= bytes;
+  if (bytes_in_use_gauge_ != nullptr) {
+    bytes_in_use_gauge_->Set(static_cast<int64_t>(allocated_));
+  }
   // Insert sorted by offset, then coalesce with neighbors.
   auto it = std::lower_bound(
       free_list_.begin(), free_list_.end(), offset,

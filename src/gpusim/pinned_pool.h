@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace blusim::gpusim {
 
@@ -55,7 +56,10 @@ class PinnedBuffer {
 // sub-allocations from this pre-registered segment instead.
 class PinnedHostPool {
  public:
-  explicit PinnedHostPool(uint64_t segment_bytes);
+  // `metrics` (optional) receives the pool's bytes-in-use / high-water
+  // gauges and allocation counters.
+  explicit PinnedHostPool(uint64_t segment_bytes,
+                          obs::MetricsRegistry* metrics = nullptr);
 
   PinnedHostPool(const PinnedHostPool&) = delete;
   PinnedHostPool& operator=(const PinnedHostPool&) = delete;
@@ -86,6 +90,12 @@ class PinnedHostPool {
   std::vector<FreeExtent> free_list_;  // sorted by offset, coalesced
   uint64_t allocated_ = 0;
   uint64_t peak_allocated_ = 0;
+
+  // Optional engine-registry instruments (null when not wired).
+  obs::Gauge* bytes_in_use_gauge_ = nullptr;
+  obs::Gauge* highwater_gauge_ = nullptr;
+  obs::Counter* allocs_total_ = nullptr;
+  obs::Counter* alloc_failures_total_ = nullptr;
 };
 
 }  // namespace blusim::gpusim

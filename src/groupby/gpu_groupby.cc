@@ -142,13 +142,10 @@ Status RunKernel(SimDevice* device, GroupByKernelKind kind,
   return Status::InvalidArgument("unknown kernel kind");
 }
 
+// Stable kernel names live next to the cost model so the monitor, the
+// metrics registry and the trace exporters all agree on them.
 const char* KernelName(GroupByKernelKind kind) {
-  switch (kind) {
-    case GroupByKernelKind::kRegular: return "groupby_regular";
-    case GroupByKernelKind::kSharedMem: return "groupby_sharedmem";
-    case GroupByKernelKind::kRowLock: return "groupby_rowlock";
-  }
-  return "groupby_unknown";
+  return gpusim::GroupByKernelKindName(kind);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "harness/monitor_report.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "harness/report.h"
 
@@ -33,7 +35,65 @@ void PrintDeviceMonitorReport(core::Engine* engine) {
   }
 }
 
+void SyncDeviceMetrics(core::Engine* engine) {
+  auto& scheduler = engine->scheduler();
+  auto& metrics = engine->metrics();
+  for (size_t d = 0; d < scheduler.num_devices(); ++d) {
+    gpusim::SimDevice* device = scheduler.device(d);
+    const std::string dev = std::to_string(device->id());
+    const gpusim::PerfMonitor& mon = device->monitor();
+    for (int e = 0; e < static_cast<int>(gpusim::GpuEvent::kNumEvents); ++e) {
+      const auto event = static_cast<gpusim::GpuEvent>(e);
+      const auto stats = mon.stats(event);
+      const obs::LabelSet labels{{"device", dev},
+                                 {"event", gpusim::GpuEventName(event)}};
+      metrics
+          .GetGauge("blusim_gpu_event_count", labels,
+                    "Monitored GPU events per device (section 2.3)")
+          ->Set(static_cast<int64_t>(stats.count));
+      metrics
+          .GetGauge("blusim_gpu_event_time_us", labels,
+                    "Simulated time in each GPU event category")
+          ->Set(stats.total_time);
+    }
+    for (const auto& [name, stats] : mon.kernel_stats()) {
+      const obs::LabelSet labels{{"device", dev}, {"kernel", name}};
+      metrics
+          .GetGauge("blusim_gpu_kernel_count", labels,
+                    "Named kernel executions per device")
+          ->Set(static_cast<int64_t>(stats.count));
+      metrics
+          .GetGauge("blusim_gpu_kernel_time_us", labels,
+                    "Simulated execution time per named kernel")
+          ->Set(stats.total_time);
+    }
+    const obs::LabelSet dl{{"device", dev}};
+    metrics
+        .GetGauge("blusim_device_mem_reserved_bytes", dl,
+                  "Device memory currently reserved")
+        ->Set(static_cast<int64_t>(device->memory().reserved()));
+    metrics
+        .GetGauge("blusim_device_mem_peak_reserved_bytes", dl,
+                  "High-water mark of reserved device memory (figure 9)")
+        ->Set(static_cast<int64_t>(device->memory().peak_reserved()));
+    metrics
+        .GetGauge("blusim_device_mem_reservation_failures", dl,
+                  "Up-front reservations rejected for lack of capacity")
+        ->Set(static_cast<int64_t>(device->memory().reservation_failures()));
+  }
+}
+
 CsvWriter::CsvWriter(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::fprintf(stderr, "CsvWriter: cannot create %s: %s\n",
+                   parent.string().c_str(), ec.message().c_str());
+    }
+  }
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
     std::fprintf(stderr, "CsvWriter: cannot open %s\n", path.c_str());

@@ -14,9 +14,17 @@ namespace blusim::harness {
 // event counts, simulated time, bytes moved, plus per-kernel rows.
 void PrintDeviceMonitorReport(core::Engine* engine);
 
-// Writes rows of comma-separated values to `path` (parent directory must
-// exist). Returns false on I/O failure. Used by the experiment benches to
-// leave machine-readable results next to the console tables.
+// Mirrors each device's monitor aggregates (per-event counts/times, named
+// kernels, memory high-water / reservation failures) into the engine's
+// metrics registry as labeled gauges, so one Prometheus/JSON snapshot
+// covers both the live instruments and the per-device monitors. Call
+// before exporting; repeated calls overwrite (gauges, not counters).
+void SyncDeviceMetrics(core::Engine* engine);
+
+// Writes rows of comma-separated values to `path`, creating the parent
+// directory if needed (check ok() before relying on the file). Used by the
+// experiment benches to leave machine-readable results next to the console
+// tables.
 class CsvWriter {
  public:
   explicit CsvWriter(const std::string& path);

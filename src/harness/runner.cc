@@ -1,5 +1,8 @@
 #include "harness/runner.h"
 
+#include <mutex>
+#include <thread>
+
 namespace blusim::harness {
 
 std::unique_ptr<core::Engine> MakeEngine(const workload::Database& db,
@@ -39,6 +42,54 @@ Result<std::vector<QueryRunResult>> RunSerial(
     r.elapsed = total / reps;
     results.push_back(std::move(r));
   }
+  return results;
+}
+
+Result<std::vector<QueryRunResult>> RunConcurrentStreams(
+    core::Engine* engine, const std::vector<workload::WorkloadQuery>& queries,
+    const ConcurrentRunOptions& options) {
+  const int streams = std::max(1, options.streams);
+  const int reps = std::max(1, options.reps);
+
+  std::mutex mu;
+  std::vector<QueryRunResult> results;
+  Status first_error;
+
+  auto stream_fn = [&]() {
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const workload::WorkloadQuery& wq : queries) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!first_error.ok()) return;
+        }
+        auto qr = engine->Execute(wq.spec);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!qr.ok()) {
+          if (first_error.ok()) {
+            first_error = Status(qr.status().code(),
+                                 "query '" + wq.spec.name + "': " +
+                                     qr.status().message());
+          }
+          return;
+        }
+        QueryRunResult r;
+        r.name = wq.spec.name;
+        r.qclass = wq.qclass;
+        r.elapsed = qr->profile.total_elapsed;
+        r.gpu_used = qr->profile.gpu_used;
+        r.profile = std::move(qr->profile);
+        results.push_back(std::move(r));
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(streams - 1));
+  for (int s = 1; s < streams; ++s) threads.emplace_back(stream_fn);
+  stream_fn();
+  for (std::thread& t : threads) t.join();
+
+  BLUSIM_RETURN_NOT_OK(first_error);
   return results;
 }
 

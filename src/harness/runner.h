@@ -38,6 +38,21 @@ Result<std::vector<QueryRunResult>> RunSerial(
     core::Engine* engine, const std::vector<workload::WorkloadQuery>& queries,
     const SerialRunOptions& options);
 
+struct ConcurrentRunOptions {
+  // Concurrent client streams, each running the whole query list `reps`
+  // times. Streams contend for device memory, so with a small device this
+  // is what makes reservation waits actually happen.
+  int streams = 4;
+  int reps = 1;
+};
+
+// Runs `streams` threads through the query list concurrently against one
+// engine and collects every execution's profile (trace included). Returns
+// one QueryRunResult per executed query instance, in completion order.
+Result<std::vector<QueryRunResult>> RunConcurrentStreams(
+    core::Engine* engine, const std::vector<workload::WorkloadQuery>& queries,
+    const ConcurrentRunOptions& options);
+
 // Sums elapsed times.
 SimTime TotalElapsed(const std::vector<QueryRunResult>& results);
 

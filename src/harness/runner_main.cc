@@ -1,0 +1,206 @@
+// Observability demo driver: runs a mixed CPU/GPU workload with several
+// concurrent client streams against a deliberately small single device (so
+// reservation waits actually happen), then exports the query traces and the
+// engine metrics.
+//
+//   runner --trace-out t.json --metrics-out m.prom [--json-out m.json]
+//          [--streams 4] [--reps 2] [--rows 300000] [--device-mem-mb 16]
+//
+// The trace file loads directly into Perfetto / chrome://tracing; the
+// metrics file is Prometheus text exposition format.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/explain.h"
+#include "harness/monitor_report.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "obs/export_chrome.h"
+#include "obs/export_json.h"
+#include "obs/export_prometheus.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace {
+
+using namespace blusim;  // NOLINT
+
+struct Args {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string json_out;
+  int streams = 4;
+  int reps = 2;
+  // Defaults picked so the heavy group-by (~13 MB job) fits the device
+  // alone but two concurrent streams contend: GPU kernels, transfers AND
+  // reservation waits all show up in one run.
+  uint64_t rows = 300000;
+  uint64_t device_mem_mb = 16;
+  bool explain = true;
+};
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--trace-out PATH] [--metrics-out PATH] [--json-out PATH]\n"
+      "          [--streams N] [--reps N] [--rows N] [--device-mem-mb N]\n"
+      "          [--no-explain]\n",
+      prog);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (flag == "--trace-out") {
+      if (!next(&args->trace_out)) return false;
+    } else if (flag == "--metrics-out") {
+      if (!next(&args->metrics_out)) return false;
+    } else if (flag == "--json-out") {
+      if (!next(&args->json_out)) return false;
+    } else if (flag == "--streams") {
+      if (!next(&value)) return false;
+      args->streams = std::atoi(value.c_str());
+    } else if (flag == "--reps") {
+      if (!next(&value)) return false;
+      args->reps = std::atoi(value.c_str());
+    } else if (flag == "--rows") {
+      if (!next(&value)) return false;
+      args->rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--device-mem-mb") {
+      if (!next(&value)) return false;
+      args->device_mem_mb = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--no-explain") {
+      args->explain = false;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  workload::ScaleConfig scale;
+  scale.store_sales_rows = args.rows;
+  auto db = workload::GenerateDatabase(scale);
+  if (!db.ok()) {
+    std::fprintf(stderr, "data gen failed: %s\n",
+                 db.status().message().c_str());
+    return 1;
+  }
+
+  // One small device: a heavy group-by's reservation takes most of it, so
+  // concurrent streams serialize on device memory and the scheduler's
+  // wait path (section 2.1.1) gets exercised.
+  core::EngineConfig config;
+  config.num_devices = 1;
+  config.device_workers = 2;
+  config.cpu_threads = 4;
+  config.sort_workers = 2;
+  config.device_spec =
+      config.device_spec.WithMemory(args.device_mem_mb << 20);
+  config.pinned_pool_bytes = 64ULL << 20;
+  auto engine = harness::MakeEngine(*db, config);
+
+  // Mixed workload: figure 8's GPU-heavy group-by/sort pair plus a few
+  // CPU-sized dashboard queries.
+  std::vector<workload::WorkloadQuery> queries =
+      workload::MakeHandwrittenHeavyQueries(*db);
+  auto bdi = workload::MakeBdiQueries(*db);
+  auto simple = workload::FilterByClass(bdi, workload::QueryClass::kSimple);
+  for (size_t i = 0; i < 3 && i < simple.size(); ++i) {
+    queries.push_back(simple[i]);
+  }
+
+  harness::ConcurrentRunOptions run_options;
+  run_options.streams = args.streams;
+  run_options.reps = args.reps;
+  auto results =
+      harness::RunConcurrentStreams(engine.get(), queries, run_options);
+  if (!results.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 results.status().message().c_str());
+    return 1;
+  }
+
+  std::printf("%zu query executions (%d streams x %d reps x %zu queries)\n",
+              results->size(), run_options.streams, run_options.reps,
+              queries.size());
+  int gpu_runs = 0;
+  for (const auto& r : *results) gpu_runs += r.gpu_used ? 1 : 0;
+  std::printf("GPU used in %d executions\n", gpu_runs);
+
+  if (args.explain) {
+    // One EXPLAIN ANALYZE sample: the first GPU execution (else the first).
+    const harness::QueryRunResult* sample = &results->front();
+    for (const auto& r : *results) {
+      if (r.gpu_used) {
+        sample = &r;
+        break;
+      }
+    }
+    for (const auto& wq : queries) {
+      if (wq.spec.name != sample->name) continue;
+      auto fact = engine->GetTable(wq.spec.fact_table);
+      if (fact.ok()) {
+        std::printf("\n%s\n",
+                    core::ExplainAnalyze(wq.spec, **fact, sample->profile)
+                        .c_str());
+      }
+      break;
+    }
+  }
+
+  harness::PrintDeviceMonitorReport(engine.get());
+
+  if (!args.trace_out.empty()) {
+    std::vector<const obs::QueryTrace*> traces;
+    traces.reserve(results->size());
+    for (const auto& r : *results) traces.push_back(&r.profile.trace);
+    if (!obs::WriteChromeTrace(traces, args.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_out.c_str());
+      return 1;
+    }
+    std::printf("\nChrome trace (%zu queries) -> %s\n", traces.size(),
+                args.trace_out.c_str());
+  }
+
+  harness::SyncDeviceMetrics(engine.get());
+  if (!args.metrics_out.empty()) {
+    if (!obs::WritePrometheusText(engine->metrics(), args.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("Prometheus metrics (%zu instruments) -> %s\n",
+                engine->metrics().num_instruments(),
+                args.metrics_out.c_str());
+  }
+  if (!args.json_out.empty()) {
+    if (!obs::WriteMetricsJson(engine->metrics(), args.json_out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_out.c_str());
+      return 1;
+    }
+    std::printf("JSON metrics -> %s\n", args.json_out.c_str());
+  }
+  return 0;
+}

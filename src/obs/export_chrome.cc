@@ -1,0 +1,167 @@
+#include "obs/export_chrome.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace blusim::obs {
+
+namespace {
+
+// Tracks per query row-group: track ids above this fold into the last lane
+// (keeps tid allocation dense and bounded for arbitrary worker counts).
+constexpr int kTracksPerQuery = 16;
+
+int SpanPid(const TraceSpan& span) {
+  return span.device_id < 0 ? 0 : span.device_id + 1;
+}
+
+void AppendArgs(
+    std::ostringstream& os,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  os << "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(args[i].first) << "\":\""
+       << JsonEscape(args[i].second) << "\"";
+  }
+  os << "}";
+}
+
+void AppendEvent(std::ostringstream& os, bool* first, const std::string& name,
+                 const std::string& cat, SimTime ts, SimTime dur, int pid,
+                 int tid,
+                 const std::vector<std::pair<std::string, std::string>>& args) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":\"" << JsonEscape(name) << "\",\"cat\":\""
+     << JsonEscape(cat.empty() ? "default" : cat) << "\",\"ph\":\"X\",\"ts\":"
+     << ts << ",\"dur\":" << (dur > 0 ? dur : 0) << ",\"pid\":" << pid
+     << ",\"tid\":" << tid << ",";
+  AppendArgs(os, args);
+  os << "}";
+}
+
+void AppendMetadata(std::ostringstream& os, bool* first,
+                    const std::string& kind, int pid, int tid,
+                    const std::string& value) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << JsonEscape(value)
+     << "\"}}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderChromeTrace(const std::vector<const QueryTrace*>& traces) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Process rows: the host plus every device any span touched.
+  int max_device = -1;
+  for (const QueryTrace* t : traces) {
+    for (const TraceSpan& s : t->spans) {
+      max_device = std::max(max_device, s.device_id);
+    }
+  }
+  AppendMetadata(os, &first, "process_name", 0, 0, "host");
+  for (int d = 0; d <= max_device; ++d) {
+    AppendMetadata(os, &first, "process_name", d + 1,
+                   0, "gpu" + std::to_string(d));
+  }
+
+  for (size_t q = 0; q < traces.size(); ++q) {
+    const QueryTrace& t = *traces[q];
+    if (t.spans.empty()) continue;
+    const int base = static_cast<int>(q) * kTracksPerQuery;
+
+    // Label the lanes this query uses, per process.
+    std::vector<std::pair<int, int>> named;  // (pid, tid) already labeled
+    for (const TraceSpan& s : t.spans) {
+      const int pid = SpanPid(s);
+      const int tid =
+          base + std::clamp(s.track, 0, kTracksPerQuery - 1);
+      if (std::find(named.begin(), named.end(), std::make_pair(pid, tid)) !=
+          named.end()) {
+        continue;
+      }
+      named.emplace_back(pid, tid);
+      std::string label = t.query_name.empty() ? "query" : t.query_name;
+      if (tid != base) {
+        label += "/w" + std::to_string(tid - base);
+      }
+      AppendMetadata(os, &first, "thread_name", pid, tid, label);
+    }
+
+    // Umbrella span on the host lane carrying the query annotations.
+    SimTime lo = t.spans.front().begin;
+    SimTime hi = t.spans.front().end;
+    for (const TraceSpan& s : t.spans) {
+      lo = std::min(lo, s.begin);
+      hi = std::max(hi, s.end);
+    }
+    AppendEvent(os, &first, t.query_name.empty() ? "query" : t.query_name,
+                "query", lo, hi - lo, 0, base, t.annotations);
+
+    for (const TraceSpan& s : t.spans) {
+      AppendEvent(os, &first, s.name, s.category, s.begin, s.duration(),
+                  SpanPid(s),
+                  base + std::clamp(s.track, 0, kTracksPerQuery - 1),
+                  s.args);
+    }
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+std::string RenderChromeTrace(const std::vector<QueryTrace>& traces) {
+  std::vector<const QueryTrace*> ptrs;
+  ptrs.reserve(traces.size());
+  for (const QueryTrace& t : traces) ptrs.push_back(&t);
+  return RenderChromeTrace(ptrs);
+}
+
+bool WriteChromeTrace(const std::vector<const QueryTrace*>& traces,
+                      const std::string& path) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = RenderChromeTrace(traces);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace blusim::obs

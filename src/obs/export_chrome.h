@@ -1,0 +1,35 @@
+#ifndef BLUSIM_OBS_EXPORT_CHROME_H_
+#define BLUSIM_OBS_EXPORT_CHROME_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace blusim::obs {
+
+// Renders query traces as Chrome trace-event JSON (the `traceEvents`
+// format Perfetto and chrome://tracing load directly).
+//
+// Layout: one pid per device (pid 0 = the host, pid 1 + d = GPU d), one
+// tid per (query, track) pair so concurrent queries and sort workers get
+// separate lanes. Every span becomes a complete ("ph":"X") event with its
+// simulated-microsecond timestamp/duration; process_name / thread_name
+// metadata events label the rows. Query annotations are attached as args
+// of a query-wide umbrella span on the host row.
+std::string RenderChromeTrace(const std::vector<const QueryTrace*>& traces);
+
+// Convenience overload for a value vector.
+std::string RenderChromeTrace(const std::vector<QueryTrace>& traces);
+
+// Writes the rendered JSON to `path` (parent directory is created).
+// Returns false on I/O failure.
+bool WriteChromeTrace(const std::vector<const QueryTrace*>& traces,
+                      const std::string& path);
+
+// Escapes a string for inclusion inside a JSON string literal.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace blusim::obs
+
+#endif  // BLUSIM_OBS_EXPORT_CHROME_H_

@@ -1,0 +1,65 @@
+#include "obs/export_json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/export_chrome.h"  // JsonEscape
+
+namespace blusim::obs {
+
+std::string RenderMetricsJson(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  os << "{\"metrics\":[\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    if (i > 0) os << ",\n";
+    os << "{\"name\":\"" << JsonEscape(s.name) << "\",\"type\":\""
+       << MetricTypeName(s.type) << "\",\"labels\":{";
+    for (size_t l = 0; l < s.labels.size(); ++l) {
+      if (l > 0) os << ",";
+      os << "\"" << JsonEscape(s.labels[l].first) << "\":\""
+         << JsonEscape(s.labels[l].second) << "\"";
+    }
+    os << "}";
+    if (s.type == MetricType::kHistogram) {
+      os << ",\"buckets\":[";
+      for (int b = 0; b <= Histogram::kNumBuckets; ++b) {
+        if (b > 0) os << ",";
+        os << "{\"le\":";
+        if (b == Histogram::kNumBuckets) {
+          os << "\"+Inf\"";
+        } else {
+          os << Histogram::BucketBound(b);
+        }
+        os << ",\"count\":" << s.bucket_counts[static_cast<size_t>(b)]
+           << "}";
+      }
+      os << "],\"sum\":" << s.sum << ",\"count\":" << s.count;
+    } else {
+      os << ",\"value\":" << s.value;
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string RenderMetricsJson(const MetricsRegistry& registry) {
+  return RenderMetricsJson(registry.Snapshot());
+}
+
+bool WriteMetricsJson(const MetricsRegistry& registry,
+                      const std::string& path) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = RenderMetricsJson(registry);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace blusim::obs

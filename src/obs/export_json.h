@@ -1,0 +1,28 @@
+#ifndef BLUSIM_OBS_EXPORT_JSON_H_
+#define BLUSIM_OBS_EXPORT_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace blusim::obs {
+
+// Renders a registry snapshot as a JSON document:
+//   {"metrics":[{"name":..., "type":..., "labels":{...}, "value":...,
+//                "buckets":[{"le":...,"count":...}...],
+//                "sum":..., "count":...}, ...]}
+// Histogram buckets are non-cumulative. The experiment harness writes this
+// snapshot next to its CSVs so plots and dashboards read one machine
+// format.
+std::string RenderMetricsJson(const std::vector<MetricSample>& samples);
+std::string RenderMetricsJson(const MetricsRegistry& registry);
+
+// Writes the JSON to `path` (parent directory is created). Returns false
+// on I/O failure.
+bool WriteMetricsJson(const MetricsRegistry& registry,
+                      const std::string& path);
+
+}  // namespace blusim::obs
+
+#endif  // BLUSIM_OBS_EXPORT_JSON_H_

@@ -1,0 +1,109 @@
+#include "obs/export_prometheus.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace blusim::obs {
+
+namespace {
+
+std::string LabelString(const LabelSet& labels,
+                        const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + PrometheusEscape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + PrometheusEscape(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  std::string last_family;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      if (!s.help.empty()) {
+        // HELP text escaping: backslash and newline only (no quotes).
+        std::string help;
+        for (char c : s.help) {
+          if (c == '\\') help += "\\\\";
+          else if (c == '\n') help += "\\n";
+          else help += c;
+        }
+        os << "# HELP " << s.name << " " << help << "\n";
+      }
+      os << "# TYPE " << s.name << " " << MetricTypeName(s.type) << "\n";
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        os << s.name << LabelString(s.labels) << " " << s.value << "\n";
+        break;
+      case MetricType::kHistogram: {
+        uint64_t cumulative = 0;
+        for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+          cumulative += s.bucket_counts[static_cast<size_t>(b)];
+          os << s.name << "_bucket"
+             << LabelString(s.labels, "le",
+                            std::to_string(Histogram::BucketBound(b)))
+             << " " << cumulative << "\n";
+        }
+        cumulative += s.bucket_counts[Histogram::kNumBuckets];
+        os << s.name << "_bucket" << LabelString(s.labels, "le", "+Inf")
+           << " " << cumulative << "\n";
+        os << s.name << "_sum" << LabelString(s.labels) << " " << s.sum
+           << "\n";
+        os << s.name << "_count" << LabelString(s.labels) << " " << s.count
+           << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  return RenderPrometheusText(registry.Snapshot());
+}
+
+bool WritePrometheusText(const MetricsRegistry& registry,
+                         const std::string& path) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = RenderPrometheusText(registry);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace blusim::obs

@@ -1,0 +1,28 @@
+#ifndef BLUSIM_OBS_EXPORT_PROMETHEUS_H_
+#define BLUSIM_OBS_EXPORT_PROMETHEUS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace blusim::obs {
+
+// Renders a registry snapshot in the Prometheus text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` per family, one sample line per
+// series, histogram `_bucket`/`_sum`/`_count` expansion, and label-value
+// escaping per the spec (backslash, double quote, newline).
+std::string RenderPrometheusText(const std::vector<MetricSample>& samples);
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+
+// Writes the text format to `path` (parent directory is created).
+// Returns false on I/O failure.
+bool WritePrometheusText(const MetricsRegistry& registry,
+                         const std::string& path);
+
+// Escapes a Prometheus label value.
+std::string PrometheusEscape(std::string_view s);
+
+}  // namespace blusim::obs
+
+#endif  // BLUSIM_OBS_EXPORT_PROMETHEUS_H_

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace blusim::obs {
+
+size_t Counter::ShardIndex() {
+  // Cheap per-thread spread; collisions only cost a shared cache line.
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return shard;
+}
+
+void Histogram::Observe(uint64_t value) {
+  int bucket = 0;
+  while (bucket < kNumBuckets && value > BucketBound(bucket)) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+namespace {
+
+// Instrument identity: name plus the serialized label set (labels are
+// stored sorted, so serialization is canonical).
+std::string MakeKey(const std::string& name, const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+LabelSet SortedLabels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
+    const std::string& name, const LabelSet& labels, const std::string& help,
+    MetricType type) {
+  LabelSet sorted = SortedLabels(labels);
+  const std::string key = MakeKey(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Instrument* inst = &instruments_[it->second];
+    BLUSIM_CHECK(inst->type == type);
+    return inst;
+  }
+  instruments_.push_back(Instrument{});
+  Instrument& inst = instruments_.back();
+  inst.name = name;
+  inst.labels = std::move(sorted);
+  inst.help = help;
+  inst.type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      inst.counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      inst.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      inst.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  index_.emplace(key, instruments_.size() - 1);
+  return &inst;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels,
+                                     const std::string& help) {
+  return FindOrCreate(name, labels, help, MetricType::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels,
+                                 const std::string& help) {
+  return FindOrCreate(name, labels, help, MetricType::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         const std::string& help) {
+  return FindOrCreate(name, labels, help, MetricType::kHistogram)
+      ->histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(instruments_.size());
+    for (const Instrument& inst : instruments_) {
+      MetricSample s;
+      s.name = inst.name;
+      s.labels = inst.labels;
+      s.help = inst.help;
+      s.type = inst.type;
+      switch (inst.type) {
+        case MetricType::kCounter:
+          s.value = static_cast<int64_t>(inst.counter->Value());
+          break;
+        case MetricType::kGauge:
+          s.value = inst.gauge->Value();
+          break;
+        case MetricType::kHistogram: {
+          s.bucket_counts.resize(Histogram::kNumBuckets + 1);
+          for (int b = 0; b <= Histogram::kNumBuckets; ++b) {
+            s.bucket_counts[static_cast<size_t>(b)] =
+                inst.histogram->BucketCount(b);
+          }
+          s.sum = inst.histogram->Sum();
+          s.count = inst.histogram->Count();
+          break;
+        }
+      }
+      samples.push_back(std::move(s));
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return samples;
+}
+
+size_t MetricsRegistry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+}  // namespace blusim::obs

@@ -1,0 +1,65 @@
+#include "obs/trace.h"
+
+namespace blusim::obs {
+
+const std::string* QueryTrace::FindAnnotation(std::string_view key) const {
+  for (const auto& [k, v] : annotations) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const TraceSpan* QueryTrace::FindSpan(std::string_view name) const {
+  for (const TraceSpan& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TraceBuilder::TraceBuilder(std::string query_name, SimTime origin)
+    : cursor_(origin) {
+  trace_.query_name = std::move(query_name);
+}
+
+SimTime TraceBuilder::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cursor_;
+}
+
+void TraceBuilder::Advance(SimTime dt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dt > 0) cursor_ += dt;
+}
+
+void TraceBuilder::AddPhase(
+    std::string name, std::string category, SimTime elapsed, int device_id,
+    std::vector<std::pair<std::string, std::string>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.begin = cursor_;
+  span.end = cursor_ + (elapsed > 0 ? elapsed : 0);
+  span.device_id = device_id;
+  span.track = 0;
+  span.args = std::move(args);
+  cursor_ = span.end;
+  trace_.spans.push_back(std::move(span));
+}
+
+void TraceBuilder::AddSpanAt(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.spans.push_back(std::move(span));
+}
+
+void TraceBuilder::Annotate(std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.annotations.emplace_back(std::move(key), std::move(value));
+}
+
+QueryTrace TraceBuilder::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(trace_);
+}
+
+}  // namespace blusim::obs

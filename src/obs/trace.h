@@ -1,0 +1,88 @@
+#ifndef BLUSIM_OBS_TRACE_H_
+#define BLUSIM_OBS_TRACE_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace blusim::obs {
+
+// Span categories used across the engine. Free-form strings are accepted;
+// these constants keep producers and the exporters consistent.
+inline constexpr const char* kCatCpu = "cpu";
+inline constexpr const char* kCatGpu = "gpu";
+inline constexpr const char* kCatKernel = "kernel";
+inline constexpr const char* kCatTransfer = "transfer";
+inline constexpr const char* kCatWait = "wait";
+
+// One timestamped interval of a query's lifecycle, in simulated
+// microseconds on an idle system. `device_id` -1 means the host;
+// `track` separates concurrent lanes (worker threads, streams) within one
+// process row of the Chrome trace.
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  SimTime begin = 0;
+  SimTime end = 0;
+  int device_id = -1;
+  int track = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  SimTime duration() const { return end - begin; }
+};
+
+// The per-query timeline: spans plus key/value annotations (routing
+// decision, KMV estimate vs. actual groups, chosen kernel). Plain data,
+// copyable; carried inside core::QueryProfile.
+struct QueryTrace {
+  std::string query_name;
+  std::vector<TraceSpan> spans;
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  // nullptr when `key` was never annotated.
+  const std::string* FindAnnotation(std::string_view key) const;
+  // First span whose name matches, else nullptr.
+  const TraceSpan* FindSpan(std::string_view name) const;
+};
+
+// Thread-safe builder used while a query executes. The engine's main
+// thread appends phases sequentially through the cursor; concurrent
+// helpers (hybrid-sort workers) drop spans at explicit timestamps on
+// their own tracks.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::string query_name, SimTime origin = 0);
+
+  TraceBuilder(const TraceBuilder&) = delete;
+  TraceBuilder& operator=(const TraceBuilder&) = delete;
+
+  // Current position of the sequential host timeline.
+  SimTime now() const;
+  void Advance(SimTime dt);
+
+  // Appends [now, now + elapsed) on track 0 and advances the cursor.
+  void AddPhase(std::string name, std::string category, SimTime elapsed,
+                int device_id = -1,
+                std::vector<std::pair<std::string, std::string>> args = {});
+
+  // Appends a span at its own timestamps; the cursor does not move.
+  void AddSpanAt(TraceSpan span);
+
+  void Annotate(std::string key, std::string value);
+
+  // Moves the accumulated trace out; the builder is done after this.
+  QueryTrace Finish();
+
+ private:
+  mutable std::mutex mu_;
+  QueryTrace trace_;
+  SimTime cursor_ = 0;
+};
+
+}  // namespace blusim::obs
+
+#endif  // BLUSIM_OBS_TRACE_H_

@@ -7,15 +7,28 @@
 
 namespace blusim::runtime {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics) {
   if (num_threads <= 0) {
     const unsigned hc = std::thread::hardware_concurrency();
     num_threads = hc == 0 ? 2 : static_cast<int>(hc);
   }
+  AttachMetrics(metrics);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+void ThreadPool::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  queue_depth_gauge_ = metrics->GetGauge(
+      "blusim_thread_pool_queue_depth", {},
+      "Tasks waiting in the shared sub-agent pool queue");
+  tasks_total_ = metrics->GetCounter("blusim_thread_pool_tasks_total", {},
+                                     "Tasks submitted to the sub-agent pool");
+  task_wait_us_ = metrics->GetHistogram(
+      "blusim_thread_pool_task_wait_us", {},
+      "Submit-to-dequeue wait per task (wall microseconds)");
 }
 
 ThreadPool::~ThreadPool() {
@@ -31,22 +44,36 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     BLUSIM_CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task),
+                                std::chrono::steady_clock::now()});
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
+  if (tasks_total_ != nullptr) tasks_total_->Add(1);
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
-    task();
+    if (task_wait_us_ != nullptr) {
+      const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - task.enqueued);
+      task_wait_us_->Observe(static_cast<uint64_t>(
+          std::max<int64_t>(0, waited.count())));
+    }
+    task.fn();
   }
 }
 

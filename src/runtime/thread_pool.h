@@ -1,6 +1,7 @@
 #ifndef BLUSIM_RUNTIME_THREAD_POOL_H_
 #define BLUSIM_RUNTIME_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace blusim::runtime {
 
 // Fixed-size worker pool modeling DB2 sub-agents. Operators split their
@@ -16,13 +19,18 @@ namespace blusim::runtime {
 // all queries in a process (like BLU's agent pool).
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads = 0);
+  explicit ThreadPool(int num_threads = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Attaches instruments (queue depth, task count, submit-to-dequeue wait
+  // latency) to `metrics`. Safe only while no tasks are in flight.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
   // Enqueues a task.
   void Submit(std::function<void()> task);
@@ -37,13 +45,23 @@ class ThreadPool {
   static ThreadPool& Default();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool shutdown_ = false;
+
+  // Optional engine-registry instruments (null when not wired).
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Histogram* task_wait_us_ = nullptr;
 };
 
 // Splits `total` elements into morsels of at most `morsel_size` and returns

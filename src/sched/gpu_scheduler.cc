@@ -1,10 +1,31 @@
 #include "sched/gpu_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace blusim::sched {
 
 using gpusim::SimDevice;
+
+GpuScheduler::GpuScheduler(std::vector<gpusim::SimDevice*> devices,
+                           obs::MetricsRegistry* metrics)
+    : devices_(std::move(devices)) {
+  if (metrics != nullptr) {
+    picks_total_ = metrics->GetCounter(
+        "blusim_sched_picks_total", {},
+        "Successful device placements by the multi-GPU scheduler");
+    waits_total_ = metrics->GetCounter(
+        "blusim_sched_reservation_waits_total", {},
+        "Placements that had to wait for device memory to free up");
+    denials_total_ = metrics->GetCounter(
+        "blusim_sched_reservation_denials_total", {},
+        "Placements denied after exhausting the reservation-wait budget");
+    wait_us_ = metrics->GetHistogram(
+        "blusim_sched_reservation_wait_us", {},
+        "Simulated reservation wait per placement (microseconds)");
+  }
+}
 
 Result<SimDevice*> GpuScheduler::PickDevice(uint64_t bytes_needed) {
   SimDevice* best = nullptr;
@@ -26,6 +47,46 @@ Result<SimDevice*> GpuScheduler::PickDevice(uint64_t bytes_needed) {
         "no device can reserve " + std::to_string(bytes_needed) + " bytes");
   }
   return best;
+}
+
+Result<SimDevice*> GpuScheduler::PickDeviceWithWait(
+    uint64_t bytes_needed, SimTime* waited, const WaitOptions& options) {
+  SimTime waited_sim = 0;
+  for (int attempt = 0; ; ++attempt) {
+    Result<SimDevice*> picked = PickDevice(bytes_needed);
+    if (picked.ok()) {
+      SimDevice* device = picked.value();
+      if (waited_sim > 0) {
+        device->monitor().Record(gpusim::GpuEvent::kReservationWait,
+                                 waited_sim, bytes_needed);
+        if (waits_total_ != nullptr) waits_total_->Add(1);
+      }
+      if (picks_total_ != nullptr) picks_total_->Add(1);
+      if (wait_us_ != nullptr) {
+        wait_us_->Observe(static_cast<uint64_t>(waited_sim));
+      }
+      if (waited != nullptr) *waited = waited_sim;
+      return device;
+    }
+    if (attempt + 1 >= options.max_attempts) {
+      // Denied: the wait still happened, so account it somewhere visible.
+      if (!devices_.empty()) {
+        devices_.front()->monitor().Record(gpusim::GpuEvent::kReservationWait,
+                                           waited_sim, bytes_needed);
+      }
+      if (denials_total_ != nullptr) denials_total_->Add(1);
+      if (wait_us_ != nullptr) {
+        wait_us_->Observe(static_cast<uint64_t>(waited_sim));
+      }
+      if (waited != nullptr) *waited = waited_sim;
+      return picked.status();
+    }
+    waited_sim += options.poll_interval;
+    if (options.real_sleep_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.real_sleep_us));
+    }
+  }
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> GpuScheduler::PartitionRows(

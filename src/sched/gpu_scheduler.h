@@ -5,10 +5,22 @@
 #include <memory>
 #include <vector>
 
+#include "common/sim_clock.h"
 #include "common/status.h"
 #include "gpusim/sim_device.h"
+#include "obs/metrics.h"
 
 namespace blusim::sched {
+
+// Controls the reservation-wait loop in PickDeviceWithWait. Each failed
+// attempt charges `poll_interval` of simulated wait and sleeps
+// `real_sleep_us` of wall time so concurrent streams can actually release
+// memory in between polls.
+struct WaitOptions {
+  int max_attempts = 20;
+  SimTime poll_interval = 200;  // simulated microseconds per failed poll
+  int64_t real_sleep_us = 50;   // wall-clock yield between polls
+};
 
 // Multi-GPU task scheduler (paper section 2.2).
 //
@@ -17,8 +29,8 @@ namespace blusim::sched {
 // the task's up-front memory requirement. Devices need not be homogeneous.
 class GpuScheduler {
  public:
-  explicit GpuScheduler(std::vector<gpusim::SimDevice*> devices)
-      : devices_(std::move(devices)) {}
+  explicit GpuScheduler(std::vector<gpusim::SimDevice*> devices,
+                        obs::MetricsRegistry* metrics = nullptr);
 
   size_t num_devices() const { return devices_.size(); }
   const std::vector<gpusim::SimDevice*>& devices() const { return devices_; }
@@ -29,6 +41,16 @@ class GpuScheduler {
   // outstanding jobs (ties: most free memory). DeviceUnavailable when none
   // qualifies -- the caller waits or falls back to the CPU.
   Result<gpusim::SimDevice*> PickDevice(uint64_t bytes_needed);
+
+  // PickDevice plus the "wait for memory" half of section 2.1.1: when no
+  // device qualifies, polls until one frees enough capacity or the attempt
+  // budget runs out. The accumulated simulated wait is returned through
+  // `waited` (if non-null) and recorded as GpuEvent::kReservationWait on
+  // the device that finally accepted the task (on the first device when
+  // the wait times out, so denials still show up in the monitor).
+  Result<gpusim::SimDevice*> PickDeviceWithWait(
+      uint64_t bytes_needed, SimTime* waited = nullptr,
+      const WaitOptions& options = WaitOptions());
 
   // Splits `rows` into contiguous range partitions of at most
   // `max_rows_per_chunk` rows (section 2.2: large inputs are range-
@@ -42,6 +64,12 @@ class GpuScheduler {
 
  private:
   std::vector<gpusim::SimDevice*> devices_;
+
+  // Optional engine-registry instruments (null when not wired).
+  obs::Counter* picks_total_ = nullptr;
+  obs::Counter* waits_total_ = nullptr;
+  obs::Counter* denials_total_ = nullptr;
+  obs::Histogram* wait_us_ = nullptr;
 };
 
 }  // namespace blusim::sched

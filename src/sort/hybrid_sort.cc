@@ -31,10 +31,34 @@ struct SortRun {
   std::mutex stats_mu;
   HybridSortStats stats;
   Status first_error;
+  // Simulated-time origin of this sort for the per-worker trace lanes.
+  SimTime trace_origin = 0;
 
   void RecordError(const Status& st) {
     std::lock_guard<std::mutex> lock(stats_mu);
     if (first_error.ok()) first_error = st;
+  }
+};
+
+// Per-worker trace lane: a private cursor starting at the sort's origin,
+// advanced span by span. Workers run concurrently, so each gets its own
+// track in the query trace.
+struct WorkerLane {
+  int track = 0;
+  SimTime cursor = 0;
+
+  void AddSpan(SortRun* run, std::string name, const char* category,
+               SimTime elapsed, int device_id) {
+    if (run->options.trace == nullptr || elapsed <= 0) return;
+    obs::TraceSpan span;
+    span.name = std::move(name);
+    span.category = category;
+    span.begin = cursor;
+    span.end = cursor + elapsed;
+    span.device_id = device_id;
+    span.track = track;
+    run->options.trace->AddSpanAt(std::move(span));
+    cursor += elapsed;
   }
 };
 
@@ -49,21 +73,23 @@ int MaxRowLevels(const SortRun& run, uint32_t begin, uint32_t end) {
 
 // CPU path: finish the job in place with full-key comparisons. Small jobs
 // take this route; it terminates the recursion (no child jobs).
-void SortJobOnCpu(SortRun* run, const SortJob& job) {
+void SortJobOnCpu(SortRun* run, const SortJob& job, WorkerLane* lane) {
   auto begin = run->perm->begin() + job.begin;
   auto end = run->perm->begin() + job.end;
   std::sort(begin, end, [run](uint32_t a, uint32_t b) {
     return run->sds->RowLess(a, b);
   });
+  const SimTime sort_time = run->cost.HostSortTime(job.size(), 1);
+  lane->AddSpan(run, "sort-job-cpu", obs::kCatCpu, sort_time, -1);
   std::lock_guard<std::mutex> lock(run->stats_mu);
   ++run->stats.jobs_cpu;
-  run->stats.cpu_sort_time += run->cost.HostSortTime(job.size(), 1);
+  run->stats.cpu_sort_time += sort_time;
 }
 
 // GPU path: radix-sort the (partial key, payload) buffer on the device and
 // enqueue each duplicate range one level deeper. Returns false when the
 // device could not take the job (caller falls back to the CPU).
-bool TrySortJobOnGpu(SortRun* run, const SortJob& job) {
+bool TrySortJobOnGpu(SortRun* run, const SortJob& job, WorkerLane* lane) {
   gpusim::PinnedHostPool* pinned = run->options.pinned_pool;
   if (pinned == nullptr) return false;
   const uint32_t n = job.size();
@@ -104,8 +130,9 @@ bool TrySortJobOnGpu(SortRun* run, const SortJob& job) {
   auto scratch = device->memory().Alloc(reservation.value(), bytes);
   if (!entries.ok() || !scratch.ok()) return false;
 
-  SimTime transfer = device->CopyToDevice(host_entries, &entries.value(),
-                                          bytes, /*pinned=*/true);
+  const SimTime transfer_in = device->CopyToDevice(
+      host_entries, &entries.value(), bytes, /*pinned=*/true);
+  SimTime transfer = transfer_in;
 
   Status st = GpuRadixSort(device, &entries.value(), &scratch.value(), n);
   if (!st.ok()) {
@@ -121,8 +148,15 @@ bool TrySortJobOnGpu(SortRun* run, const SortJob& job) {
     return true;
   }
 
-  transfer += device->CopyFromDevice(entries.value(), host_entries, bytes,
-                                     /*pinned=*/true);
+  const SimTime transfer_out = device->CopyFromDevice(
+      entries.value(), host_entries, bytes, /*pinned=*/true);
+  transfer += transfer_out;
+  lane->AddSpan(run, "sort-transfer-in", obs::kCatTransfer, transfer_in,
+                device->id());
+  lane->AddSpan(run, "kernel:radix_sort", obs::kCatKernel, kernel,
+                device->id());
+  lane->AddSpan(run, "sort-transfer-out", obs::kCatTransfer, transfer_out,
+                device->id());
 
   // Write the sorted payloads back into the permutation slice.
   for (uint32_t i = 0; i < n; ++i) {
@@ -151,17 +185,20 @@ bool TrySortJobOnGpu(SortRun* run, const SortJob& job) {
   return true;
 }
 
-void WorkerLoop(SortRun* run) {
+void WorkerLoop(SortRun* run, int worker) {
+  WorkerLane lane;
+  lane.track = 1 + worker;
+  lane.cursor = run->trace_origin;
   while (auto job = run->queue.Pop()) {
     bool handled = false;
     if (job->size() >= run->options.min_gpu_rows) {
-      handled = TrySortJobOnGpu(run, *job);
+      handled = TrySortJobOnGpu(run, *job, &lane);
       if (!handled) {
         std::lock_guard<std::mutex> lock(run->stats_mu);
         ++run->stats.gpu_fallbacks;
       }
     }
-    if (!handled) SortJobOnCpu(run, *job);
+    if (!handled) SortJobOnCpu(run, *job, &lane);
     {
       std::lock_guard<std::mutex> lock(run->stats_mu);
       ++run->stats.jobs_total;
@@ -185,19 +222,34 @@ Result<std::vector<uint32_t>> HybridSorter::Sort(
     run.sds = &sds;
     run.perm = &perm;
     run.options = options;
+    if (options.trace != nullptr) run.trace_origin = options.trace->now();
     run.queue.Push(SortJob{0, n, 0});
 
     const int workers = std::max(1, options.num_workers);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(workers - 1));
     for (int w = 1; w < workers; ++w) {
-      threads.emplace_back(WorkerLoop, &run);
+      threads.emplace_back(WorkerLoop, &run, w);
     }
-    WorkerLoop(&run);
+    WorkerLoop(&run, 0);
     for (std::thread& t : threads) t.join();
 
     BLUSIM_RETURN_NOT_OK(run.first_error);
     if (stats != nullptr) *stats = run.stats;
+    if (options.metrics != nullptr) {
+      options.metrics
+          ->GetCounter("blusim_sort_jobs_total", {{"path", "cpu"}},
+                       "Hybrid-sort jobs drained from the queue by path")
+          ->Add(run.stats.jobs_cpu);
+      options.metrics
+          ->GetCounter("blusim_sort_jobs_total", {{"path", "gpu"}},
+                       "Hybrid-sort jobs drained from the queue by path")
+          ->Add(run.stats.jobs_gpu);
+      options.metrics
+          ->GetCounter("blusim_sort_gpu_fallbacks_total", {},
+                       "GPU-eligible sort jobs that ran on the CPU instead")
+          ->Add(run.stats.gpu_fallbacks);
+    }
   } else if (stats != nullptr) {
     *stats = HybridSortStats{};
   }

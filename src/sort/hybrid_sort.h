@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "gpusim/pinned_pool.h"
 #include "gpusim/sim_device.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/gpu_scheduler.h"
 #include "sort/key_encoder.h"
 
@@ -30,6 +32,12 @@ struct HybridSortOptions {
   // CPU worker threads draining the job queue (the hybrid part: CPU and
   // GPU jobs proceed concurrently).
   int num_workers = 2;
+  // Optional query trace: each worker drops per-job spans (cpu sort /
+  // transfer / radix kernel) on its own track (1 + worker index).
+  obs::TraceBuilder* trace = nullptr;
+  // Optional registry for the job-queue counters (cpu- vs gpu-drained
+  // jobs, capacity fallbacks).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct HybridSortStats {

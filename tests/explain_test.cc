@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/engine.h"
+
 namespace blusim::core {
 namespace {
 
@@ -118,6 +120,81 @@ TEST(RenderChainTest, PartitionedChainShowsMerge) {
   const std::string chain =
       RenderGroupByChain(plan.value(), ExecutionPath::kPartitioned);
   EXPECT_NE(chain.find("x N chunks -> host merge"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, RendersPhasesAndAnnotations) {
+  auto fact = MakeFact();
+  QuerySpec q;
+  q.name = "demo";
+  q.fact_table = "sales";
+
+  QueryProfile profile;
+  profile.query_name = "demo";
+  profile.groupby_path = ExecutionPath::kGpu;
+  profile.gpu_used = true;
+  PhaseRecord scan;
+  scan.label = "scan";
+  scan.kind = PhaseRecord::Kind::kCpu;
+  scan.dop = 4;
+  scan.elapsed = 1500;
+  profile.phases.push_back(scan);
+  PhaseRecord kernel;
+  kernel.label = "gpu-groupby";
+  kernel.kind = PhaseRecord::Kind::kGpu;
+  kernel.device_id = 1;
+  kernel.elapsed = 500;
+  profile.phases.push_back(kernel);
+  profile.total_elapsed = 2000;
+  profile.trace.annotations = {{"kernel", "groupby_regular"}};
+
+  const std::string out = ExplainAnalyze(q, *fact, profile);
+  EXPECT_NE(out.find("EXPLAIN ANALYZE (demo)"), std::string::npos) << out;
+  EXPECT_NE(out.find("gpu used: yes"), std::string::npos);
+  EXPECT_NE(out.find("scan"), std::string::npos);
+  EXPECT_NE(out.find("1.500"), std::string::npos);
+  EXPECT_NE(out.find("gpu-groupby"), std::string::npos);
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+  // The total row is the sum of the per-node times.
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+  EXPECT_NE(out.find("annotations: kernel=groupby_regular"),
+            std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, MeasuredNodeTimesSumToProfileTotal) {
+  // End to end: execute a real query and check the invariant the explain
+  // output relies on -- per-node elapsed sums to total_elapsed.
+  columnar::Schema schema;
+  schema.AddField({"k", DataType::kInt32, false});
+  schema.AddField({"v", DataType::kInt64, false});
+  auto t = std::make_shared<Table>(schema);
+  for (int i = 0; i < 20000; ++i) {
+    t->column(0).AppendInt32(i % 32);
+    t->column(1).AppendInt64(i);
+  }
+  EngineConfig config;
+  config.cpu_threads = 2;
+  config.device_spec = config.device_spec.WithMemory(32ULL << 20);
+  Engine engine(config);
+  ASSERT_TRUE(engine.RegisterTable("sales", t).ok());
+
+  QuerySpec q;
+  q.name = "sum-check";
+  q.fact_table = "sales";
+  runtime::GroupBySpec g;
+  g.key_columns = {0};
+  g.aggregates = {{AggFn::kSum, 1, "s"}};
+  q.groupby = g;
+  q.order_by = {{1, false}};
+  auto r = engine.Execute(q);
+  ASSERT_TRUE(r.ok());
+
+  SimTime sum = 0;
+  for (const auto& phase : r->profile.phases) sum += phase.elapsed;
+  EXPECT_EQ(sum, r->profile.total_elapsed);
+  EXPECT_GT(sum, 0);
+
+  const std::string out = ExplainAnalyze(q, *t, r->profile);
+  EXPECT_NE(out.find("total"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -3,7 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "core/router.h"
+#include "gpusim/perf_monitor.h"
+#include "obs/metrics.h"
 #include "sched/gpu_scheduler.h"
 
 namespace blusim {
@@ -78,6 +84,101 @@ TEST_F(SchedulerTest, ReservedMemoryAffectsChoice) {
   auto pick = sched_.PickDevice(512 << 10);
   ASSERT_TRUE(pick.ok());
   EXPECT_EQ(pick.value()->id(), 0);  // d1 is full now
+}
+
+// --- reservation waits (section 2.1.1) ---
+//
+// Regression: GpuEvent::kReservationWait used to exist in the monitor's
+// taxonomy but nothing ever recorded it. The wait path must emit it.
+
+TEST_F(SchedulerTest, NoWaitWhenMemoryFree) {
+  SimTime waited = -1;
+  auto pick = sched_.PickDeviceWithWait(1 << 20, &waited);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(waited, 0);
+  const auto stats =
+      pick.value()->monitor().stats(gpusim::GpuEvent::kReservationWait);
+  EXPECT_EQ(stats.count, 0u);
+}
+
+TEST_F(SchedulerTest, WaitRecordsReservationWaitOnAcceptingDevice) {
+  // Fill both devices so the first polls fail, then free the big one from
+  // another thread; the accepted pick must carry a kReservationWait event
+  // matching the reported simulated wait. If the OS deschedules this
+  // thread long enough that the release lands before the first poll
+  // (waited == 0, nothing recorded), rerun the scenario -- losing that
+  // race ten times in a row is not a thing.
+  auto r0 = d0_.memory().Reserve(1 << 20);
+  ASSERT_TRUE(r0.ok());
+
+  sched::WaitOptions options;
+  options.max_attempts = 500;
+  options.poll_interval = 100;
+  options.real_sleep_us = 200;
+  SimTime waited = 0;
+  bool had_to_wait = false;
+  for (int attempt = 0; attempt < 10 && !had_to_wait; ++attempt) {
+    auto r1 = d1_.memory().Reserve(4 << 20);
+    ASSERT_TRUE(r1.ok());
+    std::atomic<bool> picking{false};
+    std::thread releaser([&] {
+      while (!picking.load()) std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      r1.value().Release();
+    });
+    picking.store(true);
+    auto pick = sched_.PickDeviceWithWait(2 << 20, &waited, options);
+    releaser.join();
+    ASSERT_TRUE(pick.ok());
+    EXPECT_EQ(pick.value()->id(), 1);
+    had_to_wait = waited > 0;
+  }
+  ASSERT_TRUE(had_to_wait);
+  const auto stats = d1_.monitor().stats(gpusim::GpuEvent::kReservationWait);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.total_time, waited);
+  r0.value().Release();
+}
+
+TEST_F(SchedulerTest, DenialStillRecordsWait) {
+  sched::WaitOptions options;
+  options.max_attempts = 3;
+  options.poll_interval = 100;
+  options.real_sleep_us = 0;
+  SimTime waited = -1;
+  auto pick = sched_.PickDeviceWithWait(100 << 20, &waited, options);
+  ASSERT_FALSE(pick.ok());
+  EXPECT_EQ(pick.status().code(), StatusCode::kDeviceUnavailable);
+  EXPECT_EQ(waited, 200);  // two failed polls before the budget ran out
+  const auto stats = d0_.monitor().stats(gpusim::GpuEvent::kReservationWait);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.total_time, 200);
+}
+
+TEST(SchedulerMetricsTest, RegistryCountsPicksWaitsAndDenials) {
+  HostSpec host;
+  DeviceSpec spec;
+  SimDevice d{0, spec.WithMemory(1 << 20), host, 1};
+  obs::MetricsRegistry registry;
+  GpuScheduler sched({&d}, &registry);
+
+  sched::WaitOptions options;
+  options.max_attempts = 2;
+  options.poll_interval = 50;
+  options.real_sleep_us = 0;
+  ASSERT_TRUE(sched.PickDeviceWithWait(1024, nullptr, options).ok());
+  ASSERT_FALSE(sched.PickDeviceWithWait(100 << 20, nullptr, options).ok());
+
+  EXPECT_EQ(registry.GetCounter("blusim_sched_picks_total")->Value(), 1u);
+  EXPECT_EQ(
+      registry.GetCounter("blusim_sched_reservation_denials_total")->Value(),
+      1u);
+  EXPECT_EQ(
+      registry.GetCounter("blusim_sched_reservation_waits_total")->Value(),
+      0u);
+  // Both placements observed into the wait histogram.
+  EXPECT_EQ(
+      registry.GetHistogram("blusim_sched_reservation_wait_us")->Count(), 2u);
 }
 
 TEST(PartitionRowsTest, BalancedContiguousChunks) {
