@@ -109,11 +109,28 @@ Result<std::shared_ptr<Table>> MaterializeRows(
 Engine::Engine(EngineConfig config)
     : config_(config),
       cost_(config.host, config.device_spec),
+      checker_(std::make_unique<gpusim::DeviceChecker>(
+          config.check_device < 0 ? gpusim::DeviceChecker::EnabledByDefault()
+                                  : config.check_device != 0)),
       devices_(MakeDevices(config)),
       scheduler_(DevicePointers(devices_), &metrics_),
       pinned_(config.pinned_pool_bytes, &metrics_),
       pool_(config.cpu_threads, &metrics_),
-      moderator_(config.moderator_options) {}
+      moderator_(config.moderator_options) {
+  for (auto& device : devices_) {
+    device->memory().AttachChecker(checker_.get());
+  }
+  pinned_.AttachChecker(checker_.get());
+}
+
+Engine::~Engine() {
+  if (!checker_->enabled()) return;
+  const std::vector<gpusim::DeviceIssue> issues = checker_->FinalReport();
+  if (!issues.empty()) {
+    BLUSIM_LOG(Warning) << "[device-check] engine shutdown: "
+                        << issues.size() << " issue(s) recorded (see log)";
+  }
+}
 
 void Engine::RecordPhase(PhaseRecord phase, const char* category,
                          QueryProfile* profile, obs::TraceBuilder* trace) {
@@ -132,7 +149,7 @@ SimTime Engine::startup_registration_time() const {
 Status Engine::RegisterTable(const std::string& name,
                              std::shared_ptr<Table> table) {
   BLUSIM_RETURN_NOT_OK(table->Validate());
-  std::lock_guard<std::mutex> lock(tables_mu_);
+  common::MutexLock lock(&tables_mu_);
   if (!tables_.emplace(name, std::move(table)).second) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
@@ -141,7 +158,7 @@ Status Engine::RegisterTable(const std::string& name,
 
 Result<std::shared_ptr<Table>> Engine::GetTable(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(tables_mu_);
+  common::MutexLock lock(&tables_mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' not registered");
@@ -361,6 +378,11 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
   QueryProfile profile;
   profile.query_name = query.name;
   obs::TraceBuilder trace(query.name);
+  // Tags every device/pinned allocation this query makes with its id; the
+  // scope's destructor runs the end-of-query leak check.
+  gpusim::DeviceChecker::ScopedQuery check_scope(
+      checker_.get(), next_query_id_.fetch_add(1, std::memory_order_relaxed),
+      query.name);
 
   // --- Scan + filter the fact table ---
   BLUSIM_ASSIGN_OR_RETURN(

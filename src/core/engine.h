@@ -1,18 +1,20 @@
 #ifndef BLUSIM_CORE_ENGINE_H_
 #define BLUSIM_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "columnar/table.h"
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/profile.h"
 #include "core/query.h"
 #include "core/router.h"
 #include "gpusim/cost_model.h"
+#include "gpusim/device_check.h"
 #include "gpusim/pinned_pool.h"
 #include "gpusim/sim_device.h"
 #include "groupby/gpu_groupby.h"
@@ -52,6 +54,10 @@ struct EngineConfig {
   uint32_t sort_min_gpu_rows = 65536;
   // CPU worker threads draining the hybrid sort's job queue.
   int sort_workers = 2;
+  // Simulated device-memory checker (redzones, quarantine, per-query
+  // ownership; see gpusim/device_check.h): -1 = auto (on in Debug builds
+  // or when BLUSIM_CHECK_DEVICE=1), 0 = off, 1 = on.
+  int check_device = -1;
 };
 
 // A query's result table plus its execution profile.
@@ -73,6 +79,9 @@ Result<std::shared_ptr<columnar::Table>> MaterializeRows(
 class Engine {
  public:
   explicit Engine(EngineConfig config);
+  // Logs the device checker's final report (leaks and any remaining
+  // quarantine damage) before the components tear down.
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -88,6 +97,10 @@ class Engine {
   // Prometheus/JSON exporters.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // The simulated compute-sanitizer wired into every device's memory
+  // manager and the pinned pool (may be disabled; check enabled()).
+  gpusim::DeviceChecker& device_checker() { return *checker_; }
+  const gpusim::DeviceChecker& device_checker() const { return *checker_; }
 
   // One-time startup cost of registering the pinned segment with the
   // devices (simulated; section 2.1.2 motivates paying it once).
@@ -129,14 +142,19 @@ class Engine {
   gpusim::CostModel cost_;
   // Declared before the components so they can register instruments.
   obs::MetricsRegistry metrics_;
+  // Declared before the devices/pinned pool it is attached to, so it
+  // outlives every allocation it tracks.
+  std::unique_ptr<gpusim::DeviceChecker> checker_;
   std::vector<std::unique_ptr<gpusim::SimDevice>> devices_;
   sched::GpuScheduler scheduler_;
   gpusim::PinnedHostPool pinned_;
   runtime::ThreadPool pool_;
   groupby::GpuModerator moderator_;
+  std::atomic<uint64_t> next_query_id_{1};
 
-  mutable std::mutex tables_mu_;
-  std::map<std::string, std::shared_ptr<columnar::Table>> tables_;
+  mutable common::Mutex tables_mu_;
+  std::map<std::string, std::shared_ptr<columnar::Table>> tables_
+      GUARDED_BY(tables_mu_);
 };
 
 }  // namespace blusim::core

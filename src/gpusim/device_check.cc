@@ -1,0 +1,323 @@
+#include "gpusim/device_check.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#define BLUSIM_HAVE_BACKTRACE 1
+#endif
+
+namespace blusim::gpusim {
+
+namespace {
+
+constexpr int kMaxFrames = 16;
+
+thread_local uint64_t tls_current_query = 0;
+
+std::vector<void*> CaptureBacktrace() {
+#if defined(BLUSIM_HAVE_BACKTRACE)
+  void* frames[kMaxFrames];
+  const int n = backtrace(frames, kMaxFrames);
+  return std::vector<void*>(frames, frames + (n > 0 ? n : 0));
+#else
+  return {};
+#endif
+}
+
+std::vector<std::string> ResolveBacktrace(const std::vector<void*>& frames) {
+  std::vector<std::string> out;
+#if defined(BLUSIM_HAVE_BACKTRACE)
+  if (frames.empty()) return out;
+  char** symbols = backtrace_symbols(frames.data(),
+                                     static_cast<int>(frames.size()));
+  if (symbols == nullptr) return out;
+  out.reserve(frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) out.emplace_back(symbols[i]);
+  std::free(symbols);
+#endif
+  return out;
+}
+
+// First damaged offset in [guard, guard+len), or -1 when intact.
+int64_t FirstDamage(const char* guard, uint64_t len, uint8_t pattern) {
+  for (uint64_t i = 0; i < len; ++i) {
+    if (static_cast<uint8_t>(guard[i]) != pattern) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+const char* DeviceIssueKindName(DeviceIssueKind kind) {
+  switch (kind) {
+    case DeviceIssueKind::kOutOfBounds: return "out-of-bounds";
+    case DeviceIssueKind::kUseAfterFree: return "use-after-free";
+    case DeviceIssueKind::kDoubleFree: return "double-free";
+    case DeviceIssueKind::kLeak: return "leak";
+  }
+  return "unknown";
+}
+
+std::string DeviceIssue::ToString() const {
+  std::ostringstream os;
+  os << "[device-check] " << DeviceIssueKindName(kind) << ": alloc #"
+     << alloc_id << " (" << bytes << " bytes, " << pool << ")";
+  if (query_id != 0) {
+    os << " owned by query " << query_id;
+    if (!query_name.empty()) os << " '" << query_name << "'";
+  } else {
+    os << " owned by no query";
+  }
+  os << ": " << detail;
+  for (const std::string& frame : alloc_backtrace) {
+    os << "\n    " << frame;
+  }
+  return os.str();
+}
+
+bool DeviceChecker::EnabledByDefault() {
+  const char* env = std::getenv("BLUSIM_CHECK_DEVICE");
+  if (env != nullptr && env[0] != '\0') {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+#if defined(NDEBUG)
+  return false;
+#else
+  return true;
+#endif
+}
+
+DeviceChecker::ScopedQuery::ScopedQuery(DeviceChecker* checker,
+                                        uint64_t query_id,
+                                        const std::string& query_name)
+    : checker_(checker), query_id_(query_id),
+      previous_(tls_current_query) {
+  tls_current_query = query_id;
+  if (checker_ != nullptr && checker_->enabled()) {
+    common::MutexLock lock(&checker_->mu_);
+    checker_->query_names_[query_id] = query_name;
+  }
+}
+
+DeviceChecker::ScopedQuery::~ScopedQuery() {
+  tls_current_query = previous_;
+  if (checker_ != nullptr) checker_->EndQuery(query_id_);
+}
+
+uint64_t DeviceChecker::CurrentQuery() { return tls_current_query; }
+
+uint64_t DeviceChecker::Register(AllocRecord record) {
+  common::MutexLock lock(&mu_);
+  record.id = next_id_++;
+  record.query_id = tls_current_query;
+  auto name = query_names_.find(record.query_id);
+  if (name != query_names_.end()) record.query_name = name->second;
+  const uint64_t id = record.id;
+  allocations_.emplace(id, std::move(record));
+  return id;
+}
+
+uint64_t DeviceChecker::OnDeviceAlloc(char* storage, uint64_t user_bytes) {
+  if (!enabled_) return 0;
+  AllocRecord record;
+  record.pinned = false;
+  record.front = storage;
+  record.user = storage + kRedzoneBytes;
+  record.back = storage + kRedzoneBytes + user_bytes;
+  record.guard_bytes = kRedzoneBytes;
+  record.user_bytes = user_bytes;
+  record.frames = CaptureBacktrace();
+  std::memset(record.front, kRedzonePattern, kRedzoneBytes);
+  std::memset(record.back, kRedzonePattern, kRedzoneBytes);
+  return Register(std::move(record));
+}
+
+uint64_t DeviceChecker::OnPinnedAlloc(char* front, char* back,
+                                      uint64_t canary_bytes,
+                                      uint64_t user_bytes) {
+  if (!enabled_) return 0;
+  AllocRecord record;
+  record.pinned = true;
+  record.front = front;
+  record.user = front + canary_bytes;
+  record.back = back;
+  record.guard_bytes = canary_bytes;
+  record.user_bytes = user_bytes;
+  record.frames = CaptureBacktrace();
+  std::memset(front, kRedzonePattern, canary_bytes);
+  std::memset(back, kRedzonePattern, canary_bytes);
+  return Register(std::move(record));
+}
+
+void DeviceChecker::Report(const AllocRecord& record, DeviceIssueKind kind,
+                           std::string detail) {
+  DeviceIssue issue;
+  issue.kind = kind;
+  issue.alloc_id = record.id;
+  issue.query_id = record.query_id;
+  issue.query_name = record.query_name;
+  issue.bytes = record.user_bytes;
+  issue.pool = record.pinned ? "pinned" : "device";
+  issue.detail = std::move(detail);
+  issue.alloc_backtrace = ResolveBacktrace(record.frames);
+  BLUSIM_LOG(Warning) << issue.ToString();
+  issues_.push_back(std::move(issue));
+}
+
+bool DeviceChecker::CheckGuard(const AllocRecord& record, const char* guard,
+                               const char* which) {
+  const int64_t damage = FirstDamage(guard, record.guard_bytes,
+                                     kRedzonePattern);
+  if (damage < 0) return true;
+  std::ostringstream os;
+  os << which << " " << (record.pinned ? "canary" : "redzone")
+     << " corrupted at guard byte " << damage
+     << " (wrote past the allocation's "
+     << (guard == record.front ? "start" : "end") << ")";
+  Report(record, DeviceIssueKind::kOutOfBounds, os.str());
+  return false;
+}
+
+void DeviceChecker::OnDeviceFree(uint64_t id,
+                                 std::unique_ptr<char[]> storage) {
+  if (!enabled_ || id == 0) return;
+  common::MutexLock lock(&mu_);
+  auto it = allocations_.find(id);
+  if (it == allocations_.end()) return;
+  AllocRecord& record = it->second;
+  if (record.freed) {
+    Report(record, DeviceIssueKind::kDoubleFree,
+           "DeviceBuffer::Free() called on an already-freed allocation");
+    return;
+  }
+  record.freed = true;
+  CheckGuard(record, record.front, "front");
+  CheckGuard(record, record.back, "back");
+  if (storage != nullptr && quarantine_bytes_ < kQuarantineCapBytes) {
+    // Poison the body and keep the storage so a later write through a
+    // stale pointer is detectable (and is not a real heap use-after-free).
+    std::memset(record.user, kFreedPattern, record.user_bytes);
+    quarantine_bytes_ += record.user_bytes + 2 * record.guard_bytes;
+    record.quarantined = std::move(storage);
+  }
+}
+
+void DeviceChecker::OnPinnedFree(uint64_t id) {
+  if (!enabled_ || id == 0) return;
+  common::MutexLock lock(&mu_);
+  auto it = allocations_.find(id);
+  if (it == allocations_.end()) return;
+  AllocRecord& record = it->second;
+  CheckGuard(record, record.front, "front");
+  CheckGuard(record, record.back, "back");
+  // The segment range is recycled by the pool, so the record retires here
+  // (no quarantine for pinned sub-allocations).
+  allocations_.erase(it);
+}
+
+void DeviceChecker::OnAccessViolation(uint64_t id, uint64_t offset,
+                                      uint64_t len, uint64_t user_bytes) {
+  if (!enabled_) return;
+  common::MutexLock lock(&mu_);
+  auto it = allocations_.find(id);
+  std::ostringstream os;
+  os << "checked accessor read/write of [" << offset << ", "
+     << (offset + len) << ") exceeds the " << user_bytes
+     << "-byte allocation; access redirected to a sink";
+  if (it != allocations_.end()) {
+    Report(it->second, DeviceIssueKind::kOutOfBounds, os.str());
+  } else {
+    AllocRecord unknown;
+    unknown.id = id;
+    unknown.user_bytes = user_bytes;
+    unknown.query_id = tls_current_query;
+    Report(unknown, DeviceIssueKind::kOutOfBounds, os.str());
+  }
+}
+
+void DeviceChecker::ScanQuarantineLocked() {
+  for (auto& [id, record] : allocations_) {
+    if (record.quarantined == nullptr) continue;
+    const int64_t damage = FirstDamage(record.user, record.user_bytes,
+                                       kFreedPattern);
+    if (damage >= 0) {
+      std::ostringstream os;
+      os << "freed device region written at byte " << damage
+         << " after Free()";
+      Report(record, DeviceIssueKind::kUseAfterFree, os.str());
+      // Re-poison so one stray write is reported once, not on every scan.
+      std::memset(record.user, kFreedPattern, record.user_bytes);
+    }
+  }
+}
+
+void DeviceChecker::ScanQuarantine() {
+  if (!enabled_) return;
+  common::MutexLock lock(&mu_);
+  ScanQuarantineLocked();
+}
+
+void DeviceChecker::EndQuery(uint64_t query_id) {
+  if (!enabled_ || query_id == 0) return;
+  common::MutexLock lock(&mu_);
+  ScanQuarantineLocked();
+  for (auto& [id, record] : allocations_) {
+    if (record.freed || record.leak_reported ||
+        record.query_id != query_id) {
+      continue;
+    }
+    record.leak_reported = true;
+    Report(record, DeviceIssueKind::kLeak,
+           "allocation still live at end of its owning query");
+  }
+}
+
+std::vector<DeviceIssue> DeviceChecker::FinalReport() {
+  if (!enabled_) return {};
+  common::MutexLock lock(&mu_);
+  ScanQuarantineLocked();
+  for (auto& [id, record] : allocations_) {
+    if (record.freed || record.leak_reported) continue;
+    record.leak_reported = true;
+    Report(record, DeviceIssueKind::kLeak,
+           "allocation still live at engine shutdown");
+  }
+  return issues_;
+}
+
+std::vector<DeviceIssue> DeviceChecker::issues() const {
+  common::MutexLock lock(&mu_);
+  return issues_;
+}
+
+size_t DeviceChecker::issue_count() const {
+  common::MutexLock lock(&mu_);
+  return issues_.size();
+}
+
+size_t DeviceChecker::issue_count(DeviceIssueKind kind) const {
+  common::MutexLock lock(&mu_);
+  size_t n = 0;
+  for (const DeviceIssue& issue : issues_) {
+    if (issue.kind == kind) ++n;
+  }
+  return n;
+}
+
+size_t DeviceChecker::live_allocations() const {
+  common::MutexLock lock(&mu_);
+  size_t n = 0;
+  for (const auto& [id, record] : allocations_) {
+    if (!record.freed) ++n;
+  }
+  return n;
+}
+
+}  // namespace blusim::gpusim

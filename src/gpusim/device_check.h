@@ -1,0 +1,188 @@
+#ifndef BLUSIM_GPUSIM_DEVICE_CHECK_H_
+#define BLUSIM_GPUSIM_DEVICE_CHECK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace blusim::gpusim {
+
+// What the checker found. Every issue carries the owning query id and the
+// allocation-site backtrace, mirroring what compute-sanitizer prints for a
+// real device (docs/static_analysis.md describes the report format).
+enum class DeviceIssueKind : uint8_t {
+  kOutOfBounds = 0,   // redzone/canary corrupted, or checked accessor OOB
+  kUseAfterFree,      // freed (quarantined) device region was written
+  kDoubleFree,        // DeviceBuffer::Free() called twice
+  kLeak,              // allocation still live when its query (or the
+                      // engine) shut down
+};
+
+const char* DeviceIssueKindName(DeviceIssueKind kind);
+
+struct DeviceIssue {
+  DeviceIssueKind kind = DeviceIssueKind::kOutOfBounds;
+  uint64_t alloc_id = 0;       // 0 = no specific allocation
+  uint64_t query_id = 0;       // 0 = outside any query scope
+  std::string query_name;      // "" when query_id is 0
+  uint64_t bytes = 0;          // user-visible allocation size
+  std::string pool;            // "device" or "pinned"
+  std::string detail;
+  // Resolved frames of the allocation site (empty when capture failed).
+  std::vector<std::string> alloc_backtrace;
+
+  // One-line rendering used by the engine's shutdown report.
+  std::string ToString() const;
+};
+
+// Simulated device-memory checker -- the compute-sanitizer analogue the
+// paper's runtime cannot have on real hardware, possible here because
+// "device" memory is host memory the simulator owns (ISSUE 3 tentpole).
+//
+// Mechanisms, all active only while enabled():
+//   * Redzones: device allocations are padded front and back with poisoned
+//     guard bytes; a corrupted guard at free time is an out-of-bounds write
+//     attributed to the owning query.
+//   * Quarantine: freed device regions are poisoned and retained (bounded
+//     by kQuarantineCapBytes); a changed byte later is a use-after-free.
+//   * Ownership: a thread-local current-query id (ScopedQuery) tags every
+//     allocation; EndQuery flags the query's still-live allocations as
+//     leaks, and FinalReport does the same for everything at shutdown.
+//   * Canaries: the pinned pool brackets sub-allocations with canary blocks
+//     verified on free (see PinnedHostPool::AttachChecker).
+//   * Checked accessors: DeviceBuffer::at<T>() bounds-checks indexed kernel
+//     accesses and reports violations here instead of corrupting memory.
+//
+// Thread-safe: allocations and frees arrive concurrently from CPU workers
+// and simulated-device worker threads.
+class DeviceChecker {
+ public:
+  // Poison patterns (also the documented report vocabulary).
+  static constexpr uint8_t kRedzonePattern = 0xDB;  // guards live allocations
+  static constexpr uint8_t kFreedPattern = 0xDF;    // quarantined bodies
+  static constexpr uint64_t kRedzoneBytes = 64;
+  static constexpr uint64_t kQuarantineCapBytes = 64ULL << 20;
+
+  // True when BLUSIM_CHECK_DEVICE=1 is set, or in Debug builds (NDEBUG
+  // unset) unless BLUSIM_CHECK_DEVICE=0 forces it off.
+  static bool EnabledByDefault();
+
+  DeviceChecker() : DeviceChecker(EnabledByDefault()) {}
+  explicit DeviceChecker(bool enabled) : enabled_(enabled) {}
+  DeviceChecker(const DeviceChecker&) = delete;
+  DeviceChecker& operator=(const DeviceChecker&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  // ---- query ownership ----
+
+  // Tags allocations made by this thread with `query_id` for the scope's
+  // lifetime; the destructor runs the end-of-query leak check.
+  class ScopedQuery {
+   public:
+    ScopedQuery(DeviceChecker* checker, uint64_t query_id,
+                const std::string& query_name);
+    ~ScopedQuery();
+    ScopedQuery(const ScopedQuery&) = delete;
+    ScopedQuery& operator=(const ScopedQuery&) = delete;
+
+   private:
+    DeviceChecker* checker_;
+    uint64_t query_id_;
+    uint64_t previous_;
+  };
+
+  // Current thread's query id (0 outside any ScopedQuery).
+  static uint64_t CurrentQuery();
+
+  // ---- allocation lifecycle (DeviceMemoryManager / PinnedHostPool) ----
+
+  // Registers a device allocation whose user region starts `kRedzoneBytes`
+  // into `storage` and spans `user_bytes`; poisons both redzones. Returns
+  // the allocation id (0 when disabled).
+  uint64_t OnDeviceAlloc(char* storage, uint64_t user_bytes)
+      EXCLUDES(mu_);
+
+  // Frees allocation `id`: verifies both redzones, then poisons the body
+  // and quarantines `storage`. Passing an id already freed reports a
+  // double-free. `storage` may be null on the double-free path.
+  void OnDeviceFree(uint64_t id, std::unique_ptr<char[]> storage)
+      EXCLUDES(mu_);
+
+  // Registers a pinned-pool sub-allocation bracketed by `canary_bytes`
+  // canaries at `front` and `back`; poisons both. Returns allocation id.
+  uint64_t OnPinnedAlloc(char* front, char* back, uint64_t canary_bytes,
+                         uint64_t user_bytes) EXCLUDES(mu_);
+
+  // Verifies the canaries of pinned allocation `id` and retires it.
+  void OnPinnedFree(uint64_t id) EXCLUDES(mu_);
+
+  // Checked-accessor violation: access of [offset, offset+len) in an
+  // allocation of `user_bytes`. Reported, never fatal -- the accessor
+  // redirects the access to a sink so the run can continue to the report.
+  void OnAccessViolation(uint64_t id, uint64_t offset, uint64_t len,
+                         uint64_t user_bytes) EXCLUDES(mu_);
+
+  // ---- reporting ----
+
+  // Flags still-live allocations owned by `query_id` as leaks and rescans
+  // the quarantine for use-after-free writes.
+  void EndQuery(uint64_t query_id) EXCLUDES(mu_);
+
+  // Rescans the quarantine without ending a query (tests, monitors).
+  void ScanQuarantine() EXCLUDES(mu_);
+
+  // Shutdown sweep: quarantine scan plus leak reports for every live
+  // allocation, regardless of owner. Returns all issues accumulated over
+  // the checker's lifetime (the engine logs them on destruction).
+  std::vector<DeviceIssue> FinalReport() EXCLUDES(mu_);
+
+  // Issues recorded so far (copy).
+  std::vector<DeviceIssue> issues() const EXCLUDES(mu_);
+  size_t issue_count() const EXCLUDES(mu_);
+  size_t issue_count(DeviceIssueKind kind) const EXCLUDES(mu_);
+
+  // Live (not yet freed) device+pinned allocations, for tests.
+  size_t live_allocations() const EXCLUDES(mu_);
+
+ private:
+  struct AllocRecord {
+    uint64_t id = 0;
+    uint64_t query_id = 0;
+    std::string query_name;
+    bool pinned = false;
+    char* user = nullptr;        // user region start
+    uint64_t user_bytes = 0;
+    char* front = nullptr;       // front guard start (device: storage base)
+    char* back = nullptr;        // back guard start
+    uint64_t guard_bytes = 0;
+    bool freed = false;
+    bool leak_reported = false;
+    std::vector<void*> frames;   // raw allocation-site backtrace
+    std::unique_ptr<char[]> quarantined;  // device storage after free
+  };
+
+  uint64_t Register(AllocRecord record) EXCLUDES(mu_);
+  void Report(const AllocRecord& record, DeviceIssueKind kind,
+              std::string detail) REQUIRES(mu_);
+  // Verifies a guard region; appends an issue and returns false on damage.
+  bool CheckGuard(const AllocRecord& record, const char* guard,
+                  const char* which) REQUIRES(mu_);
+  void ScanQuarantineLocked() REQUIRES(mu_);
+
+  const bool enabled_;
+  mutable common::Mutex mu_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t quarantine_bytes_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, AllocRecord> allocations_ GUARDED_BY(mu_);
+  std::vector<DeviceIssue> issues_ GUARDED_BY(mu_);
+  std::map<uint64_t, std::string> query_names_ GUARDED_BY(mu_);
+};
+
+}  // namespace blusim::gpusim
+
+#endif  // BLUSIM_GPUSIM_DEVICE_CHECK_H_

@@ -27,33 +27,80 @@ void Reservation::Release() {
   }
 }
 
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    FreeInternal(/*explicit_free=*/false);
+    data_ = std::move(other.data_);
+    size_ = other.size_;
+    offset_ = other.offset_;
+    checker_ = other.checker_;
+    check_id_ = other.check_id_;
+    other.size_ = 0;
+    other.offset_ = 0;
+    other.checker_ = nullptr;
+    other.check_id_ = 0;
+  }
+  return *this;
+}
+
+void DeviceBuffer::FreeInternal(bool explicit_free) {
+  if (checker_ != nullptr && check_id_ != 0) {
+    // Hand the storage to the checker's quarantine. A destructor running
+    // after an explicit Free() is normal RAII teardown, not a double-free;
+    // only a second explicit Free() reaches the checker with no storage.
+    if (data_ != nullptr || explicit_free) {
+      checker_->OnDeviceFree(check_id_, std::move(data_));
+    }
+    if (explicit_free && data_ == nullptr) {
+      // Keep check_id_ so a *third* Free() is reported again; clear the
+      // checker only on destruction (data_ is already null).
+    }
+  }
+  data_.reset();
+  size_ = 0;
+  offset_ = 0;
+}
+
+void* DeviceBuffer::OutOfBoundsSink(uint64_t index, uint64_t elem_bytes) {
+  if (checker_ != nullptr) {
+    checker_->OnAccessViolation(check_id_, index * elem_bytes, elem_bytes,
+                                size_);
+  } else {
+    BLUSIM_CHECK(false && "DeviceBuffer::at out of bounds");
+  }
+  // 16-byte-aligned scratch large enough for any accumulator type; keeps
+  // the stray access from corrupting real data so the report survives.
+  alignas(16) static thread_local char sink[64];
+  return sink;
+}
+
 uint64_t DeviceMemoryManager::reserved() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return reserved_total_;
 }
 
 uint64_t DeviceMemoryManager::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return capacity_ - reserved_total_;
 }
 
 uint64_t DeviceMemoryManager::peak_reserved() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return peak_reserved_;
 }
 
 uint64_t DeviceMemoryManager::reservation_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return reservation_failures_;
 }
 
 bool DeviceMemoryManager::CanReserve(uint64_t bytes) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return reserved_total_ + bytes <= capacity_;
 }
 
 Result<Reservation> DeviceMemoryManager::Reserve(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (reserved_total_ + bytes > capacity_) {
     ++reservation_failures_;
     return Status::OutOfDeviceMemory(
@@ -73,7 +120,7 @@ Result<DeviceBuffer> DeviceMemoryManager::Alloc(const Reservation& reservation,
     return Status::InvalidArgument("allocation against inactive reservation");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto it = std::find_if(
         in_use_.begin(), in_use_.end(),
         [&](const ReservationUse& u) { return u.id == reservation.id(); });
@@ -89,12 +136,21 @@ Result<DeviceBuffer> DeviceMemoryManager::Alloc(const Reservation& reservation,
   // Value-initialized: device memory contents start zeroed in the simulator;
   // kernels that need a specific init pattern (hash-table masks) write it
   // explicitly, as on real hardware.
+  if (checker_ != nullptr && checker_->enabled()) {
+    // Checked layout: [redzone | user bytes | redzone]; only the user
+    // region counts against the reservation (the guards are instrumentation
+    // the simulated device would not have).
+    const uint64_t guard = DeviceChecker::kRedzoneBytes;
+    auto data = std::make_unique<char[]>(bytes + 2 * guard);
+    const uint64_t id = checker_->OnDeviceAlloc(data.get(), bytes);
+    return DeviceBuffer(std::move(data), bytes, guard, checker_, id);
+  }
   auto data = std::make_unique<char[]>(bytes);
   return DeviceBuffer(std::move(data), bytes);
 }
 
 void DeviceMemoryManager::ReleaseReservation(uint64_t id, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   reserved_total_ -= bytes;
   in_use_.erase(std::remove_if(in_use_.begin(), in_use_.end(),
                                [&](const ReservationUse& u) {

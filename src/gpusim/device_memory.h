@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/logging.h"
 #include "common/status.h"
+#include "gpusim/device_check.h"
 
 namespace blusim::gpusim {
 
@@ -48,25 +50,72 @@ class Reservation {
 // A buffer "on the device". In the simulation device memory is host heap
 // memory, but every byte is accounted against the owning reservation's
 // device, so capacity limits behave exactly like a 12 GB K40.
+//
+// When the owning manager has a DeviceChecker attached, the buffer carries
+// poisoned redzones on both sides of data() and its free is routed through
+// the checker (out-of-bounds / double-free / use-after-free detection, see
+// device_check.h). Without a checker the layout and cost are unchanged.
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
   DeviceBuffer(std::unique_ptr<char[]> data, uint64_t size)
       : data_(std::move(data)), size_(size) {}
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { FreeInternal(/*explicit_free=*/false); }
 
-  char* data() { return data_.get(); }
-  const char* data() const { return data_.get(); }
+  char* data() { return data_.get() + offset_; }
+  const char* data() const { return data_.get() + offset_; }
   uint64_t size() const { return size_; }
   bool valid() const { return data_ != nullptr; }
 
   template <typename T>
-  T* as() { return reinterpret_cast<T*>(data_.get()); }
+  T* as() { return reinterpret_cast<T*>(data()); }
   template <typename T>
-  const T* as() const { return reinterpret_cast<const T*>(data_.get()); }
+  const T* as() const { return reinterpret_cast<const T*>(data()); }
+
+  // Checked element access: bounds-checks `index` against size(). With a
+  // checker attached, a violation is reported (attributed to the owning
+  // query) and the access lands in a thread-local sink so the kernel can
+  // finish; without one it fails the BLUSIM_CHECK. Kernels use this for
+  // indexed loads/stores; `as<T>()` stays available for bulk pointers.
+  template <typename T>
+  T& at(uint64_t index) {
+    if ((index + 1) * sizeof(T) > size_) {
+      return *static_cast<T*>(OutOfBoundsSink(index, sizeof(T)));
+    }
+    return as<T>()[index];
+  }
+  template <typename T>
+  const T& at(uint64_t index) const {
+    if ((index + 1) * sizeof(T) > size_) {
+      return *static_cast<const T*>(
+          const_cast<DeviceBuffer*>(this)->OutOfBoundsSink(index, sizeof(T)));
+    }
+    return as<T>()[index];
+  }
+
+  // Returns the memory early (cudaFree analogue). With a checker attached
+  // a second Free() on the same buffer is reported as a double-free.
+  void Free() { FreeInternal(/*explicit_free=*/true); }
 
  private:
+  friend class DeviceMemoryManager;
+  DeviceBuffer(std::unique_ptr<char[]> data, uint64_t size, uint64_t offset,
+               DeviceChecker* checker, uint64_t check_id)
+      : data_(std::move(data)), size_(size), offset_(offset),
+        checker_(checker), check_id_(check_id) {}
+
+  void FreeInternal(bool explicit_free);
+  void* OutOfBoundsSink(uint64_t index, uint64_t elem_bytes);
+
   std::unique_ptr<char[]> data_;
   uint64_t size_ = 0;
+  uint64_t offset_ = 0;  // redzone bytes before data() (0 without checker)
+  DeviceChecker* checker_ = nullptr;
+  uint64_t check_id_ = 0;
 };
 
 // Tracks device-memory usage by all consumers on one simulated GPU device
@@ -79,32 +128,39 @@ class DeviceMemoryManager {
   DeviceMemoryManager(const DeviceMemoryManager&) = delete;
   DeviceMemoryManager& operator=(const DeviceMemoryManager&) = delete;
 
+  // Routes subsequent allocations through the simulated device-memory
+  // checker (redzones + ownership tracking). Call before the first Alloc;
+  // pass nullptr (or a disabled checker) for zero-overhead operation.
+  void AttachChecker(DeviceChecker* checker) { checker_ = checker; }
+  DeviceChecker* checker() const { return checker_; }
+
   uint64_t capacity() const { return capacity_; }
-  uint64_t reserved() const;
-  uint64_t available() const;
+  uint64_t reserved() const EXCLUDES(mu_);
+  uint64_t available() const EXCLUDES(mu_);
   // High-water mark of reserved bytes (drives the figure-9 utilization
   // gauges and the metrics exporter).
-  uint64_t peak_reserved() const;
+  uint64_t peak_reserved() const EXCLUDES(mu_);
   // Up-front reservations rejected for lack of free capacity.
-  uint64_t reservation_failures() const;
+  uint64_t reservation_failures() const EXCLUDES(mu_);
 
   // Attempts to reserve `bytes` up front. On failure the caller either
   // waits for memory or falls back to the CPU path (section 2.1.1).
-  Result<Reservation> Reserve(uint64_t bytes);
+  Result<Reservation> Reserve(uint64_t bytes) EXCLUDES(mu_);
 
   // True if a reservation of `bytes` would currently succeed. Used by the
   // multi-GPU scheduler to pick a device without committing (section 2.2).
-  bool CanReserve(uint64_t bytes) const;
+  bool CanReserve(uint64_t bytes) const EXCLUDES(mu_);
 
   // Allocates a buffer counted against an active reservation. Allocation
   // never takes new capacity -- it draws down the reservation's budget, so
   // once Reserve() succeeds, a task's Alloc() calls cannot fail unless it
   // under-reserved (which is reported as InvalidArgument, a logic bug).
-  Result<DeviceBuffer> Alloc(const Reservation& reservation, uint64_t bytes);
+  Result<DeviceBuffer> Alloc(const Reservation& reservation, uint64_t bytes)
+      EXCLUDES(mu_);
 
  private:
   friend class Reservation;
-  void ReleaseReservation(uint64_t id, uint64_t bytes);
+  void ReleaseReservation(uint64_t id, uint64_t bytes) EXCLUDES(mu_);
 
   struct ReservationUse {
     uint64_t id;
@@ -113,12 +169,13 @@ class DeviceMemoryManager {
   };
 
   const uint64_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t reserved_total_ = 0;
-  uint64_t peak_reserved_ = 0;
-  uint64_t reservation_failures_ = 0;
-  uint64_t next_id_ = 1;
-  std::vector<ReservationUse> in_use_;
+  DeviceChecker* checker_ = nullptr;  // set once before use
+  mutable common::Mutex mu_;
+  uint64_t reserved_total_ GUARDED_BY(mu_) = 0;
+  uint64_t peak_reserved_ GUARDED_BY(mu_) = 0;
+  uint64_t reservation_failures_ GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::vector<ReservationUse> in_use_ GUARDED_BY(mu_);
 };
 
 }  // namespace blusim::gpusim

@@ -15,7 +15,7 @@ const char* GpuEventName(GpuEvent event) {
 }
 
 void PerfMonitor::Record(GpuEvent event, SimTime duration, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   EventStats& s = stats_[static_cast<int>(event)];
   ++s.count;
   s.total_time += duration;
@@ -24,7 +24,7 @@ void PerfMonitor::Record(GpuEvent event, SimTime duration, uint64_t bytes) {
 
 void PerfMonitor::RecordKernel(const std::string& kernel_name,
                                SimTime duration) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   EventStats& s = kernel_stats_[kernel_name];
   ++s.count;
   s.total_time += duration;
@@ -34,39 +34,39 @@ void PerfMonitor::RecordKernel(const std::string& kernel_name,
 }
 
 void PerfMonitor::SampleMemory(SimTime time, uint64_t bytes_in_use) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   memory_samples_.push_back(MemorySample{time, bytes_in_use});
 }
 
 EventStats PerfMonitor::stats(GpuEvent event) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_[static_cast<int>(event)];
 }
 
 std::map<std::string, EventStats> PerfMonitor::kernel_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return kernel_stats_;
 }
 
 std::vector<MemorySample> PerfMonitor::memory_samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return memory_samples_;
 }
 
 SimTime PerfMonitor::total_kernel_time() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_[static_cast<int>(GpuEvent::kKernelExec)].total_time +
          stats_[static_cast<int>(GpuEvent::kHashTableInit)].total_time;
 }
 
 SimTime PerfMonitor::total_transfer_time() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_[static_cast<int>(GpuEvent::kTransferToDevice)].total_time +
          stats_[static_cast<int>(GpuEvent::kTransferFromDevice)].total_time;
 }
 
 void PerfMonitor::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (EventStats& s : stats_) s = EventStats{};
   kernel_stats_.clear();
   memory_samples_.clear();

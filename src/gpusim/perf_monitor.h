@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/sim_clock.h"
 
 namespace blusim::gpusim {
@@ -47,30 +47,32 @@ class PerfMonitor {
  public:
   PerfMonitor() = default;
 
-  void Record(GpuEvent event, SimTime duration, uint64_t bytes = 0);
+  void Record(GpuEvent event, SimTime duration, uint64_t bytes = 0)
+      EXCLUDES(mu_);
 
   // Named kernel accounting, for per-kernel tuning tables.
-  void RecordKernel(const std::string& kernel_name, SimTime duration);
+  void RecordKernel(const std::string& kernel_name, SimTime duration)
+      EXCLUDES(mu_);
 
   // Memory utilization sampling (figure 9).
-  void SampleMemory(SimTime time, uint64_t bytes_in_use);
+  void SampleMemory(SimTime time, uint64_t bytes_in_use) EXCLUDES(mu_);
 
-  EventStats stats(GpuEvent event) const;
-  std::map<std::string, EventStats> kernel_stats() const;
-  std::vector<MemorySample> memory_samples() const;
+  EventStats stats(GpuEvent event) const EXCLUDES(mu_);
+  std::map<std::string, EventStats> kernel_stats() const EXCLUDES(mu_);
+  std::vector<MemorySample> memory_samples() const EXCLUDES(mu_);
 
   // Total simulated time spent inside the device vs. on the bus; the split
   // the paper's monitor exposes for kernel tuning.
-  SimTime total_kernel_time() const;
-  SimTime total_transfer_time() const;
+  SimTime total_kernel_time() const EXCLUDES(mu_);
+  SimTime total_transfer_time() const EXCLUDES(mu_);
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  EventStats stats_[static_cast<int>(GpuEvent::kNumEvents)];
-  std::map<std::string, EventStats> kernel_stats_;
-  std::vector<MemorySample> memory_samples_;
+  mutable common::Mutex mu_;
+  EventStats stats_[static_cast<int>(GpuEvent::kNumEvents)] GUARDED_BY(mu_);
+  std::map<std::string, EventStats> kernel_stats_ GUARDED_BY(mu_);
+  std::vector<MemorySample> memory_samples_ GUARDED_BY(mu_);
 };
 
 }  // namespace blusim::gpusim

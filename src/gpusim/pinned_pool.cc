@@ -11,6 +11,8 @@ namespace blusim::gpusim {
 namespace {
 // All sub-allocations are 64-byte aligned (cache line / GPU coalescing).
 constexpr uint64_t kAlignment = 64;
+// Canary blocks are one alignment unit so the user region stays aligned.
+constexpr uint64_t kCanaryBytes = kAlignment;
 }  // namespace
 
 PinnedBuffer& PinnedBuffer::operator=(PinnedBuffer&& other) noexcept {
@@ -62,47 +64,68 @@ PinnedHostPool::PinnedHostPool(uint64_t segment_bytes,
 }
 
 uint64_t PinnedHostPool::allocated() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return allocated_;
 }
 
 uint64_t PinnedHostPool::peak_allocated() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return peak_allocated_;
 }
 
 Result<PinnedBuffer> PinnedHostPool::Alloc(uint64_t bytes) {
   const uint64_t size = AlignUp(std::max<uint64_t>(bytes, 1), kAlignment);
-  std::lock_guard<std::mutex> lock(mu_);
+  const bool checked = checker_ != nullptr && checker_->enabled();
+  // Under the checker each extent carries a canary block on both sides of
+  // the user region: [canary | user bytes | canary].
+  const uint64_t extent_size = checked ? size + 2 * kCanaryBytes : size;
+  common::MutexLock lock(&mu_);
   // First fit over the offset-sorted free list.
   for (size_t i = 0; i < free_list_.size(); ++i) {
-    if (free_list_[i].size >= size) {
+    if (free_list_[i].size >= extent_size) {
       const uint64_t offset = free_list_[i].offset;
-      free_list_[i].offset += size;
-      free_list_[i].size -= size;
+      free_list_[i].offset += extent_size;
+      free_list_[i].size -= extent_size;
       if (free_list_[i].size == 0) {
         free_list_.erase(free_list_.begin() + static_cast<long>(i));
       }
-      allocated_ += size;
+      allocated_ += extent_size;
       peak_allocated_ = std::max(peak_allocated_, allocated_);
       if (bytes_in_use_gauge_ != nullptr) {
         bytes_in_use_gauge_->Set(static_cast<int64_t>(allocated_));
         highwater_gauge_->SetMax(static_cast<int64_t>(peak_allocated_));
         allocs_total_->Add(1);
       }
-      return PinnedBuffer(this, base_ + offset, offset, size);
+      char* extent = base_ + offset;
+      if (checked) {
+        const uint64_t id = checker_->OnPinnedAlloc(
+            extent, extent + kCanaryBytes + size, kCanaryBytes, size);
+        checked_[offset] = CheckedExtent{extent_size, id};
+        return PinnedBuffer(this, extent + kCanaryBytes, offset, size);
+      }
+      return PinnedBuffer(this, extent, offset, size);
     }
   }
   if (alloc_failures_total_ != nullptr) alloc_failures_total_->Add(1);
   return Status::OutOfHostMemory(
-      "pinned pool exhausted: need " + std::to_string(size) + " bytes, " +
-      std::to_string(segment_size_ - allocated_) + " free (fragmented)");
+      "pinned pool exhausted: need " + std::to_string(extent_size) +
+      " bytes, " + std::to_string(segment_size_ - allocated_) +
+      " free (fragmented)");
 }
 
 void PinnedHostPool::Free(uint64_t offset, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  BLUSIM_CHECK(allocated_ >= bytes);
-  allocated_ -= bytes;
+  common::MutexLock lock(&mu_);
+  // Checked extents are bigger than the user-visible size the buffer knows
+  // about; recover the real extent (and verify canaries) via the record.
+  uint64_t extent_size = bytes;
+  auto chk = checked_.find(offset);
+  if (chk != checked_.end()) {
+    extent_size = chk->second.extent_size;
+    if (checker_ != nullptr) checker_->OnPinnedFree(chk->second.check_id);
+    checked_.erase(chk);
+  }
+  BLUSIM_CHECK(allocated_ >= extent_size);
+  allocated_ -= extent_size;
   if (bytes_in_use_gauge_ != nullptr) {
     bytes_in_use_gauge_->Set(static_cast<int64_t>(allocated_));
   }
@@ -110,7 +133,7 @@ void PinnedHostPool::Free(uint64_t offset, uint64_t bytes) {
   auto it = std::lower_bound(
       free_list_.begin(), free_list_.end(), offset,
       [](const FreeExtent& e, uint64_t off) { return e.offset < off; });
-  it = free_list_.insert(it, FreeExtent{offset, bytes});
+  it = free_list_.insert(it, FreeExtent{offset, extent_size});
   // Coalesce with successor.
   if (it + 1 != free_list_.end() && it->offset + it->size == (it + 1)->offset) {
     it->size += (it + 1)->size;

@@ -2,11 +2,13 @@
 #define BLUSIM_GPUSIM_PINNED_POOL_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
+#include "gpusim/device_check.h"
 #include "obs/metrics.h"
 
 namespace blusim::gpusim {
@@ -46,14 +48,18 @@ class PinnedBuffer {
 
   PinnedHostPool* pool_ = nullptr;
   char* data_ = nullptr;
-  uint64_t offset_ = 0;
-  uint64_t size_ = 0;
+  uint64_t offset_ = 0;  // extent offset within the segment
+  uint64_t size_ = 0;    // user-visible (aligned) size, excludes canaries
 };
 
 // One large host memory segment registered (pinned) with the GPU device(s)
 // at engine startup (paper section 2.1.2). Registering per kernel call is
 // prohibitively expensive, so all transfer staging draws first-fit
 // sub-allocations from this pre-registered segment instead.
+//
+// With a DeviceChecker attached, every sub-allocation is bracketed by
+// poisoned canary blocks inside the segment; Free() verifies them and
+// attributes any corruption to the owning query (device_check.h).
 class PinnedHostPool {
  public:
   // `metrics` (optional) receives the pool's bytes-in-use / high-water
@@ -64,32 +70,46 @@ class PinnedHostPool {
   PinnedHostPool(const PinnedHostPool&) = delete;
   PinnedHostPool& operator=(const PinnedHostPool&) = delete;
 
+  // Adds canary blocks around subsequent sub-allocations and reports
+  // corruption through `checker`. Call before the first Alloc.
+  void AttachChecker(DeviceChecker* checker) { checker_ = checker; }
+
   uint64_t segment_size() const { return segment_size_; }
-  uint64_t allocated() const;
+  uint64_t allocated() const EXCLUDES(mu_);
   uint64_t available() const { return segment_size_ - allocated(); }
-  uint64_t peak_allocated() const;
+  uint64_t peak_allocated() const EXCLUDES(mu_);
 
   // Sub-allocates from the registered segment. Fails with OutOfHostMemory
   // when no free extent is large enough (caller falls back to an unpinned,
   // 4x-slower transfer path or waits).
-  Result<PinnedBuffer> Alloc(uint64_t bytes);
+  Result<PinnedBuffer> Alloc(uint64_t bytes) EXCLUDES(mu_);
 
  private:
   friend class PinnedBuffer;
-  void Free(uint64_t offset, uint64_t bytes);
+  void Free(uint64_t offset, uint64_t bytes) EXCLUDES(mu_);
 
   struct FreeExtent {
     uint64_t offset;
     uint64_t size;
   };
 
+  // Canary bookkeeping for one checked sub-allocation, keyed by extent
+  // offset (only populated while a checker is attached).
+  struct CheckedExtent {
+    uint64_t extent_size = 0;
+    uint64_t check_id = 0;
+  };
+
   const uint64_t segment_size_;
   std::unique_ptr<char[]> segment_;
   char* base_ = nullptr;  // 64-byte-aligned start within segment_
-  mutable std::mutex mu_;
-  std::vector<FreeExtent> free_list_;  // sorted by offset, coalesced
-  uint64_t allocated_ = 0;
-  uint64_t peak_allocated_ = 0;
+  DeviceChecker* checker_ = nullptr;  // set once before use
+  mutable common::Mutex mu_;
+  // Sorted by offset, coalesced.
+  std::vector<FreeExtent> free_list_ GUARDED_BY(mu_);
+  uint64_t allocated_ GUARDED_BY(mu_) = 0;
+  uint64_t peak_allocated_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, CheckedExtent> checked_ GUARDED_BY(mu_);
 
   // Optional engine-registry instruments (null when not wired).
   obs::Gauge* bytes_in_use_gauge_ = nullptr;

@@ -45,19 +45,21 @@ struct SlotValue {
 SlotValue LoadSlotValue(const AggSlot& slot,
                         const DeviceInput::SlotArrays& arrays, uint64_t i) {
   SlotValue v;
+  // Checked accessors: a stale row index past the staged arrays reports an
+  // out-of-bounds to the device checker instead of corrupting memory.
   if (arrays.validity.valid()) {
-    v.valid = arrays.validity.as<uint8_t>()[i] != 0;
+    v.valid = arrays.validity.at<uint8_t>(i) != 0;
   }
   if (!arrays.values.valid()) return v;  // COUNT(*)
   switch (slot.acc_type) {
     case DataType::kFloat64:
-      v.f64 = arrays.values.as<double>()[i];
+      v.f64 = arrays.values.at<double>(i);
       break;
     case DataType::kDecimal128:
-      v.dec = arrays.values.as<Decimal128>()[i];
+      v.dec = arrays.values.at<Decimal128>(i);
       break;
     default:
-      v.i64 = arrays.values.as<int64_t>()[i];
+      v.i64 = arrays.values.at<int64_t>(i);
       break;
   }
   return v;
@@ -237,13 +239,13 @@ void AggregateRowAtomic(const GroupByKernelArgs& args, char* entry,
 }
 
 char* FindOrInsert(const GroupByKernelArgs& args, uint64_t i) {
-  const uint32_t row_id = args.input->row_ids.as<uint32_t>()[i];
+  const uint32_t row_id = args.input->row_ids.at<uint32_t>(i);
   if (args.input->wide_key) {
-    const WideKey& key = args.input->keys.as<WideKey>()[i];
+    const WideKey& key = args.input->keys.at<WideKey>(i);
     return FindOrInsertWide(args.table, *args.layout, args.capacity, key,
                             row_id);
   }
-  const uint64_t key = args.input->keys.as<uint64_t>()[i];
+  const uint64_t key = args.input->keys.at<uint64_t>(i);
   return FindOrInsertNarrow(args.table, *args.layout, args.capacity, key,
                             row_id);
 }
@@ -383,8 +385,8 @@ Status RunKernelSharedMem(gpusim::SimDevice* device,
   auto group_phase = [&](const KernelCtx& ctx) {
     const auto [begin, end] = block_range(ctx.block_idx);
     for (uint64_t i = begin + ctx.thread_idx; i < end; i += ctx.block_dim) {
-      const uint32_t row_id = args.input->row_ids.as<uint32_t>()[i];
-      const uint64_t key = args.input->keys.as<uint64_t>()[i];
+      const uint32_t row_id = args.input->row_ids.at<uint32_t>(i);
+      const uint64_t key = args.input->keys.at<uint64_t>(i);
       // Probe the shared table (plain ops; see memory-model note).
       char* entry = nullptr;
       uint64_t pos = ModHash(key, shared_cap);

@@ -32,7 +32,7 @@ GroupByKernelKind GpuModerator::ChooseKernel(const QueryMetadata& metadata,
                                              const HashTableLayout& layout,
                                              uint64_t usable_shared_mem) const {
   if (options_.use_feedback) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto it = feedback_.find(MakeSignature(metadata));
     if (it != feedback_.end() && it->second.observations > 0) {
       return it->second.best_kernel;
@@ -79,7 +79,7 @@ std::vector<GroupByKernelKind> GpuModerator::CandidateKernels(
 
 void GpuModerator::RecordFeedback(const QueryMetadata& metadata,
                                   GroupByKernelKind kind, SimTime duration) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   FeedbackCell& cell = feedback_[MakeSignature(metadata)];
   if (cell.observations == 0 || duration < cell.best_time) {
     cell.best_time = duration;
@@ -89,7 +89,7 @@ void GpuModerator::RecordFeedback(const QueryMetadata& metadata,
 }
 
 size_t GpuModerator::feedback_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return feedback_.size();
 }
 

@@ -3,8 +3,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.h"
 
 #include "common/sim_clock.h"
 #include "gpusim/cost_model.h"
@@ -67,10 +68,11 @@ class GpuModerator {
   // query signature. With `use_feedback`, ChooseKernel prefers the kernel
   // with the best recorded time for similar queries.
   void RecordFeedback(const QueryMetadata& metadata,
-                      gpusim::GroupByKernelKind kind, SimTime duration);
+                      gpusim::GroupByKernelKind kind, SimTime duration)
+      EXCLUDES(mu_);
 
   // Number of feedback observations recorded (for tests/monitoring).
-  size_t feedback_entries() const;
+  size_t feedback_entries() const EXCLUDES(mu_);
 
  private:
   // Coarse query signature for the feedback table: log2 buckets of rows
@@ -90,8 +92,8 @@ class GpuModerator {
   };
 
   ModeratorOptions options_;
-  mutable std::mutex mu_;
-  std::map<Signature, FeedbackCell> feedback_;
+  mutable common::Mutex mu_;
+  std::map<Signature, FeedbackCell> feedback_ GUARDED_BY(mu_);
 };
 
 }  // namespace blusim::groupby

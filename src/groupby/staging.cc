@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <cstring>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/kmv.h"
 #include "groupby/layout.h"
 #include "runtime/evaluators.h"
@@ -65,9 +65,12 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
   const uint64_t num_morsels = runtime::NumMorsels(n, kMorselRows);
   runtime::GroupByChain chain(&plan);
 
-  std::mutex mu;
-  KmvSketch kmv(256);
-  Status first_error;
+  // KMV merge and first-error tracking shared by the morsel workers.
+  struct SharedStageState {
+    common::Mutex mu;
+    KmvSketch kmv GUARDED_BY(mu) = KmvSketch(256);
+    Status first_error GUARDED_BY(mu);
+  } shared;
   std::atomic<bool> key_sentinel_hit{false};
 
   auto process = [&](uint64_t m) {
@@ -76,8 +79,8 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
     stride.selection = selection;
     Status st = chain.ProcessStride(&stride);
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) first_error = st;
+      common::MutexLock lock(&shared.mu);
+      if (shared.first_error.ok()) shared.first_error = st;
       return;
     }
     const uint64_t rows = stride.num_rows();
@@ -143,8 +146,8 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
       }
     }
 
-    std::lock_guard<std::mutex> lock(mu);
-    kmv.Merge(stride.kmv);
+    common::MutexLock lock(&shared.mu);
+    shared.kmv.Merge(stride.kmv);
   };
 
   if (pool != nullptr) {
@@ -152,7 +155,11 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
   } else {
     for (uint64_t m = 0; m < num_morsels; ++m) process(m);
   }
-  BLUSIM_RETURN_NOT_OK(first_error);
+  {
+    common::MutexLock lock(&shared.mu);
+    BLUSIM_RETURN_NOT_OK(shared.first_error);
+    staged.kmv_estimate = shared.kmv.Estimate();
+  }
 
   if (key_sentinel_hit.load()) {
     return Status::NotSupported(
@@ -160,7 +167,6 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
         "query falls back to the CPU chain");
   }
 
-  staged.kmv_estimate = kmv.Estimate();
   return staged;
 }
 

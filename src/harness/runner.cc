@@ -1,7 +1,8 @@
 #include "harness/runner.h"
 
-#include <mutex>
 #include <thread>
+
+#include "common/annotations.h"
 
 namespace blusim::harness {
 
@@ -51,24 +52,27 @@ Result<std::vector<QueryRunResult>> RunConcurrentStreams(
   const int streams = std::max(1, options.streams);
   const int reps = std::max(1, options.reps);
 
-  std::mutex mu;
-  std::vector<QueryRunResult> results;
-  Status first_error;
+  // Shared across the stream threads; every access goes through `mu`.
+  struct StreamState {
+    common::Mutex mu;
+    std::vector<QueryRunResult> results GUARDED_BY(mu);
+    Status first_error GUARDED_BY(mu);
+  } state;
 
   auto stream_fn = [&]() {
     for (int rep = 0; rep < reps; ++rep) {
       for (const workload::WorkloadQuery& wq : queries) {
         {
-          std::lock_guard<std::mutex> lock(mu);
-          if (!first_error.ok()) return;
+          common::MutexLock lock(&state.mu);
+          if (!state.first_error.ok()) return;
         }
         auto qr = engine->Execute(wq.spec);
-        std::lock_guard<std::mutex> lock(mu);
+        common::MutexLock lock(&state.mu);
         if (!qr.ok()) {
-          if (first_error.ok()) {
-            first_error = Status(qr.status().code(),
-                                 "query '" + wq.spec.name + "': " +
-                                     qr.status().message());
+          if (state.first_error.ok()) {
+            state.first_error = Status(qr.status().code(),
+                                       "query '" + wq.spec.name + "': " +
+                                           qr.status().message());
           }
           return;
         }
@@ -78,7 +82,7 @@ Result<std::vector<QueryRunResult>> RunConcurrentStreams(
         r.elapsed = qr->profile.total_elapsed;
         r.gpu_used = qr->profile.gpu_used;
         r.profile = std::move(qr->profile);
-        results.push_back(std::move(r));
+        state.results.push_back(std::move(r));
       }
     }
   };
@@ -89,8 +93,9 @@ Result<std::vector<QueryRunResult>> RunConcurrentStreams(
   stream_fn();
   for (std::thread& t : threads) t.join();
 
-  BLUSIM_RETURN_NOT_OK(first_error);
-  return results;
+  common::MutexLock lock(&state.mu);
+  BLUSIM_RETURN_NOT_OK(state.first_error);
+  return std::move(state.results);
 }
 
 SimTime TotalElapsed(const std::vector<QueryRunResult>& results) {

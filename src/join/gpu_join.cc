@@ -145,7 +145,7 @@ Result<JoinResult> GpuHashJoin::Execute(
       GridFor(device->spec(), build_rows), [&](const KernelCtx& ctx) {
         for (uint64_t i = ctx.global_thread(); i < build_rows;
              i += ctx.total_threads()) {
-          const uint64_t key = d_build_keys.as<uint64_t>()[i];
+          const uint64_t key = d_build_keys.at<uint64_t>(i);
           if (key == kEmptyKey) continue;  // NULL PK
           uint64_t pos = Mix64(key) & (capacity - 1);
           for (uint64_t probe = 0; probe < capacity; ++probe) {
@@ -160,7 +160,7 @@ Result<JoinResult> GpuHashJoin::Execute(
             if (cur == kEmptyKey &&
                 gpusim::AtomicCas64(keyp, kEmptyKey, key) == kEmptyKey) {
               *reinterpret_cast<uint32_t*>(entry + 8) =
-                  d_build_ids.as<uint32_t>()[i];
+                  d_build_ids.at<uint32_t>(i);
               break;
             }
             if (*keyp == key) {
@@ -183,12 +183,11 @@ Result<JoinResult> GpuHashJoin::Execute(
       DeviceBuffer d_out,
       device->memory().Alloc(reservation, probe_rows * 8 + 64));
   std::atomic<uint64_t> cursor{0};
-  uint64_t* out_pairs = d_out.as<uint64_t>();  // packed (fact, dim) pairs
   st = device->launcher().Launch(
       GridFor(device->spec(), probe_rows), [&](const KernelCtx& ctx) {
         for (uint64_t i = ctx.global_thread(); i < probe_rows;
              i += ctx.total_threads()) {
-          const uint64_t key = d_probe_keys.as<uint64_t>()[i];
+          const uint64_t key = d_probe_keys.at<uint64_t>(i);
           if (key == kEmptyKey) continue;  // NULL FK never matches
           uint64_t pos = Mix64(key) & (capacity - 1);
           for (uint64_t probe = 0; probe < capacity; ++probe) {
@@ -201,8 +200,11 @@ Result<JoinResult> GpuHashJoin::Execute(
               std::memcpy(&dim_row, entry + 8, 4);
               const uint64_t slot =
                   cursor.fetch_add(1, std::memory_order_relaxed);
-              out_pairs[slot] =
-                  (static_cast<uint64_t>(d_probe_ids.as<uint32_t>()[i])
+              // Checked store: the output cursor is bounded by probe_rows,
+              // but a logic bug here would silently corrupt device memory
+              // without the bounds check.
+              d_out.at<uint64_t>(slot) =
+                  (static_cast<uint64_t>(d_probe_ids.at<uint32_t>(i))
                    << 32) |
                   dim_row;
               break;

@@ -59,7 +59,7 @@ MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
     MetricType type) {
   LabelSet sorted = SortedLabels(labels);
   const std::string key = MakeKey(name, sorted);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     Instrument* inst = &instruments_[it->second];
@@ -109,7 +109,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> samples;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     samples.reserve(instruments_.size());
     for (const Instrument& inst : instruments_) {
       MetricSample s;
@@ -147,7 +147,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::num_instruments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return instruments_.size();
 }
 

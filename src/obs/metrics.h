@@ -6,10 +6,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace blusim::obs {
 
@@ -138,18 +139,18 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* GetCounter(const std::string& name, const LabelSet& labels = {},
-                      const std::string& help = "");
+                      const std::string& help = "") EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, const LabelSet& labels = {},
-                  const std::string& help = "");
+                  const std::string& help = "") EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name,
                           const LabelSet& labels = {},
-                          const std::string& help = "");
+                          const std::string& help = "") EXCLUDES(mu_);
 
   // Samples every instrument, sorted by (name, labels) so families are
   // contiguous for the text exporters.
-  std::vector<MetricSample> Snapshot() const;
+  std::vector<MetricSample> Snapshot() const EXCLUDES(mu_);
 
-  size_t num_instruments() const;
+  size_t num_instruments() const EXCLUDES(mu_);
 
  private:
   struct Instrument {
@@ -163,12 +164,13 @@ class MetricsRegistry {
   };
 
   Instrument* FindOrCreate(const std::string& name, const LabelSet& labels,
-                           const std::string& help, MetricType type);
+                           const std::string& help, MetricType type)
+      EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   // deque: stable addresses as instruments register.
-  std::deque<Instrument> instruments_;
-  std::map<std::string, size_t> index_;
+  std::deque<Instrument> instruments_ GUARDED_BY(mu_);
+  std::map<std::string, size_t> index_ GUARDED_BY(mu_);
 };
 
 }  // namespace blusim::obs

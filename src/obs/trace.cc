@@ -22,19 +22,19 @@ TraceBuilder::TraceBuilder(std::string query_name, SimTime origin)
 }
 
 SimTime TraceBuilder::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return cursor_;
 }
 
 void TraceBuilder::Advance(SimTime dt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (dt > 0) cursor_ += dt;
 }
 
 void TraceBuilder::AddPhase(
     std::string name, std::string category, SimTime elapsed, int device_id,
     std::vector<std::pair<std::string, std::string>> args) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   TraceSpan span;
   span.name = std::move(name);
   span.category = std::move(category);
@@ -48,17 +48,17 @@ void TraceBuilder::AddPhase(
 }
 
 void TraceBuilder::AddSpanAt(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   trace_.spans.push_back(std::move(span));
 }
 
 void TraceBuilder::Annotate(std::string key, std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   trace_.annotations.emplace_back(std::move(key), std::move(value));
 }
 
 QueryTrace TraceBuilder::Finish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return std::move(trace_);
 }
 

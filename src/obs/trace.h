@@ -1,12 +1,12 @@
 #ifndef BLUSIM_OBS_TRACE_H_
 #define BLUSIM_OBS_TRACE_H_
 
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/sim_clock.h"
 
 namespace blusim::obs {
@@ -61,26 +61,27 @@ class TraceBuilder {
   TraceBuilder& operator=(const TraceBuilder&) = delete;
 
   // Current position of the sequential host timeline.
-  SimTime now() const;
-  void Advance(SimTime dt);
+  SimTime now() const EXCLUDES(mu_);
+  void Advance(SimTime dt) EXCLUDES(mu_);
 
   // Appends [now, now + elapsed) on track 0 and advances the cursor.
   void AddPhase(std::string name, std::string category, SimTime elapsed,
                 int device_id = -1,
-                std::vector<std::pair<std::string, std::string>> args = {});
+                std::vector<std::pair<std::string, std::string>> args = {})
+      EXCLUDES(mu_);
 
   // Appends a span at its own timestamps; the cursor does not move.
-  void AddSpanAt(TraceSpan span);
+  void AddSpanAt(TraceSpan span) EXCLUDES(mu_);
 
-  void Annotate(std::string key, std::string value);
+  void Annotate(std::string key, std::string value) EXCLUDES(mu_);
 
   // Moves the accumulated trace out; the builder is done after this.
-  QueryTrace Finish();
+  QueryTrace Finish() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  QueryTrace trace_;
-  SimTime cursor_ = 0;
+  mutable common::Mutex mu_;
+  QueryTrace trace_ GUARDED_BY(mu_);
+  SimTime cursor_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace blusim::obs

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/bit_util.h"
 #include "common/hash.h"
 #include "runtime/evaluators.h"
@@ -51,9 +51,11 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
 
   // Small mutex: KMV merge and first-error tracking only. Group merging
   // never takes it — phase 2 is per-shard parallel with no shared state.
-  std::mutex mu;
-  KmvSketch global_kmv(256);
-  Status first_error;
+  struct SharedScanState {
+    common::Mutex mu;
+    KmvSketch global_kmv GUARDED_BY(mu) = KmvSketch(256);
+    Status first_error GUARDED_BY(mu);
+  } shared;
 
   std::vector<std::unique_ptr<MorselPartial<Key>>> partials(num_morsels);
 
@@ -63,8 +65,8 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
     stride.selection = selection;
     Status st = chain.ProcessStride(&stride);
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) first_error = st;
+      common::MutexLock lock(&shared.mu);
+      if (shared.first_error.ok()) shared.first_error = st;
       return;
     }
 
@@ -97,8 +99,8 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
     }
     partials[m] = std::move(partial);
 
-    std::lock_guard<std::mutex> lock(mu);
-    global_kmv.Merge(stride.kmv);
+    common::MutexLock lock(&shared.mu);
+    shared.global_kmv.Merge(stride.kmv);
   };
 
   if (pool != nullptr) {
@@ -106,9 +108,14 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
   } else {
     for (uint64_t m = 0; m < num_morsels; ++m) process_morsel(m);
   }
-  BLUSIM_RETURN_NOT_OK(first_error);
-
-  const uint64_t kmv_estimate = global_kmv.Estimate();
+  // All workers are done (ParallelFor is a barrier), but read the shared
+  // state under its lock so the annotated accesses stay consistent.
+  uint64_t kmv_estimate = 0;
+  {
+    common::MutexLock lock(&shared.mu);
+    BLUSIM_RETURN_NOT_OK(shared.first_error);
+    kmv_estimate = shared.global_kmv.Estimate();
+  }
 
   if (stats != nullptr) {
     stats->merge_shards = shards;

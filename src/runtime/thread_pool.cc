@@ -33,7 +33,7 @@ void ThreadPool::AttachMetrics(obs::MetricsRegistry* metrics) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -42,7 +42,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     BLUSIM_CHECK(!shutdown_);
     queue_.push_back(QueuedTask{std::move(task),
                                 std::chrono::steady_clock::now()});
@@ -58,8 +58,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      common::MutexLock lock(&mu_);
+      // Explicit wait loop: the analysis checks guarded reads here, where a
+      // wait-predicate lambda would be analyzed as an unlocked function.
+      while (!shutdown_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // shutdown and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -90,9 +92,9 @@ struct ParallelForState {
   std::atomic<uint64_t> next{0};
   std::atomic<uint64_t> remaining;
   std::function<void(uint64_t)> fn;
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
+  common::Mutex mu;
+  std::condition_variable_any cv;
+  bool done GUARDED_BY(mu) = false;
 
   // Claims and runs morsels until none remain; signals completion when this
   // participant retired the final morsel.
@@ -107,7 +109,7 @@ struct ParallelForState {
     if (processed > 0 &&
         remaining.fetch_sub(processed, std::memory_order_acq_rel) ==
             processed) {
-      std::lock_guard<std::mutex> lock(mu);
+      common::MutexLock lock(&mu);
       done = true;
       cv.notify_all();
     }
@@ -131,8 +133,8 @@ void ThreadPool::ParallelFor(uint64_t num_morsels,
     Submit([state]() { state->Drain(); });
   }
   state->Drain();  // the caller works too
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done; });
+  common::MutexLock lock(&state->mu);
+  while (!state->done) state->cv.wait(lock);
 }
 
 ThreadPool& ThreadPool::Default() {

@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "obs/metrics.h"
 
 namespace blusim::runtime {
@@ -33,7 +33,7 @@ class ThreadPool {
   void AttachMetrics(obs::MetricsRegistry* metrics);
 
   // Enqueues a task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Runs fn(morsel_index) for every morsel in [0, num_morsels), distributing
   // across the pool, and blocks until all complete. The calling thread also
@@ -50,13 +50,14 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueuedTask> queue_;
-  bool shutdown_ = false;
+  common::Mutex mu_;
+  // condition_variable_any waits directly on the annotated MutexLock scope.
+  std::condition_variable_any cv_;
+  std::deque<QueuedTask> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
   // Optional engine-registry instruments (null when not wired).
   obs::Gauge* queue_depth_gauge_ = nullptr;

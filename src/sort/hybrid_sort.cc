@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/logging.h"
 #include "sort/gpu_sort.h"
 #include "sort/job_queue.h"
@@ -28,14 +28,14 @@ struct SortRun {
   // Cost model for CPU-side accounting (device-independent when no device).
   gpusim::CostModel cost{gpusim::HostSpec{}, gpusim::DeviceSpec{}};
 
-  std::mutex stats_mu;
-  HybridSortStats stats;
-  Status first_error;
+  common::Mutex stats_mu;
+  HybridSortStats stats GUARDED_BY(stats_mu);
+  Status first_error GUARDED_BY(stats_mu);
   // Simulated-time origin of this sort for the per-worker trace lanes.
   SimTime trace_origin = 0;
 
-  void RecordError(const Status& st) {
-    std::lock_guard<std::mutex> lock(stats_mu);
+  void RecordError(const Status& st) EXCLUDES(stats_mu) {
+    common::MutexLock lock(&stats_mu);
     if (first_error.ok()) first_error = st;
   }
 };
@@ -81,7 +81,7 @@ void SortJobOnCpu(SortRun* run, const SortJob& job, WorkerLane* lane) {
   });
   const SimTime sort_time = run->cost.HostSortTime(job.size(), 1);
   lane->AddSpan(run, "sort-job-cpu", obs::kCatCpu, sort_time, -1);
-  std::lock_guard<std::mutex> lock(run->stats_mu);
+  common::MutexLock lock(&run->stats_mu);
   ++run->stats.jobs_cpu;
   run->stats.cpu_sort_time += sort_time;
 }
@@ -176,7 +176,7 @@ bool TrySortJobOnGpu(SortRun* run, const SortJob& job, WorkerLane* lane) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(run->stats_mu);
+  common::MutexLock lock(&run->stats_mu);
   ++run->stats.jobs_gpu;
   run->stats.gpu_transfer_time += transfer;
   run->stats.gpu_kernel_time += kernel;
@@ -194,13 +194,13 @@ void WorkerLoop(SortRun* run, int worker) {
     if (job->size() >= run->options.min_gpu_rows) {
       handled = TrySortJobOnGpu(run, *job, &lane);
       if (!handled) {
-        std::lock_guard<std::mutex> lock(run->stats_mu);
+        common::MutexLock lock(&run->stats_mu);
         ++run->stats.gpu_fallbacks;
       }
     }
     if (!handled) SortJobOnCpu(run, *job, &lane);
     {
-      std::lock_guard<std::mutex> lock(run->stats_mu);
+      common::MutexLock lock(&run->stats_mu);
       ++run->stats.jobs_total;
     }
     run->queue.TaskDone();
@@ -234,21 +234,26 @@ Result<std::vector<uint32_t>> HybridSorter::Sort(
     WorkerLoop(&run, 0);
     for (std::thread& t : threads) t.join();
 
-    BLUSIM_RETURN_NOT_OK(run.first_error);
-    if (stats != nullptr) *stats = run.stats;
+    HybridSortStats run_stats;
+    {
+      common::MutexLock lock(&run.stats_mu);
+      BLUSIM_RETURN_NOT_OK(run.first_error);
+      run_stats = run.stats;
+    }
+    if (stats != nullptr) *stats = run_stats;
     if (options.metrics != nullptr) {
       options.metrics
           ->GetCounter("blusim_sort_jobs_total", {{"path", "cpu"}},
                        "Hybrid-sort jobs drained from the queue by path")
-          ->Add(run.stats.jobs_cpu);
+          ->Add(run_stats.jobs_cpu);
       options.metrics
           ->GetCounter("blusim_sort_jobs_total", {{"path", "gpu"}},
                        "Hybrid-sort jobs drained from the queue by path")
-          ->Add(run.stats.jobs_gpu);
+          ->Add(run_stats.jobs_gpu);
       options.metrics
           ->GetCounter("blusim_sort_gpu_fallbacks_total", {},
                        "GPU-eligible sort jobs that ran on the CPU instead")
-          ->Add(run.stats.gpu_fallbacks);
+          ->Add(run_stats.gpu_fallbacks);
     }
   } else if (stats != nullptr) {
     *stats = HybridSortStats{};

@@ -6,7 +6,7 @@ namespace blusim::sort {
 
 void SortJobQueue::Push(SortJob job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     queue_.push_back(job);
     ++pushed_;
   }
@@ -14,8 +14,9 @@ void SortJobQueue::Push(SortJob job) {
 }
 
 std::optional<SortJob> SortJobQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !queue_.empty() || in_flight_ == 0; });
+  common::MutexLock lock(&mu_);
+  // Explicit wait loop so the guarded reads are visible to the analysis.
+  while (queue_.empty() && in_flight_ != 0) cv_.wait(lock);
   if (queue_.empty()) return std::nullopt;  // complete: nothing queued/running
   SortJob job = queue_.front();
   queue_.pop_front();
@@ -26,7 +27,7 @@ std::optional<SortJob> SortJobQueue::Pop() {
 void SortJobQueue::TaskDone() {
   bool complete = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     BLUSIM_CHECK(in_flight_ > 0);
     --in_flight_;
     complete = in_flight_ == 0 && queue_.empty();
@@ -35,7 +36,7 @@ void SortJobQueue::TaskDone() {
 }
 
 uint64_t SortJobQueue::jobs_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return pushed_;
 }
 

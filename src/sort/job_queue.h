@@ -4,8 +4,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/annotations.h"
 
 namespace blusim::sort {
 
@@ -26,23 +27,23 @@ struct SortJob {
 // Workers must call TaskDone() exactly once per successful Pop().
 class SortJobQueue {
  public:
-  void Push(SortJob job);
+  void Push(SortJob job) EXCLUDES(mu_);
 
   // Blocks until a job is available or the sort is complete.
   // Returns nullopt when all jobs are done (workers should exit).
-  std::optional<SortJob> Pop();
+  std::optional<SortJob> Pop() EXCLUDES(mu_);
 
   // Marks one popped job finished (call after pushing any child jobs).
-  void TaskDone();
+  void TaskDone() EXCLUDES(mu_);
 
-  uint64_t jobs_pushed() const;
+  uint64_t jobs_pushed() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<SortJob> queue_;
-  int in_flight_ = 0;
-  uint64_t pushed_ = 0;
+  mutable common::Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<SortJob> queue_ GUARDED_BY(mu_);
+  int in_flight_ GUARDED_BY(mu_) = 0;
+  uint64_t pushed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace blusim::sort

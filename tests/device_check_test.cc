@@ -1,0 +1,311 @@
+// Tests for the simulated device-memory checker: seeded out-of-bounds
+// writes, use-after-free, double-free and end-of-query leaks must each be
+// detected and attributed to the owning query; clean queries must report
+// nothing. The multithreaded cases carry the `concurrency` ctest label so
+// they also run under the TSan build.
+
+#include "gpusim/device_check.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "gpusim/device_memory.h"
+#include "gpusim/pinned_pool.h"
+#include "workload/data_gen.h"
+#include "workload/queries.h"
+
+namespace blusim {
+namespace {
+
+using gpusim::DeviceBuffer;
+using gpusim::DeviceChecker;
+using gpusim::DeviceIssue;
+using gpusim::DeviceIssueKind;
+using gpusim::DeviceMemoryManager;
+using gpusim::PinnedHostPool;
+
+class DeviceCheckTest : public ::testing::Test {
+ protected:
+  DeviceBuffer MustAlloc(uint64_t bytes) {
+    auto reservation = memory_.Reserve(bytes);
+    EXPECT_TRUE(reservation.ok()) << reservation.status().message();
+    auto buf = memory_.Alloc(reservation.value(), bytes);
+    EXPECT_TRUE(buf.ok()) << buf.status().message();
+    // Keep the reservation releasable after return: allocations outlive
+    // their reservation in the simulator (capacity accounting only).
+    return std::move(buf.value());
+  }
+
+  DeviceChecker checker_{/*enabled=*/true};
+  DeviceMemoryManager memory_{64ULL << 20};
+
+  void SetUp() override { memory_.AttachChecker(&checker_); }
+};
+
+TEST_F(DeviceCheckTest, RedzoneWriteReportedWithOwningQuery) {
+  {
+    DeviceChecker::ScopedQuery scope(&checker_, 7, "q7-oob");
+    DeviceBuffer buf = MustAlloc(256);
+    buf.data()[buf.size() + 2] = 0x42;  // two bytes into the back redzone
+    buf.Free();
+  }
+  ASSERT_EQ(checker_.issue_count(DeviceIssueKind::kOutOfBounds), 1u);
+  const DeviceIssue issue = checker_.issues().front();
+  EXPECT_EQ(issue.kind, DeviceIssueKind::kOutOfBounds);
+  EXPECT_EQ(issue.query_id, 7u);
+  EXPECT_EQ(issue.query_name, "q7-oob");
+  EXPECT_EQ(issue.pool, "device");
+  EXPECT_EQ(issue.bytes, 256u);
+}
+
+TEST_F(DeviceCheckTest, FrontRedzoneWriteAlsoDetected) {
+  DeviceChecker::ScopedQuery scope(&checker_, 8, "q8-front");
+  DeviceBuffer buf = MustAlloc(128);
+  buf.data()[-1] = 0x01;  // last byte of the front redzone
+  buf.Free();
+  ASSERT_EQ(checker_.issue_count(DeviceIssueKind::kOutOfBounds), 1u);
+  EXPECT_EQ(checker_.issues().front().query_id, 8u);
+}
+
+TEST_F(DeviceCheckTest, CheckedAccessorReportsAndRedirectsToSink) {
+  DeviceChecker::ScopedQuery scope(&checker_, 11, "q11-at");
+  DeviceBuffer buf = MustAlloc(64);
+  buf.at<uint32_t>(3) = 0xA0A0A0A0u;           // in bounds: real store
+  buf.at<uint64_t>(100) = 0xDEADBEEFULL;       // out of bounds: sink store
+  EXPECT_EQ(buf.at<uint32_t>(3), 0xA0A0A0A0u);
+  ASSERT_EQ(checker_.issue_count(DeviceIssueKind::kOutOfBounds), 1u);
+  const DeviceIssue issue = checker_.issues().front();
+  EXPECT_EQ(issue.query_id, 11u);
+  // The sink absorbed the store: both redzones still verify clean.
+  buf.Free();
+  EXPECT_EQ(checker_.issue_count(DeviceIssueKind::kOutOfBounds), 1u);
+}
+
+TEST_F(DeviceCheckTest, UseAfterFreeWriteDetectedByQuarantineScan) {
+  DeviceChecker::ScopedQuery scope(&checker_, 13, "q13-uaf");
+  DeviceBuffer buf = MustAlloc(512);
+  char* stale = buf.data();
+  buf.Free();
+  stale[10] = 0x55;  // safe: the checker quarantines the freed storage
+  checker_.ScanQuarantine();
+  ASSERT_EQ(checker_.issue_count(DeviceIssueKind::kUseAfterFree), 1u);
+  const DeviceIssue issue = checker_.issues().front();
+  EXPECT_EQ(issue.query_id, 13u);
+  EXPECT_EQ(issue.bytes, 512u);
+}
+
+TEST_F(DeviceCheckTest, DoubleFreeDetected) {
+  DeviceChecker::ScopedQuery scope(&checker_, 17, "q17-df");
+  DeviceBuffer buf = MustAlloc(64);
+  buf.Free();
+  buf.Free();
+  ASSERT_EQ(checker_.issue_count(DeviceIssueKind::kDoubleFree), 1u);
+  EXPECT_EQ(checker_.issues().front().query_id, 17u);
+}
+
+TEST_F(DeviceCheckTest, EndOfQueryLeakAttributedToQuery) {
+  DeviceBuffer leaked;
+  {
+    DeviceChecker::ScopedQuery scope(&checker_, 19, "q19-leak");
+    leaked = MustAlloc(1024);
+  }  // scope end runs the per-query leak check while `leaked` is live
+  ASSERT_EQ(checker_.issue_count(DeviceIssueKind::kLeak), 1u);
+  const DeviceIssue issue = checker_.issues().front();
+  EXPECT_EQ(issue.query_id, 19u);
+  EXPECT_EQ(issue.query_name, "q19-leak");
+  EXPECT_EQ(issue.bytes, 1024u);
+}
+
+TEST_F(DeviceCheckTest, ShutdownReportFlagsUnownedLiveAllocations) {
+  DeviceBuffer live = MustAlloc(2048);  // no query scope
+  const std::vector<DeviceIssue> issues = checker_.FinalReport();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues.front().kind, DeviceIssueKind::kLeak);
+  EXPECT_EQ(issues.front().query_id, 0u);
+}
+
+TEST_F(DeviceCheckTest, CleanQueryReportsNothing) {
+  {
+    DeviceChecker::ScopedQuery scope(&checker_, 23, "q23-clean");
+    DeviceBuffer a = MustAlloc(256);
+    DeviceBuffer b = MustAlloc(4096);
+    a.at<uint64_t>(0) = 1;
+    b.at<uint64_t>(511) = 2;
+    a.Free();
+    // b freed by RAII inside the scope
+  }
+  EXPECT_EQ(checker_.issue_count(), 0u);
+  EXPECT_EQ(checker_.FinalReport().size(), 0u);
+}
+
+TEST_F(DeviceCheckTest, AllocationBacktraceCapturedWhenAvailable) {
+  DeviceChecker::ScopedQuery scope(&checker_, 29, "q29-bt");
+  DeviceBuffer buf = MustAlloc(64);
+  buf.data()[buf.size()] = 1;
+  buf.Free();
+  ASSERT_EQ(checker_.issue_count(), 1u);
+  const DeviceIssue issue = checker_.issues().front();
+  // ToString always renders kind/query/pool; the backtrace is best-effort
+  // (glibc only) but the report must never be empty.
+  EXPECT_NE(issue.ToString().find("out-of-bounds"), std::string::npos);
+  EXPECT_NE(issue.ToString().find("query 29"), std::string::npos);
+}
+
+TEST(DeviceCheckPinnedTest, CanaryCorruptionAttributedToQuery) {
+  DeviceChecker checker(true);
+  PinnedHostPool pool(1ULL << 20);
+  pool.AttachChecker(&checker);
+  {
+    DeviceChecker::ScopedQuery scope(&checker, 31, "q31-pinned");
+    auto buf = pool.Alloc(100);
+    ASSERT_TRUE(buf.ok());
+    // size() is the 64-byte-aligned user size; one past it is the canary.
+    buf->data()[buf->size()] = 0x7F;
+  }
+  ASSERT_EQ(checker.issue_count(DeviceIssueKind::kOutOfBounds), 1u);
+  const DeviceIssue issue = checker.issues().front();
+  EXPECT_EQ(issue.pool, "pinned");
+  EXPECT_EQ(issue.query_id, 31u);
+}
+
+TEST(DeviceCheckPinnedTest, CleanPinnedUseReportsNothingAndRecycles) {
+  DeviceChecker checker(true);
+  PinnedHostPool pool(1ULL << 20);
+  pool.AttachChecker(&checker);
+  for (int round = 0; round < 3; ++round) {
+    auto buf = pool.Alloc(4096);
+    ASSERT_TRUE(buf.ok());
+    buf->data()[0] = 1;
+    buf->data()[buf->size() - 1] = 2;
+  }
+  EXPECT_EQ(checker.issue_count(), 0u);
+  EXPECT_EQ(pool.allocated(), 0u);
+}
+
+TEST(DeviceCheckDisabledTest, DisabledCheckerCostsAndReportsNothing) {
+  DeviceChecker checker(false);
+  DeviceMemoryManager memory(1ULL << 20);
+  memory.AttachChecker(&checker);
+  auto reservation = memory.Reserve(256);
+  ASSERT_TRUE(reservation.ok());
+  auto buf = memory.Alloc(reservation.value(), 256);
+  ASSERT_TRUE(buf.ok());
+  buf->Free();
+  buf->Free();  // would be a double-free under the checker
+  EXPECT_EQ(checker.issue_count(), 0u);
+  EXPECT_EQ(checker.FinalReport().size(), 0u);
+}
+
+// Concurrent clean traffic: many threads, each its own query scope,
+// allocating / touching / freeing. Must be data-race free (TSan build runs
+// this via the concurrency label) and report zero issues.
+TEST(DeviceCheckConcurrencyTest, ParallelCleanQueriesReportNothing) {
+  DeviceChecker checker(true);
+  DeviceMemoryManager memory(256ULL << 20);
+  memory.AttachChecker(&checker);
+  PinnedHostPool pool(8ULL << 20);
+  pool.AttachChecker(&checker);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      DeviceChecker::ScopedQuery scope(&checker, 100 + t,
+                                       "stream-" + std::to_string(t));
+      for (int iter = 0; iter < 16; ++iter) {
+        auto reservation = memory.Reserve(8192);
+        ASSERT_TRUE(reservation.ok());
+        auto buf = memory.Alloc(reservation.value(), 8192);
+        ASSERT_TRUE(buf.ok());
+        for (uint64_t i = 0; i < 8192 / sizeof(uint64_t); i += 64) {
+          buf->at<uint64_t>(i) = i;
+        }
+        auto staged = pool.Alloc(2048);
+        ASSERT_TRUE(staged.ok());
+        staged->data()[0] = static_cast<char>(iter);
+        buf->Free();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(checker.issue_count(), 0u);
+  EXPECT_EQ(checker.live_allocations(), 0u);
+}
+
+// Concurrent seeded violations: each thread corrupts its own allocation;
+// every report must carry that thread's query id (attribution is
+// thread-local, so cross-thread traffic must not mix it up).
+TEST(DeviceCheckConcurrencyTest, ParallelViolationsKeepAttribution) {
+  DeviceChecker checker(true);
+  DeviceMemoryManager memory(64ULL << 20);
+  memory.AttachChecker(&checker);
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const uint64_t qid = 200 + static_cast<uint64_t>(t);
+      DeviceChecker::ScopedQuery scope(&checker, qid,
+                                       "bad-" + std::to_string(t));
+      auto reservation = memory.Reserve(1024);
+      ASSERT_TRUE(reservation.ok());
+      auto buf = memory.Alloc(reservation.value(), 1024);
+      ASSERT_TRUE(buf.ok());
+      buf->data()[buf->size()] = static_cast<char>(t + 1);
+      buf->Free();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<DeviceIssue> issues = checker.issues();
+  ASSERT_EQ(issues.size(), static_cast<size_t>(kThreads));
+  std::vector<bool> seen(kThreads, false);
+  for (const DeviceIssue& issue : issues) {
+    EXPECT_EQ(issue.kind, DeviceIssueKind::kOutOfBounds);
+    ASSERT_GE(issue.query_id, 200u);
+    ASSERT_LT(issue.query_id, 200u + kThreads);
+    seen[issue.query_id - 200] = true;
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(seen[t]) << t;
+}
+
+// End-to-end: an engine with the checker forced on runs a real query
+// cleanly — the GPU group-by/sort paths must not leak or scribble.
+TEST(DeviceCheckEngineTest, EngineQueryRunsCleanUnderChecker) {
+  core::EngineConfig config;
+  config.check_device = 1;
+  config.num_devices = 1;
+  config.cpu_threads = 2;
+  config.sort_workers = 1;
+  // Small enough that GPU-eligible queries exercise the device paths.
+  config.device_spec = config.device_spec.WithMemory(16ULL << 20);
+  config.thresholds.t1_min_rows = 10000;
+  core::Engine engine(config);
+  ASSERT_TRUE(engine.device_checker().enabled());
+
+  workload::ScaleConfig scale;
+  scale.store_sales_rows = 50000;
+  scale.customers = 2000;
+  scale.items = 500;
+  auto db = workload::GenerateDatabase(scale);
+  ASSERT_TRUE(db.ok()) << db.status().message();
+  for (const auto& [name, table] : *db) {
+    ASSERT_TRUE(engine.RegisterTable(name, table).ok());
+  }
+  const auto queries = workload::MakeBdiQueries(*db);
+  ASSERT_FALSE(queries.empty());
+  for (size_t i = 0; i < std::min<size_t>(queries.size(), 4); ++i) {
+    auto qr = engine.Execute(queries[i].spec);
+    ASSERT_TRUE(qr.ok()) << qr.status().message();
+  }
+  EXPECT_EQ(engine.device_checker().issue_count(), 0u);
+}
+
+}  // namespace
+}  // namespace blusim

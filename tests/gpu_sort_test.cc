@@ -31,11 +31,13 @@ class GpuSortTest : public ::testing::Test {
     auto scratch =
         device_.memory().Alloc(reservation.value(), n * sizeof(PkEntry));
     EXPECT_TRUE(entries.ok() && scratch.ok());
-    std::memcpy(entries->data(), data.data(), n * sizeof(PkEntry));
+    // data.data() is null for the empty-input edge case; memcpy requires
+    // non-null pointers even for zero bytes.
+    if (n != 0) std::memcpy(entries->data(), data.data(), n * sizeof(PkEntry));
     Status st = GpuRadixSort(&device_, &entries.value(), &scratch.value(),
                              n);
     EXPECT_TRUE(st.ok()) << st.ToString();
-    std::memcpy(data.data(), entries->data(), n * sizeof(PkEntry));
+    if (n != 0) std::memcpy(data.data(), entries->data(), n * sizeof(PkEntry));
     return data;
   }
 };
