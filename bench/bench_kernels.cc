@@ -125,10 +125,12 @@ void BM_GpuRadixSort(benchmark::State& state) {
                                          n * sizeof(sort::PkEntry));
   auto scratch = f.device.memory().Alloc(reservation.value(),
                                          n * sizeof(sort::PkEntry));
+  auto hist = f.device.memory().Alloc(reservation.value(),
+                                      sort::GpuSortHistBytes(n));
   for (auto _ : state) {
     std::memcpy(entries->data(), data.data(), n * sizeof(sort::PkEntry));
     auto st = sort::GpuRadixSort(&f.device, &entries.value(),
-                                 &scratch.value(), n);
+                                 &scratch.value(), &hist.value(), n);
     if (!st.ok()) {
       state.SkipWithError(st.ToString().c_str());
       return;

@@ -1,0 +1,311 @@
+// Hybrid-sort hot-path benchmark: the rebuilt pipeline (CPU MSD radix
+// fallback, pooled workers with parallel key generation, reusable pinned
+// staging + cached device reservations, block-folded duplicate ranges) vs.
+// the pre-change implementation, which is kept here as the "before"
+// baseline: raw per-sort std::threads, a fresh Reserve + PinnedHostPool
+// alloc per GPU job, serial key generation, comparator-based std::sort for
+// CPU jobs, a serial host duplicate-range fold and an O(range) MaxRowLevels
+// rescan per duplicate range.
+//
+// Both paths run the same simulated device (the radix "kernel" is real
+// host work behind the kernel launcher), so the wall-clock ratio measures
+// the host-side hot path the PR rebuilt. Legacy and new permutations are
+// cross-checked for equality before timing.
+//
+// Emits BENCH_sort.json with rows/sec for high-duplicate, mid-range and
+// unique keys. Env knobs: BLUSIM_BENCH_SORT_ROWS (default 2000000),
+// BLUSIM_BENCH_REPS (default 3, best-of), BLUSIM_BENCH_SORT_WORKERS
+// (default 3), BLUSIM_BENCH_SORT_MIN_GPU_ROWS (default 65536).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/rng.h"
+#include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
+#include "runtime/thread_pool.h"
+#include "sort/gpu_sort.h"
+#include "sort/hybrid_sort.h"
+#include "sort/job_queue.h"
+#include "sort/sds.h"
+
+namespace blusim::sort {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// The pre-rebuild hybrid sort, preserved as the benchmark baseline.
+
+// O(range) rescan the old duplicate-range push paid per range.
+int LegacyMaxRowLevels(const SortDataStore& sds, const uint32_t* perm,
+                       uint32_t n) {
+  int max_levels = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    max_levels = std::max(max_levels, sds.RowLevels(perm[i]));
+  }
+  return max_levels;
+}
+
+struct LegacyRun {
+  const SortDataStore* sds = nullptr;
+  std::vector<uint32_t>* perm = nullptr;
+  SortJobQueue queue;
+  gpusim::SimDevice* device = nullptr;
+  gpusim::PinnedHostPool* pinned = nullptr;
+  uint32_t min_gpu_rows = 0;
+};
+
+bool LegacyTrySortJobOnGpu(LegacyRun* run, const SortJob& job) {
+  gpusim::SimDevice* device = run->device;
+  const uint32_t n = job.size();
+  const uint64_t bytes = static_cast<uint64_t>(n) * sizeof(PkEntry);
+
+  // Fresh reservation + buffers + pinned staging for every job.
+  auto reservation = device->memory().Reserve(GpuSortBytesNeeded(n));
+  if (!reservation.ok()) return false;
+  auto entries = device->memory().Alloc(*reservation, bytes);
+  auto scratch = device->memory().Alloc(*reservation, bytes);
+  auto hist = device->memory().Alloc(*reservation, GpuSortHistBytes(n));
+  if (!entries.ok() || !scratch.ok() || !hist.ok()) return false;
+  auto staging = run->pinned->Alloc(bytes);
+  if (!staging.ok()) return false;
+
+  // Serial key generation.
+  uint32_t* perm = run->perm->data() + job.begin;
+  PkEntry* host_entries = staging->as<PkEntry>();
+  for (uint32_t i = 0; i < n; ++i) {
+    host_entries[i].key = run->sds->PartialKey(perm[i], job.level);
+    host_entries[i].payload = perm[i];
+  }
+
+  device->JobStarted();
+  device->CopyToDevice(host_entries, &entries.value(), bytes, true);
+  Status st = GpuRadixSort(device, &entries.value(), &scratch.value(),
+                           &hist.value(), n);
+  if (!st.ok()) {
+    device->JobFinished();
+    return false;
+  }
+  device->AccountKernel("radix_sort", device->cost_model().SortKernelTime(n));
+  device->CopyFromDevice(entries.value(), host_entries, bytes, true);
+  device->JobFinished();
+  for (uint32_t i = 0; i < n; ++i) perm[i] = host_entries[i].payload;
+
+  // Serial host fold over the sorted keys (the old flag-array walk).
+  uint32_t run_begin = 0;
+  for (uint32_t i = 1; i <= n; ++i) {
+    if (i == n || host_entries[i].key != host_entries[run_begin].key) {
+      if (i - run_begin > 1) {
+        if (job.level + 1 <
+            LegacyMaxRowLevels(*run->sds, perm + run_begin, i - run_begin)) {
+          run->queue.Push(SortJob{job.begin + run_begin, job.begin + i,
+                                  job.level + 1});
+        } else {
+          std::sort(perm + run_begin, perm + i);
+        }
+      }
+      run_begin = i;
+    }
+  }
+  return true;
+}
+
+void LegacyWorkerLoop(LegacyRun* run) {
+  while (auto job = run->queue.Pop()) {
+    const bool gpu_eligible =
+        run->device != nullptr && job->size() >= run->min_gpu_rows;
+    if (!gpu_eligible || !LegacyTrySortJobOnGpu(run, *job)) {
+      // Comparator-based fallback: full-key memcmp per comparison.
+      const SortDataStore* sds = run->sds;
+      uint32_t* base = run->perm->data() + job->begin;
+      std::sort(base, base + job->size(),
+                [sds](uint32_t a, uint32_t b) { return sds->RowLess(a, b); });
+    }
+    run->queue.TaskDone();
+  }
+}
+
+// Like the old HybridSorter::Sort, the legacy path builds the Sort Data
+// Store itself, so both sides of the comparison pay the key encoding.
+Result<std::vector<uint32_t>> LegacyHybridSort(const columnar::Table& table,
+                                               std::vector<SortKey> keys,
+                                               gpusim::SimDevice* device,
+                                               gpusim::PinnedHostPool* pinned,
+                                               uint32_t min_gpu_rows,
+                                               int workers) {
+  BLUSIM_ASSIGN_OR_RETURN(SortDataStore sds,
+                          SortDataStore::Make(table, std::move(keys)));
+  std::vector<uint32_t> perm(sds.num_rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  if (perm.size() < 2) return perm;
+  LegacyRun run;
+  run.sds = &sds;
+  run.perm = &perm;
+  run.device = device;
+  run.pinned = pinned;
+  run.min_gpu_rows = min_gpu_rows;
+  run.queue.Push(SortJob{0, sds.num_rows(), 0});
+  // Raw per-sort threads (the old worker model).
+  std::vector<std::thread> threads;
+  for (int w = 1; w < workers; ++w) {
+    threads.emplace_back(LegacyWorkerLoop, &run);
+  }
+  LegacyWorkerLoop(&run);
+  for (auto& t : threads) t.join();
+  return perm;
+}
+
+// ---------------------------------------------------------------------------
+
+columnar::Table MakeTable(uint64_t rows, uint64_t key_range, uint64_t seed) {
+  columnar::Schema schema;
+  schema.AddField({"k", columnar::DataType::kInt64, false});
+  schema.AddField({"v", columnar::DataType::kFloat64, false});
+  columnar::Table t(schema);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.column(0).AppendInt64(rng.Range(-static_cast<int64_t>(key_range / 2),
+                                      static_cast<int64_t>(key_range / 2)));
+    t.column(1).AppendDouble(static_cast<double>(rng.Below(16)));
+  }
+  return t;
+}
+
+template <typename Fn>
+double MeasureRowsPerSec(uint64_t rows, int reps, Fn run) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    best = std::max(best, static_cast<double>(rows) / secs);
+  }
+  return best;
+}
+
+struct CaseResult {
+  std::string name;
+  uint64_t key_range = 0;
+  double new_rps = 0;
+  double legacy_rps = 0;
+};
+
+int RunBench() {
+  const uint64_t rows = EnvU64("BLUSIM_BENCH_SORT_ROWS", 2000000);
+  const int reps = static_cast<int>(EnvU64("BLUSIM_BENCH_REPS", 3));
+  const int workers =
+      static_cast<int>(EnvU64("BLUSIM_BENCH_SORT_WORKERS", 3));
+  const uint32_t min_gpu_rows = static_cast<uint32_t>(
+      EnvU64("BLUSIM_BENCH_SORT_MIN_GPU_ROWS", 65536));
+
+  gpusim::DeviceSpec spec;
+  gpusim::HostSpec host;
+  gpusim::SimDevice device(0, spec, host, 2);
+  gpusim::PinnedHostPool pinned(256ULL << 20);
+  runtime::ThreadPool pool;
+
+  const std::vector<SortKey> keys = {{0, true}, {1, true}};
+  struct Case {
+    const char* name;
+    uint64_t key_range;
+  };
+  // high_duplicate is the acceptance case: a few hundred huge duplicate
+  // groups fan out into many sub-min_gpu_rows CPU jobs.
+  const std::vector<Case> cases = {
+      {"high_duplicate", 512},
+      {"mid_range", 65536},
+      {"unique", rows},
+  };
+
+  std::vector<CaseResult> results;
+  for (const Case& c : cases) {
+    auto table = MakeTable(rows, c.key_range, 17 + c.key_range);
+
+    HybridSortOptions options;
+    options.device = &device;
+    options.pinned_pool = &pinned;
+    options.min_gpu_rows = min_gpu_rows;
+    options.num_workers = workers;
+    options.pool = &pool;
+
+    // Correctness cross-check before timing anything.
+    auto new_perm = HybridSorter::Sort(table, keys, options, nullptr);
+    if (!new_perm.ok()) {
+      std::fprintf(stderr, "%s\n", new_perm.status().ToString().c_str());
+      return 1;
+    }
+    auto legacy_perm =
+        LegacyHybridSort(table, keys, &device, &pinned, min_gpu_rows, workers);
+    if (!legacy_perm.ok()) {
+      std::fprintf(stderr, "%s\n", legacy_perm.status().ToString().c_str());
+      return 1;
+    }
+    if (*new_perm != *legacy_perm) {
+      std::fprintf(stderr, "%s: legacy/new permutation mismatch\n", c.name);
+      return 1;
+    }
+
+    CaseResult r;
+    r.name = c.name;
+    r.key_range = c.key_range;
+    r.new_rps = MeasureRowsPerSec(rows, reps, [&] {
+      (void)HybridSorter::Sort(table, keys, options, nullptr);
+    });
+    r.legacy_rps = MeasureRowsPerSec(rows, reps, [&] {
+      (void)LegacyHybridSort(table, keys, &device, &pinned, min_gpu_rows,
+                             workers);
+    });
+    results.push_back(r);
+    std::printf(
+        "%-15s range=%-8llu  new %7.2f Mrows/s | legacy %7.2f Mrows/s | "
+        "speedup %.2fx\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.key_range),
+        r.new_rps / 1e6, r.legacy_rps / 1e6, r.new_rps / r.legacy_rps);
+  }
+
+  FILE* f = std::fopen("BENCH_sort.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sort.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"sort_hotpath\",\n"
+               "  \"rows\": %llu,\n  \"reps\": %d,\n  \"workers\": %d,\n"
+               "  \"min_gpu_rows\": %u,\n  \"cases\": [\n",
+               static_cast<unsigned long long>(rows), reps, workers,
+               min_gpu_rows);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"case\": \"%s\", \"key_range\": %llu,\n"
+        "     \"after_rebuild\": {\"rows_per_sec\": %.0f},\n"
+        "     \"before_rebuild\": {\"rows_per_sec\": %.0f},\n"
+        "     \"speedup\": %.3f}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.key_range),
+        r.new_rps, r.legacy_rps, r.new_rps / r.legacy_rps,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_sort.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace blusim::sort
+
+int main() { return blusim::sort::RunBench(); }

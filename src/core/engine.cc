@@ -447,6 +447,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
       // Sorting the (small) aggregated result: CPU.
       sort::HybridSortOptions options;
       options.num_workers = 1;
+      options.pool = &pool_;
       sort::HybridSortStats stats;
       BLUSIM_ASSIGN_OR_RETURN(
           std::vector<uint32_t> perm,
@@ -472,6 +473,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
       sort::HybridSortOptions options;
       options.min_gpu_rows = config_.sort_min_gpu_rows;
       options.num_workers = config_.sort_workers;
+      options.pool = &pool_;
       options.trace = &trace;
       options.metrics = &metrics_;
       bool gpu_possible = false;

@@ -69,6 +69,9 @@ constexpr double kHostScanNsPerByte = 0.22;
 constexpr double kHostGroupByBaseNsPerRow = 70.0;
 constexpr double kHostGroupByNsPerAgg = 22.0;
 constexpr double kHostSortNsPerRowLogRow = 4.0;
+// Counting-sort passes over cached encoded keys: a handful of sequential
+// sweeps instead of n log n cache-missing comparisons.
+constexpr double kHostRadixSortNsPerRow = 7.0;
 constexpr double kHostJoinBuildNsPerRow = 24.0;
 constexpr double kHostJoinProbeNsPerRow = 14.0;
 constexpr double kHostKeyGenNsPerRow = 6.0;
@@ -224,6 +227,13 @@ SimTime CostModel::HostSortTime(uint64_t rows, int dop) const {
   const double logn = std::log2(static_cast<double>(rows));
   const double ns = static_cast<double>(rows) * logn *
                     kHostSortNsPerRowLogRow / HostParallelFactor(dop);
+  return NsToSimTime(ns);
+}
+
+SimTime CostModel::HostRadixSortTime(uint64_t rows, int dop) const {
+  if (rows < 2) return 1;
+  const double ns = static_cast<double>(rows) * kHostRadixSortNsPerRow /
+                    HostParallelFactor(dop);
   return NsToSimTime(ns);
 }
 

@@ -77,6 +77,9 @@ class CostModel {
   SimTime HostGroupByTime(uint64_t rows, uint64_t groups, int num_aggregates,
                           int dop) const;
   SimTime HostSortTime(uint64_t rows, int dop) const;
+  // CPU radix sort over already-encoded 4-byte partial keys (the hybrid
+  // sort's CPU job path, section 3): linear in rows, not n log n.
+  SimTime HostRadixSortTime(uint64_t rows, int dop) const;
   SimTime HostJoinTime(uint64_t build_rows, uint64_t probe_rows,
                        int dop) const;
   // Partial-key/payload generation feeding the sort (section 3).

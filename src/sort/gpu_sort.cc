@@ -26,22 +26,27 @@ uint32_t NumBlocks(uint32_t n) {
 
 }  // namespace
 
+uint64_t GpuSortHistBytes(uint32_t n) {
+  return static_cast<uint64_t>(NumBlocks(n)) * kBuckets * sizeof(uint32_t);
+}
+
 uint64_t GpuSortBytesNeeded(uint32_t n) {
   const uint64_t entries = static_cast<uint64_t>(n) * sizeof(PkEntry);
-  const uint64_t hist = static_cast<uint64_t>(NumBlocks(n)) * kBuckets *
-                        sizeof(uint32_t);
-  return 2 * entries + hist + n /* boundary flags */;
+  return 2 * entries + GpuSortHistBytes(n) + n /* boundary flags */;
 }
 
 Status GpuRadixSort(SimDevice* device, DeviceBuffer* entries,
-                    DeviceBuffer* scratch, uint32_t n) {
+                    DeviceBuffer* scratch, DeviceBuffer* hist, uint32_t n) {
   if (n <= 1) return Status::OK();
   const uint32_t blocks = NumBlocks(n);
+  if (hist->size() < GpuSortHistBytes(n)) {
+    return Status::InvalidArgument("radix-sort histogram buffer too small");
+  }
 
-  // Histogram counts live host-side in the simulator (on hardware they are
-  // a device buffer read back between the two kernels of each pass; the
-  // host scan in between is the same in both designs).
-  std::vector<uint32_t> counts(static_cast<size_t>(blocks) * kBuckets);
+  // Per-block counts live in the `hist` device buffer (written by kernel A,
+  // read back by the host scan); the scanned cursors are host-side (the
+  // host computes and uploads them between the two kernels of each pass).
+  uint32_t* counts = hist->as<uint32_t>();
   std::vector<uint32_t> starts(static_cast<size_t>(blocks) * kBuckets);
 
   PkEntry* in = entries->as<PkEntry>();
@@ -53,7 +58,6 @@ Status GpuRadixSort(SimDevice* device, DeviceBuffer* entries,
 
   for (int pass = 0; pass < 4; ++pass) {
     const uint32_t shift = static_cast<uint32_t>(pass) * kRadixBits;
-    std::memset(counts.data(), 0, counts.size() * sizeof(uint32_t));
 
     // Kernel A: per-block histogram over the block's contiguous chunk.
     Status st = device->launcher().Launch(config, [&](const KernelCtx& ctx) {
@@ -61,7 +65,8 @@ Status GpuRadixSort(SimDevice* device, DeviceBuffer* entries,
           static_cast<uint64_t>(ctx.block_idx) * kRowsPerBlock;
       const uint64_t end = std::min<uint64_t>(n, begin + kRowsPerBlock);
       uint32_t* block_counts =
-          counts.data() + static_cast<size_t>(ctx.block_idx) * kBuckets;
+          counts + static_cast<size_t>(ctx.block_idx) * kBuckets;
+      std::memset(block_counts, 0, kBuckets * sizeof(uint32_t));
       for (uint64_t i = begin; i < end; ++i) {
         ++block_counts[(in[i].key >> shift) & (kBuckets - 1)];
       }
@@ -101,31 +106,78 @@ Status GpuRadixSort(SimDevice* device, DeviceBuffer* entries,
 }
 
 Result<std::vector<std::pair<uint32_t, uint32_t>>> FindDuplicateRanges(
-    SimDevice* device, const DeviceBuffer& entries, uint32_t n) {
+    SimDevice* device, const DeviceBuffer& entries, DeviceBuffer* flags,
+    uint32_t n) {
   std::vector<std::pair<uint32_t, uint32_t>> ranges;
   if (n <= 1) return ranges;
+  if (flags->size() < n) {
+    return Status::InvalidArgument("boundary-flag buffer too small");
+  }
   const PkEntry* e = entries.as<PkEntry>();
+  uint8_t* f = flags->as<uint8_t>();
+  const uint32_t blocks = NumBlocks(n);
 
-  // Device kernel: flag positions whose key matches the predecessor.
-  std::vector<uint8_t> flags(n, 0);
+  // Per-block fold results. Each block writes only its own slot, so the
+  // host-side vector needs no synchronization (same discipline as the
+  // radix histogram).
+  struct BlockFold {
+    // Ranges whose both endpoints fall inside the block's chunk.
+    std::vector<std::pair<uint32_t, uint32_t>> closed;
+    // First/last position i in the chunk with flags[i] == 0 (a run start);
+    // UINT32_MAX when the whole chunk continues its predecessor's run.
+    uint32_t first_start = UINT32_MAX;
+    uint32_t last_start = UINT32_MAX;
+  };
+  std::vector<BlockFold> folds(blocks);
+
   LaunchConfig config;
-  config.grid_dim = NumBlocks(n);
-  config.block_dim = 256;
-  Status st = device->launcher().Launch(config, [&](const KernelCtx& ctx) {
-    for (uint64_t i = ctx.global_thread(); i < n; i += ctx.total_threads()) {
-      flags[i] = (i > 0 && e[i].key == e[i - 1].key) ? 1 : 0;
-    }
-  });
+  config.grid_dim = blocks;
+  config.block_dim = 1;  // block-granular chunks, like the radix kernels
+  Status st = device->launcher().Launch(
+      config,
+      {// Phase 0: flag positions whose key matches the predecessor.
+       [&](const KernelCtx& ctx) {
+         const uint64_t begin =
+             static_cast<uint64_t>(ctx.block_idx) * kRowsPerBlock;
+         const uint64_t end = std::min<uint64_t>(n, begin + kRowsPerBlock);
+         for (uint64_t i = begin; i < end; ++i) {
+           f[i] = (i > 0 && e[i].key == e[i - 1].key) ? 1 : 0;
+         }
+       },
+       // Phase 1: fold this block's chunk of flags into closed ranges.
+       // Only the block's own flags are read, so the per-block barrier
+       // between phases is ordering enough.
+       [&](const KernelCtx& ctx) {
+         const uint32_t begin = ctx.block_idx * kRowsPerBlock;
+         const uint32_t end =
+             static_cast<uint32_t>(std::min<uint64_t>(n, begin + kRowsPerBlock));
+         BlockFold& fold = folds[ctx.block_idx];
+         uint32_t open = UINT32_MAX;  // last run start seen in this chunk
+         for (uint32_t i = begin; i < end; ++i) {
+           if (f[i]) continue;  // continues the current run
+           if (fold.first_start == UINT32_MAX) {
+             fold.first_start = i;
+           } else if (i - open > 1) {
+             fold.closed.emplace_back(open, i);
+           }
+           open = i;
+         }
+         fold.last_start = open;
+       }});
   BLUSIM_RETURN_NOT_OK(st);
 
-  // Host: fold flags into [begin, end) ranges of length > 1.
-  uint32_t run_begin = 0;
-  for (uint32_t i = 1; i <= n; ++i) {
-    if (i == n || !flags[i]) {
-      if (i - run_begin > 1) ranges.emplace_back(run_begin, i);
-      run_begin = i;
+  // Host: stitch the O(blocks) cross-chunk runs. `open` is the start of
+  // the run still in progress at the current chunk boundary.
+  uint32_t open = UINT32_MAX;
+  for (const BlockFold& fold : folds) {
+    if (fold.first_start == UINT32_MAX) continue;  // chunk is one long run
+    if (open != UINT32_MAX && fold.first_start - open > 1) {
+      ranges.emplace_back(open, fold.first_start);
     }
+    ranges.insert(ranges.end(), fold.closed.begin(), fold.closed.end());
+    open = fold.last_start;
   }
+  if (open != UINT32_MAX && n - open > 1) ranges.emplace_back(open, n);
   return ranges;
 }
 

@@ -24,22 +24,35 @@ static_assert(sizeof(PkEntry) == 8, "PkEntry must be 8 bytes");
 // scan of the (bucket, block) counts, and a stable scatter kernel using
 // per-block bucket cursors.
 //
-// `entries` / `scratch` are device buffers of at least n * 8 bytes; the
-// sorted result ends in `entries` (an even number of ping-pong passes).
+// `entries` / `scratch` are device buffers of at least n * 8 bytes;
+// `hist` is the per-block histogram buffer (>= GpuSortHistBytes(n), read
+// back between the two kernels of each pass). The sorted result ends in
+// `entries` (an even number of ping-pong passes).
 Status GpuRadixSort(gpusim::SimDevice* device, gpusim::DeviceBuffer* entries,
-                    gpusim::DeviceBuffer* scratch, uint32_t n);
+                    gpusim::DeviceBuffer* scratch, gpusim::DeviceBuffer* hist,
+                    uint32_t n);
 
-// Device bytes GpuRadixSort needs for n entries (entries + scratch +
-// histograms); the caller reserves this before dispatching (section 2.1.1).
+// Bytes of the per-block histogram buffer GpuRadixSort needs for n entries.
+uint64_t GpuSortHistBytes(uint32_t n);
+
+// Device bytes the full GPU sort of one job needs for n entries: the two
+// ping-pong entry buffers, the histogram buffer and the n boundary-flag
+// bytes used by FindDuplicateRanges. The caller reserves this before
+// dispatching (section 2.1.1); every buffer is then allocated out of the
+// reservation, so the reservation matches the simulator's allocations
+// byte for byte.
 uint64_t GpuSortBytesNeeded(uint32_t n);
 
 // Identifies duplicate ranges in the sorted entry array ("the GPU
-// identifies [duplicate ranges] for us"): a device kernel flags positions
-// whose key equals their predecessor's; the host folds the flags into
-// [begin, end) ranges of length > 1.
+// identifies [duplicate ranges] for us"). One launch, two barrier-
+// delimited phases: phase 0 flags positions whose key equals their
+// predecessor's into `flags` (a device buffer of >= n bytes); phase 1
+// folds each block's chunk of flags into closed [begin, end) ranges plus
+// the chunk's first/last run boundary, so the host only stitches the
+// O(num_blocks) cross-chunk runs instead of rescanning all n flags.
 Result<std::vector<std::pair<uint32_t, uint32_t>>> FindDuplicateRanges(
     gpusim::SimDevice* device, const gpusim::DeviceBuffer& entries,
-    uint32_t n);
+    gpusim::DeviceBuffer* flags, uint32_t n);
 
 }  // namespace blusim::sort
 

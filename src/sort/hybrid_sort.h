@@ -11,6 +11,7 @@
 #include "gpusim/sim_device.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/thread_pool.h"
 #include "sched/gpu_scheduler.h"
 #include "sort/key_encoder.h"
 
@@ -29,15 +30,25 @@ struct HybridSortOptions {
   // Jobs below this size stay on the CPU: transfer + launch overhead would
   // overshadow the device's advantage (paper section 3).
   uint32_t min_gpu_rows = 1u << 16;
-  // CPU worker threads draining the job queue (the hybrid part: CPU and
-  // GPU jobs proceed concurrently).
+  // Worker "threads" draining the job queue (the hybrid part: CPU and GPU
+  // jobs proceed concurrently). Workers run on `pool` sub-agent threads,
+  // not per-sort raw threads.
   int num_workers = 2;
+  // Sub-agent pool supplying the extra workers and the parallel partial-
+  // key generation ("the host will generate (in parallel) a set of partial
+  // keys"). nullptr = the process-wide default pool.
+  runtime::ThreadPool* pool = nullptr;
   // Optional query trace: each worker drops per-job spans (cpu sort /
-  // transfer / radix kernel) on its own track (1 + worker index).
+  // keygen / transfer / radix kernel) on its own track; staging work that
+  // overlaps a radix kernel lands on the worker's second track.
   obs::TraceBuilder* trace = nullptr;
   // Optional registry for the job-queue counters (cpu- vs gpu-drained
   // jobs, capacity fallbacks).
   obs::MetricsRegistry* metrics = nullptr;
+  // Test-only: worker processing the Nth job (0-based, across all workers)
+  // records an injected Internal error instead, exercising the early-abort
+  // path. -1 = disabled.
+  int inject_error_at_job = -1;
 };
 
 struct HybridSortStats {
@@ -45,12 +56,22 @@ struct HybridSortStats {
   uint64_t jobs_gpu = 0;
   uint64_t jobs_cpu = 0;
   uint64_t gpu_fallbacks = 0;  // GPU-eligible jobs that ran on CPU (no mem)
+  // Jobs dropped by the early-abort path after the first hard error.
+  uint64_t jobs_skipped = 0;
+  // Staging-reuse counters: jobs served from a worker's cached pinned
+  // staging buffer / cached device reservation instead of fresh
+  // PinnedHostPool::Alloc + Reserve calls.
+  uint64_t staging_reuses = 0;
+  uint64_t reservation_reuses = 0;
   int max_level = 0;
   // Simulated time (accumulated across workers; serial-equivalent cost).
   SimTime cpu_sort_time = 0;
   SimTime keygen_time = 0;
   SimTime gpu_transfer_time = 0;
   SimTime gpu_kernel_time = 0;
+  // Staging time (keygen + transfer-in of job k+1) hidden under the radix
+  // kernel of job k by the double-buffered workers.
+  SimTime overlapped_stage_time = 0;
 };
 
 // Merge-free hybrid CPU/GPU sort (paper section 3).
@@ -59,9 +80,15 @@ struct HybridSortStats {
 // encoded key, and sorting permutes a (partial key, payload) buffer. The
 // job queue starts with one job for the whole data set; big jobs go to the
 // GPU radix sort (4-byte partial keys), whose duplicate ranges re-enter
-// the queue one level deeper; small jobs are finished in place by the CPU
-// with full-key comparisons. Duplicate ranges are disjoint, so no merge
-// step is ever needed ("conflict free partitions").
+// the queue one level deeper; small jobs are finished in place by a CPU
+// MSD radix sort over the same partial keys (cpu_radix.h). Duplicate
+// ranges are disjoint, so no merge step is ever needed ("conflict free
+// partitions").
+//
+// GPU workers double-buffer: while job k's radix kernel runs, the worker
+// prefetches job k+1 from the queue and stages it (parallel key
+// generation + pinned transfer-in) into its second staging slot, so hot
+// queues hide most staging time behind kernel time.
 //
 // Returns the sorted permutation: output[i] = input row id of rank i.
 // Ties on the full encoded key break by ascending row id (deterministic).

@@ -7,6 +7,10 @@ namespace blusim::sort {
 void SortJobQueue::Push(SortJob job) {
   {
     common::MutexLock lock(&mu_);
+    if (cancelled_) {
+      ++skipped_;
+      return;
+    }
     queue_.push_back(job);
     ++pushed_;
   }
@@ -16,8 +20,17 @@ void SortJobQueue::Push(SortJob job) {
 std::optional<SortJob> SortJobQueue::Pop() {
   common::MutexLock lock(&mu_);
   // Explicit wait loop so the guarded reads are visible to the analysis.
-  while (queue_.empty() && in_flight_ != 0) cv_.wait(lock);
-  if (queue_.empty()) return std::nullopt;  // complete: nothing queued/running
+  while (!cancelled_ && queue_.empty() && in_flight_ != 0) cv_.wait(lock);
+  if (cancelled_ || queue_.empty()) return std::nullopt;
+  SortJob job = queue_.front();
+  queue_.pop_front();
+  ++in_flight_;
+  return job;
+}
+
+std::optional<SortJob> SortJobQueue::TryPop() {
+  common::MutexLock lock(&mu_);
+  if (cancelled_ || queue_.empty()) return std::nullopt;
   SortJob job = queue_.front();
   queue_.pop_front();
   ++in_flight_;
@@ -35,9 +48,30 @@ void SortJobQueue::TaskDone() {
   if (complete) cv_.notify_all();
 }
 
+void SortJobQueue::Cancel() {
+  {
+    common::MutexLock lock(&mu_);
+    if (cancelled_) return;
+    cancelled_ = true;
+    skipped_ += queue_.size();
+    queue_.clear();
+  }
+  cv_.notify_all();
+}
+
+bool SortJobQueue::cancelled() const {
+  common::MutexLock lock(&mu_);
+  return cancelled_;
+}
+
 uint64_t SortJobQueue::jobs_pushed() const {
   common::MutexLock lock(&mu_);
   return pushed_;
+}
+
+uint64_t SortJobQueue::jobs_skipped() const {
+  common::MutexLock lock(&mu_);
+  return skipped_;
 }
 
 }  // namespace blusim::sort

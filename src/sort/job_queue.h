@@ -24,26 +24,44 @@ struct SortJob {
 
 // Thread-safe job queue with completion detection: the sort is finished
 // when the queue is empty AND no popped job is still being processed.
-// Workers must call TaskDone() exactly once per successful Pop().
+// Workers must call TaskDone() exactly once per successful Pop()/TryPop().
+//
+// Cancel() aborts the run early: queued jobs are dropped (counted as
+// skipped), later pushes are discarded, and every blocked or future Pop()
+// returns nullopt so workers drain immediately after the first hard error.
 class SortJobQueue {
  public:
   void Push(SortJob job) EXCLUDES(mu_);
 
-  // Blocks until a job is available or the sort is complete.
+  // Blocks until a job is available or the sort is complete/cancelled.
   // Returns nullopt when all jobs are done (workers should exit).
   std::optional<SortJob> Pop() EXCLUDES(mu_);
+
+  // Non-blocking Pop: returns a job only if one is immediately available.
+  // Used by the GPU workers to prefetch-stage job k+1 while job k's kernel
+  // runs; blocking here could deadlock (job k's children are not pushed
+  // until after the prefetch point).
+  std::optional<SortJob> TryPop() EXCLUDES(mu_);
 
   // Marks one popped job finished (call after pushing any child jobs).
   void TaskDone() EXCLUDES(mu_);
 
+  // Drops all queued jobs and makes every subsequent Pop return nullopt.
+  void Cancel() EXCLUDES(mu_);
+  bool cancelled() const EXCLUDES(mu_);
+
   uint64_t jobs_pushed() const EXCLUDES(mu_);
+  // Jobs dropped by Cancel() plus jobs pushed after cancellation.
+  uint64_t jobs_skipped() const EXCLUDES(mu_);
 
  private:
   mutable common::Mutex mu_;
   std::condition_variable_any cv_;
   std::deque<SortJob> queue_ GUARDED_BY(mu_);
   int in_flight_ GUARDED_BY(mu_) = 0;
+  bool cancelled_ GUARDED_BY(mu_) = false;
   uint64_t pushed_ GUARDED_BY(mu_) = 0;
+  uint64_t skipped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace blusim::sort

@@ -30,12 +30,14 @@ class GpuSortTest : public ::testing::Test {
         device_.memory().Alloc(reservation.value(), n * sizeof(PkEntry));
     auto scratch =
         device_.memory().Alloc(reservation.value(), n * sizeof(PkEntry));
-    EXPECT_TRUE(entries.ok() && scratch.ok());
+    auto hist =
+        device_.memory().Alloc(reservation.value(), GpuSortHistBytes(n));
+    EXPECT_TRUE(entries.ok() && scratch.ok() && hist.ok());
     // data.data() is null for the empty-input edge case; memcpy requires
     // non-null pointers even for zero bytes.
     if (n != 0) std::memcpy(entries->data(), data.data(), n * sizeof(PkEntry));
     Status st = GpuRadixSort(&device_, &entries.value(), &scratch.value(),
-                             n);
+                             &hist.value(), n);
     EXPECT_TRUE(st.ok()) << st.ToString();
     if (n != 0) std::memcpy(data.data(), entries->data(), n * sizeof(PkEntry));
     return data;
@@ -115,8 +117,9 @@ TEST_F(GpuSortTest, FindDuplicateRanges) {
   auto reservation = device_.memory().Reserve(4096);
   auto buf = device_.memory().Alloc(reservation.value(),
                                     data.size() * sizeof(PkEntry));
+  auto flags = device_.memory().Alloc(reservation.value(), data.size());
   std::memcpy(buf->data(), data.data(), data.size() * sizeof(PkEntry));
-  auto ranges = FindDuplicateRanges(&device_, buf.value(),
+  auto ranges = FindDuplicateRanges(&device_, buf.value(), &flags.value(),
                                     static_cast<uint32_t>(data.size()));
   ASSERT_TRUE(ranges.ok());
   ASSERT_EQ(ranges->size(), 2u);
@@ -129,16 +132,34 @@ TEST_F(GpuSortTest, DuplicateRangeSpanningWholeInput) {
   auto reservation = device_.memory().Reserve(4096);
   auto buf = device_.memory().Alloc(reservation.value(),
                                     data.size() * sizeof(PkEntry));
+  auto flags = device_.memory().Alloc(reservation.value(), data.size());
   std::memcpy(buf->data(), data.data(), data.size() * sizeof(PkEntry));
-  auto ranges = FindDuplicateRanges(&device_, buf.value(), 100);
+  auto ranges = FindDuplicateRanges(&device_, buf.value(), &flags.value(), 100);
   ASSERT_TRUE(ranges.ok());
   ASSERT_EQ(ranges->size(), 1u);
   EXPECT_EQ((*ranges)[0], std::make_pair(0u, 100u));
 }
 
 TEST_F(GpuSortTest, BytesNeededCoversBuffers) {
-  // The reservation must cover both ping-pong buffers.
-  EXPECT_GE(GpuSortBytesNeeded(1000), 2 * 1000 * sizeof(PkEntry));
+  // The reservation must cover everything a sort job actually allocates:
+  // both ping-pong buffers, the histogram buffer and the duplicate flags.
+  EXPECT_EQ(GpuSortBytesNeeded(1000),
+            2 * 1000 * sizeof(PkEntry) + GpuSortHistBytes(1000) + 1000);
+}
+
+TEST_F(GpuSortTest, RejectsUndersizedBuffers) {
+  auto reservation = device_.memory().Reserve(GpuSortBytesNeeded(1024));
+  auto entries = device_.memory().Alloc(reservation.value(),
+                                        1024 * sizeof(PkEntry));
+  auto scratch = device_.memory().Alloc(reservation.value(),
+                                        1024 * sizeof(PkEntry));
+  auto small = device_.memory().Alloc(reservation.value(), 16);
+  Status st = GpuRadixSort(&device_, &entries.value(), &scratch.value(),
+                           &small.value(), 1024);
+  EXPECT_FALSE(st.ok());
+  auto ranges =
+      FindDuplicateRanges(&device_, entries.value(), &small.value(), 1024);
+  EXPECT_FALSE(ranges.ok());
 }
 
 // --- job queue ---
@@ -188,6 +209,43 @@ TEST(SortJobQueueTest, ConcurrentWorkersDrainRecursiveJobs) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(processed.load(), queue.jobs_pushed());
   EXPECT_GT(processed.load(), 100u);
+}
+
+TEST(SortJobQueueTest, TryPopNeverBlocks) {
+  SortJobQueue queue;
+  EXPECT_FALSE(queue.TryPop().has_value());  // empty: no wait
+  queue.Push(SortJob{0, 100, 0});
+  auto job = queue.TryPop();
+  ASSERT_TRUE(job.has_value());
+  // The popped job counts as in flight even while the queue is empty.
+  queue.Push(SortJob{0, 10, 1});
+  queue.TaskDone();
+  auto child = queue.Pop();
+  ASSERT_TRUE(child.has_value());
+  queue.TaskDone();
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(SortJobQueueTest, CancelDropsQueuedJobsAndWakesWorkers) {
+  SortJobQueue queue;
+  queue.Push(SortJob{0, 100, 0});
+  auto job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  queue.Push(SortJob{0, 50, 1});
+  queue.Push(SortJob{50, 100, 1});
+  // A blocked worker must wake up and see the cancellation.
+  std::thread blocked([&]() {
+    queue.TaskDone();  // drains in-flight after Cancel clears the queue
+  });
+  queue.Cancel();
+  blocked.join();
+  EXPECT_TRUE(queue.cancelled());
+  EXPECT_EQ(queue.jobs_skipped(), 2u);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.TryPop().has_value());
+  // Pushes after cancellation are dropped and counted.
+  queue.Push(SortJob{0, 10, 2});
+  EXPECT_EQ(queue.jobs_skipped(), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,189 @@
+// Differential tests of the hybrid sort against std::stable_sort on
+// adversarial inputs (all-duplicate tables, multi-level keys that exhaust
+// the partial-key levels, single-row duplicate jobs), plus the early-abort
+// regression test. Runs with multiple workers under the `concurrency`
+// label, so TSan sweeps the double-buffered staging path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "common/rng.h"
+#include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
+#include "sort/hybrid_sort.h"
+#include "sort/sds.h"
+
+namespace blusim::sort {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+
+// Reference ordering: stable sort by the full encoded key only. Equal keys
+// keep input (= ascending row id) order, which must match the hybrid
+// sort's row-id tie-break exactly.
+std::vector<uint32_t> ReferencePerm(const Table& t,
+                                    const std::vector<SortKey>& keys) {
+  auto sds = SortDataStore::Make(t, keys);
+  EXPECT_TRUE(sds.ok());
+  std::vector<uint32_t> ref(t.num_rows());
+  std::iota(ref.begin(), ref.end(), 0);
+  std::stable_sort(ref.begin(), ref.end(), [&](uint32_t a, uint32_t b) {
+    return !sds->RowEqual(a, b) && sds->RowLess(a, b);
+  });
+  return ref;
+}
+
+struct GpuHarness {
+  gpusim::DeviceSpec spec;
+  gpusim::HostSpec host;
+  gpusim::SimDevice device{0, spec, host, 2};
+  gpusim::PinnedHostPool pinned{64ULL << 20};
+
+  HybridSortOptions Options(uint32_t min_gpu_rows, int workers) {
+    HybridSortOptions options;
+    options.device = &device;
+    options.pinned_pool = &pinned;
+    options.min_gpu_rows = min_gpu_rows;
+    options.num_workers = workers;
+    return options;
+  }
+};
+
+TEST(SortDifferentialTest, AllRowsDuplicateTieBreaksByRowId) {
+  // Every key equal: the sort is nothing but duplicate ranges re-entering
+  // the queue until the levels are exhausted, then a pure row-id sort.
+  Schema schema;
+  schema.AddField({"k", DataType::kInt64, false});
+  Table t(schema);
+  const uint64_t rows = 150000;
+  for (uint64_t i = 0; i < rows; ++i) t.column(0).AppendInt64(42);
+  const std::vector<SortKey> keys = {{0, true}};
+
+  GpuHarness gpu;
+  HybridSortStats stats;
+  auto perm =
+      HybridSorter::Sort(t, keys, gpu.Options(/*min_gpu_rows=*/4096, 3),
+                         &stats);
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+  EXPECT_EQ(*perm, ReferencePerm(t, keys));
+  EXPECT_GT(stats.jobs_gpu, 0u);
+  EXPECT_GT(stats.max_level, 0);
+}
+
+TEST(SortDifferentialTest, DeepKeysExhaustPartialKeyLevels) {
+  // Long shared string prefixes force the recursion through many 4-byte
+  // partial-key levels; rows whose keys only differ at the tail (or not at
+  // all) must still land in reference order.
+  Schema schema;
+  schema.AddField({"s", DataType::kString, false});
+  schema.AddField({"k", DataType::kInt64, false});
+  Table t(schema);
+  Rng rng(7);
+  const uint64_t rows = 80000;
+  for (uint64_t i = 0; i < rows; ++i) {
+    std::string s = "shared-prefix-that-spans-levels-";
+    s += static_cast<char>('a' + rng.Below(3));
+    if (rng.Below(2) == 0) s += static_cast<char>('a' + rng.Below(2));
+    t.column(0).AppendString(s);
+    t.column(1).AppendInt64(static_cast<int64_t>(rng.Below(4)));
+  }
+  const std::vector<SortKey> keys = {{0, true}, {1, false}};
+
+  GpuHarness gpu;
+  HybridSortStats stats;
+  auto perm =
+      HybridSorter::Sort(t, keys, gpu.Options(/*min_gpu_rows=*/8192, 2),
+                         &stats);
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+  EXPECT_EQ(*perm, ReferencePerm(t, keys));
+  // 32 prefix bytes alone are 8 levels deep.
+  EXPECT_GE(stats.max_level, 4);
+}
+
+TEST(SortDifferentialTest, SingleRowAndTinyDuplicateJobs) {
+  // Mostly-unique keys with scattered pairs: the duplicate ranges are tiny
+  // (1-3 rows), exercising the CPU small-job cutoff from every level.
+  Schema schema;
+  schema.AddField({"k", DataType::kInt64, false});
+  schema.AddField({"v", DataType::kFloat64, false});
+  Table t(schema);
+  Rng rng(13);
+  const uint64_t rows = 100000;
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.column(0).AppendInt64(static_cast<int64_t>(rng.Below(rows / 2)));
+    t.column(1).AppendDouble(static_cast<double>(rng.Below(3)));
+  }
+  const std::vector<SortKey> keys = {{0, false}, {1, true}};
+
+  GpuHarness gpu;
+  HybridSortStats stats;
+  auto perm =
+      HybridSorter::Sort(t, keys, gpu.Options(/*min_gpu_rows=*/16384, 3),
+                         &stats);
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+  EXPECT_EQ(*perm, ReferencePerm(t, keys));
+  // The tiny ranges are finished on the CPU -- either as queued CPU jobs
+  // or inline after a GPU job's duplicate scan; both account CPU sort time.
+  EXPECT_GT(stats.cpu_sort_time, 0u);
+}
+
+TEST(SortDifferentialTest, CpuOnlyRadixMatchesReference) {
+  // No device at all: the whole sort runs through the CPU MSD radix path.
+  Schema schema;
+  schema.AddField({"k", DataType::kInt64, false});
+  schema.AddField({"s", DataType::kString, false});
+  Table t(schema);
+  Rng rng(29);
+  const uint64_t rows = 120000;
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.column(0).AppendInt64(rng.Range(-500, 500));
+    t.column(1).AppendString(std::string(1 + rng.Below(4), 'x') +
+                             static_cast<char>('a' + rng.Below(6)));
+  }
+  const std::vector<SortKey> keys = {{0, true}, {1, true}};
+
+  HybridSortOptions options;  // CPU-only, parallel keygen via default pool
+  options.num_workers = 2;
+  HybridSortStats stats;
+  auto perm = HybridSorter::Sort(t, keys, options, &stats);
+  ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+  EXPECT_EQ(*perm, ReferencePerm(t, keys));
+  EXPECT_EQ(stats.jobs_gpu, 0u);
+}
+
+TEST(SortDifferentialTest, ErrorAbortsAndSkipsRemainingJobs) {
+  // A hard error on an early job must cancel the queue: the sort returns
+  // the error instead of draining the remaining duplicate ranges.
+  Schema schema;
+  schema.AddField({"k", DataType::kInt64, false});
+  schema.AddField({"v", DataType::kInt64, false});
+  Table t(schema);
+  Rng rng(31);
+  const uint64_t rows = 200000;
+  for (uint64_t i = 0; i < rows; ++i) {
+    // A handful of huge duplicate groups: the root job fans out into many
+    // queued children, so there is work left to skip.
+    t.column(0).AppendInt64(static_cast<int64_t>(rng.Below(4)));
+    t.column(1).AppendInt64(static_cast<int64_t>(rng.Below(8)));
+  }
+  const std::vector<SortKey> keys = {{0, true}, {1, true}};
+
+  GpuHarness gpu;
+  HybridSortOptions options = gpu.Options(/*min_gpu_rows=*/4096, 2);
+  options.inject_error_at_job = 2;
+  HybridSortStats stats;
+  auto perm = HybridSorter::Sort(t, keys, options, &stats);
+  ASSERT_FALSE(perm.ok());
+  EXPECT_NE(perm.status().ToString().find("injected"), std::string::npos)
+      << perm.status().ToString();
+  EXPECT_GE(stats.jobs_skipped, 1u);
+}
+
+}  // namespace
+}  // namespace blusim::sort
