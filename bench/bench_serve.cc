@@ -1,0 +1,170 @@
+// Concurrent serving throughput: closed-loop client streams submitting the
+// figure-8 mixed pool through the QueryService (bounded admission, fair-
+// share budgets, deadline-bounded GPU placement with CPU degradation).
+// Sweeps the stream count past the service's concurrency limit; the
+// oversubscribed points are where admission waits, shedding and
+// degradation appear.
+//
+// Emits BENCH_serve.json with throughput vs. stream count. Env knobs:
+// BLUSIM_SERVE_REPS (default 1), BLUSIM_SERVE_MAX_CONCURRENT (default 3),
+// BLUSIM_SERVE_QUEUE (default 16), plus bench_common's BLUSIM_SCALE_ROWS.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/report.h"
+#include "harness/serve_driver.h"
+#include "serve/query_service.h"
+
+using namespace blusim;
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::vector<workload::WorkloadQuery> MakePool(const workload::Database& db) {
+  auto bdi = workload::MakeBdiQueries(db);
+  auto rolap_all = workload::MakeRolapQueries(db);
+  auto heavy = workload::MakeHandwrittenHeavyQueries(db);
+  std::vector<workload::WorkloadQuery> pool;
+  const char* kModerate[6] = {"ROLAP-Q15", "ROLAP-Q21", "ROLAP-Q27",
+                              "ROLAP-Q29", "ROLAP-Q31", "ROLAP-Q33"};
+  for (const auto& q : rolap_all) {
+    for (const char* m : kModerate) {
+      if (q.spec.name == m) pool.push_back(q);
+    }
+  }
+  pool.push_back(bdi[0]);  // BDI-S1 (non-GPU)
+  pool.insert(pool.end(), heavy.begin(), heavy.end());
+  return pool;
+}
+
+struct SweepPoint {
+  int streams = 0;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t degraded = 0;
+  int64_t wall_us = 0;
+  double queries_per_sec = 0;
+  double mean_sim_elapsed_ms = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchSetup setup = bench::MakeSetup();
+  harness::PrintExperimentHeader(
+      "Serving", "Concurrent streams through admission control");
+
+  const int reps = static_cast<int>(EnvU64("BLUSIM_SERVE_REPS", 1));
+  const int max_concurrent =
+      static_cast<int>(EnvU64("BLUSIM_SERVE_MAX_CONCURRENT", 3));
+  const size_t queue_depth =
+      static_cast<size_t>(EnvU64("BLUSIM_SERVE_QUEUE", 16));
+
+  const auto& db = bench::GetDatabase(setup);
+  const auto pool = MakePool(db);
+
+  const int kStreams[] = {1, 2, 4, 7};
+  std::vector<SweepPoint> points;
+  uint64_t device_budget = 0;
+  SimTime gpu_deadline = 0;
+  for (int streams : kStreams) {
+    // Fresh engine per point so metrics and device state do not leak
+    // across sweep settings.
+    auto engine = bench::MakeBenchEngine(setup, true);
+    serve::ServiceOptions sopts;
+    sopts.max_concurrent = max_concurrent;
+    sopts.max_queue_depth = queue_depth;
+    serve::QueryService service(engine.get(), sopts);
+    device_budget = service.device_budget_bytes();
+    gpu_deadline = service.gpu_deadline();
+
+    harness::ServedRunOptions ropts;
+    ropts.streams = streams;
+    ropts.reps = reps;
+    auto run = harness::RunServedStreams(&service, pool, ropts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "serve run (%d streams) failed: %s\n", streams,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+
+    SweepPoint p;
+    p.streams = streams;
+    p.submitted = run->submitted;
+    p.completed = run->results.size();
+    p.shed = run->shed;
+    p.degraded = run->degraded;
+    p.wall_us = run->wall_us;
+    p.queries_per_sec =
+        run->wall_us > 0
+            ? static_cast<double>(p.completed) * 1e6 /
+                  static_cast<double>(run->wall_us)
+            : 0;
+    SimTime sim_total = 0;
+    for (const auto& r : run->results) sim_total += r.elapsed;
+    p.mean_sim_elapsed_ms =
+        p.completed > 0
+            ? static_cast<double>(sim_total) / 1000.0 /
+                  static_cast<double>(p.completed)
+            : 0;
+    points.push_back(p);
+  }
+
+  harness::ReportTable table({"Streams", "Completed", "Shed", "Degraded",
+                              "Wall q/s", "Mean sim (ms)"});
+  for (const SweepPoint& p : points) {
+    table.AddRow({std::to_string(p.streams), std::to_string(p.completed),
+                  std::to_string(p.shed), std::to_string(p.degraded),
+                  harness::FormatDouble(p.queries_per_sec),
+                  harness::FormatDouble(p.mean_sim_elapsed_ms)});
+  }
+  table.Print();
+  std::printf(
+      "\nEvery admitted query completes: GPU placements that miss their\n"
+      "deadline (%lld us) or budget (%llu bytes) degrade to the CPU path.\n",
+      static_cast<long long>(gpu_deadline),
+      static_cast<unsigned long long>(device_budget));
+
+  FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serve\",\n"
+               "  \"max_concurrent\": %d,\n  \"queue_depth\": %zu,\n"
+               "  \"reps\": %d,\n"
+               "  \"device_budget_bytes\": %llu,\n"
+               "  \"gpu_deadline_us\": %lld,\n  \"runs\": [\n",
+               max_concurrent, queue_depth, reps,
+               static_cast<unsigned long long>(device_budget),
+               static_cast<long long>(gpu_deadline));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"streams\": %d, \"submitted\": %llu, \"completed\": %llu,\n"
+        "     \"shed\": %llu, \"degraded\": %llu, \"wall_us\": %lld,\n"
+        "     \"queries_per_sec\": %.2f, \"mean_sim_elapsed_ms\": %.2f}%s\n",
+        p.streams, static_cast<unsigned long long>(p.submitted),
+        static_cast<unsigned long long>(p.completed),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.degraded),
+        static_cast<long long>(p.wall_us), p.queries_per_sec,
+        p.mean_sim_elapsed_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}

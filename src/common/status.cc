@@ -16,6 +16,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kEstimateTooLow: return "EstimateTooLow";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kNotSupported,
   kCancelled,            // kernel raced and lost (section 4.2)
   kEstimateTooLow,       // KMV group estimate below true group count
+  kOverloaded,           // admission queue full; the query was shed
 };
 
 // Lightweight error-propagation type (no C++ exceptions cross API
@@ -68,6 +69,9 @@ class Status {
   }
   static Status EstimateTooLow(std::string msg) {
     return Status(StatusCode::kEstimateTooLow, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,19 @@
+#include "common/task_tag.h"
+
+namespace blusim::common {
+
+namespace {
+thread_local uint64_t tls_task_tag = 0;
+}  // namespace
+
+uint64_t CurrentTaskTag() { return tls_task_tag; }
+
+void SetCurrentTaskTag(uint64_t tag) { tls_task_tag = tag; }
+
+ScopedTaskTag::ScopedTaskTag(uint64_t tag) : previous_(tls_task_tag) {
+  tls_task_tag = tag;
+}
+
+ScopedTaskTag::~ScopedTaskTag() { tls_task_tag = previous_; }
+
+}  // namespace blusim::common

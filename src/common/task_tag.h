@@ -1,0 +1,36 @@
+#ifndef BLUSIM_COMMON_TASK_TAG_H_
+#define BLUSIM_COMMON_TASK_TAG_H_
+
+#include <cstdint>
+
+namespace blusim::common {
+
+// Ambient per-thread task tag: the id of the query the current thread is
+// working for (0 = none). The engine's per-query scopes set it on the
+// calling thread; ThreadPool::Submit captures the submitter's tag and
+// restores it around each task, so work fanned out to pool workers --
+// hybrid-sort jobs, key-generation morsels -- still attributes its device
+// and pinned allocations to the owning query (the device checker reads
+// this through DeviceChecker::CurrentQuery).
+uint64_t CurrentTaskTag();
+
+// Sets the calling thread's tag directly. Prefer ScopedTaskTag; this
+// exists for the propagation plumbing itself.
+void SetCurrentTaskTag(uint64_t tag);
+
+// RAII tag override for the current thread; restores the previous tag on
+// destruction.
+class ScopedTaskTag {
+ public:
+  explicit ScopedTaskTag(uint64_t tag);
+  ~ScopedTaskTag();
+  ScopedTaskTag(const ScopedTaskTag&) = delete;
+  ScopedTaskTag& operator=(const ScopedTaskTag&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+}  // namespace blusim::common
+
+#endif  // BLUSIM_COMMON_TASK_TAG_H_

@@ -121,6 +121,7 @@ Engine::Engine(EngineConfig config)
     device->memory().AttachChecker(checker_.get());
   }
   pinned_.AttachChecker(checker_.get());
+  moderator_.AttachMetrics(&metrics_);
 }
 
 Engine::~Engine() {
@@ -191,8 +192,8 @@ uint64_t Engine::EstimateGroups(const GroupByPlan& plan,
 
 Result<Engine::GroupByOutcome> Engine::RunGroupBy(
     const QuerySpec& query, const Table& fact,
-    const std::vector<uint32_t>& selection, QueryProfile* profile,
-    obs::TraceBuilder* trace) {
+    const std::vector<uint32_t>& selection, const ExecOptions& opts,
+    QueryProfile* profile, obs::TraceBuilder* trace) {
   BLUSIM_ASSIGN_OR_RETURN(GroupByPlan plan,
                           GroupByPlan::Make(fact, *query.groupby));
 
@@ -272,8 +273,27 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
     const uint64_t bytes_needed =
         groupby::GpuGroupBy::DeviceBytesNeeded(plan, estimates.rows,
                                                capacity);
+    // Per-query budgets (serving layer): a reservation beyond this query's
+    // granted share of device or pinned memory degrades to the CPU chain
+    // up front instead of competing for memory it was not allotted.
+    const bool over_budget =
+        (opts.device_budget_bytes > 0 &&
+         bytes_needed > opts.device_budget_bytes) ||
+        (opts.pinned_budget_bytes > 0 &&
+         bytes_needed > opts.pinned_budget_bytes);
+    if (over_budget) {
+      metrics_
+          .GetCounter("blusim_router_budget_capped_total", {},
+                      "GPU placements re-routed to the CPU by per-query "
+                      "memory budgets")
+          ->Add(1);
+    }
     SimTime waited = 0;
-    auto device = scheduler_.PickDeviceWithWait(bytes_needed, &waited);
+    auto device = over_budget
+                      ? Result<gpusim::SimDevice*>(Status::CapacityExceeded(
+                            "reservation exceeds the per-query budget"))
+                      : scheduler_.PickDeviceWithWait(bytes_needed, &waited,
+                                                      opts.wait);
     if (waited > 0) {
       // A blocked agent holds its thread while polling for device memory,
       // so the wait is charged as a dop-1 phase (and shows up as a wait
@@ -344,9 +364,11 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
       }
       // Recoverable device failure: fall through to the CPU chain.
     }
+    // GPU-routed but not executed on the device: graceful degradation.
     profile->groupby_path = ExecutionPath::kCpu;
+    profile->degraded = true;
     outcome.path = ExecutionPath::kCpu;
-    trace->Annotate("groupby_fallback", "cpu");
+    trace->Annotate("groupby_fallback", over_budget ? "budget" : "cpu");
     metrics_
         .GetCounter("blusim_router_groupby_fallbacks_total", {},
                     "GPU-routed group-bys that fell back to the CPU chain")
@@ -372,7 +394,8 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
   return outcome;
 }
 
-Result<QueryResult> Engine::Execute(const QuerySpec& query) {
+Result<QueryResult> Engine::Execute(const QuerySpec& query,
+                                    const ExecOptions& opts) {
   BLUSIM_ASSIGN_OR_RETURN(std::shared_ptr<Table> fact,
                           GetTable(query.fact_table));
   QueryProfile profile;
@@ -383,6 +406,17 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
   gpusim::DeviceChecker::ScopedQuery check_scope(
       checker_.get(), next_query_id_.fetch_add(1, std::memory_order_relaxed),
       query.name);
+
+  if (opts.admission_wait > 0) {
+    // Time spent queued before admission; charged dop-1 so the trace and
+    // profile show end-to-end latency, not just post-admission work.
+    PhaseRecord adm;
+    adm.kind = PhaseRecord::Kind::kCpu;
+    adm.label = "admission-wait";
+    adm.cpu_work = opts.admission_wait;
+    adm.dop = 1;
+    RecordPhase(std::move(adm), obs::kCatWait, &profile, &trace);
+  }
 
   // --- Scan + filter the fact table ---
   BLUSIM_ASSIGN_OR_RETURN(
@@ -436,7 +470,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
   if (query.groupby.has_value()) {
     BLUSIM_ASSIGN_OR_RETURN(
         GroupByOutcome outcome,
-        RunGroupBy(query, *fact, selection, &profile, &trace));
+        RunGroupBy(query, *fact, selection, opts, &profile, &trace));
     profile.gpu_used = profile.gpu_used || outcome.gpu_used;
     result = outcome.table;
   }
@@ -466,8 +500,30 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
       BLUSIM_ASSIGN_OR_RETURN(
           std::shared_ptr<Table> base,
           MaterializeRows(*fact, selection, query.projection));
-      const ExecutionPath path = ChooseSortPath(
-          base->num_rows(), config_.thresholds, !devices_.empty());
+      const uint64_t sort_bytes = sort::GpuSortBytesNeeded(
+          static_cast<uint32_t>(base->num_rows()));
+      // T3-aware sort routing: inputs that could never reserve device
+      // memory (too many rows, or a footprint beyond every device) stay on
+      // the CPU instead of failing at reservation time.
+      ExecutionPath path = ChooseSortPath(
+          base->num_rows(), sort_bytes, config_.thresholds,
+          !devices_.empty(),
+          devices_.empty() ? 0 : config_.device_spec.device_memory_bytes);
+      if (path == ExecutionPath::kGpu &&
+          ((opts.device_budget_bytes > 0 &&
+            sort_bytes > opts.device_budget_bytes) ||
+           (opts.pinned_budget_bytes > 0 &&
+            sort_bytes > opts.pinned_budget_bytes))) {
+        // Per-query budget cap (serving layer): degrade to the CPU sort.
+        path = ExecutionPath::kCpu;
+        profile.degraded = true;
+        trace.Annotate("sort_fallback", "budget");
+        metrics_
+            .GetCounter("blusim_router_budget_capped_total", {},
+                        "GPU placements re-routed to the CPU by per-query "
+                        "memory budgets")
+            ->Add(1);
+      }
       profile.sort_path = path;
       trace.Annotate("sort_path", ExecutionPathName(path));
       sort::HybridSortOptions options;
@@ -480,13 +536,15 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
       if (path == ExecutionPath::kGpu) {
         // Job-level placement: the hybrid sorter asks the scheduler for a
         // device per job, so concurrent jobs spread across both GPUs.
-        if (scheduler_.PickDevice(sort::GpuSortBytesNeeded(
-                static_cast<uint32_t>(base->num_rows()))).ok()) {
+        if (scheduler_.PickDevice(sort_bytes).ok()) {
           options.scheduler = &scheduler_;
           options.pinned_pool = &pinned_;
           gpu_possible = true;
         } else {
+          // GPU-routed but the devices are full right now: degrade.
           profile.sort_path = ExecutionPath::kCpu;
+          profile.degraded = true;
+          trace.Annotate("sort_fallback", "cpu");
         }
       }
       sort::HybridSortStats stats;
@@ -546,6 +604,14 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query) {
                   {{"gpu", profile.gpu_used ? "true" : "false"}},
                   "Queries executed, by whether any phase used a device")
       ->Add(1);
+  if (profile.degraded) {
+    metrics_
+        .GetCounter("blusim_queries_degraded_total", {},
+                    "Queries that re-routed a GPU-routed phase to the CPU "
+                    "after routing (budget, denial, or device failure)")
+        ->Add(1);
+    trace.Annotate("degraded", "true");
+  }
   metrics_
       .GetHistogram("blusim_query_elapsed_us", {},
                     "Serial elapsed time per query (simulated microseconds)")

@@ -66,6 +66,23 @@ struct QueryResult {
   QueryProfile profile;
 };
 
+// Per-execution controls supplied by the serving layer (serve/QueryService).
+// Defaults reproduce the unconstrained single-query behavior.
+struct ExecOptions {
+  // Per-query device-memory budget (0 = unlimited): a GPU placement whose
+  // up-front reservation estimate exceeds the budget re-routes to the CPU
+  // chain instead of competing for device memory it was not granted. The
+  // same estimate gates the pinned staging budget -- staging buffers are
+  // bounded by the device footprint they feed.
+  uint64_t device_budget_bytes = 0;
+  uint64_t pinned_budget_bytes = 0;
+  // Reservation wait policy for GPU placements: deadline, backoff, jitter.
+  sched::WaitOptions wait;
+  // Simulated time this query spent queued for admission before Execute;
+  // recorded as a wait phase so traces show end-to-end latency.
+  SimTime admission_wait = 0;
+};
+
 // Materializes the given rows (in order) of `table` into a new table,
 // keeping only `projection` columns (empty = all).
 Result<std::shared_ptr<columnar::Table>> MaterializeRows(
@@ -112,8 +129,11 @@ class Engine {
       const std::string& name) const;
 
   // Executes a query; the profile records every resource phase and which
-  // paths (CPU/GPU) the group-by and sort took.
-  Result<QueryResult> Execute(const QuerySpec& query);
+  // paths (CPU/GPU) the group-by and sort took. Re-entrant: concurrent
+  // calls share the scheduler, pinned pool and worker pool, and `opts`
+  // carries the caller's per-query budgets and wait policy.
+  Result<QueryResult> Execute(const QuerySpec& query,
+                              const ExecOptions& opts = ExecOptions());
 
  private:
   struct GroupByOutcome {
@@ -130,6 +150,7 @@ class Engine {
   Result<GroupByOutcome> RunGroupBy(const QuerySpec& query,
                                     const columnar::Table& fact,
                                     const std::vector<uint32_t>& selection,
+                                    const ExecOptions& opts,
                                     QueryProfile* profile,
                                     obs::TraceBuilder* trace);
 

@@ -52,6 +52,11 @@ struct QueryProfile {
   ExecutionPath groupby_path = ExecutionPath::kCpu;
   ExecutionPath sort_path = ExecutionPath::kCpu;
   bool gpu_used = false;
+  // True when a GPU-routed phase re-routed to the CPU after the routing
+  // decision -- per-query budget cap, reservation denial or deadline, or a
+  // recoverable device failure. This is the serving layer's graceful-
+  // degradation outcome: the query still completes, just slower.
+  bool degraded = false;
   uint64_t result_rows = 0;
 
   // Serial elapsed time (microseconds) on an idle system; `factors[dop]`

@@ -30,9 +30,17 @@ ExecutionPath ChooseGroupByPath(const OptimizerEstimates& estimates,
   return ExecutionPath::kGpu;
 }
 
-ExecutionPath ChooseSortPath(uint64_t rows, const RouterThresholds& thresholds,
-                             bool gpu_available) {
+ExecutionPath ChooseSortPath(uint64_t rows, uint64_t sort_bytes_needed,
+                             const RouterThresholds& thresholds,
+                             bool gpu_available, uint64_t device_memory_bytes) {
   if (!gpu_available || rows < thresholds.t1_min_rows) {
+    return ExecutionPath::kCpu;
+  }
+  // Figure 3, right branch, applied to sorts: an input beyond T3 -- or one
+  // whose device footprint no device could ever hold -- would route to the
+  // GPU only to fail at reservation time. Keep it on the CPU sort path.
+  if (rows > thresholds.t3_max_rows ||
+      (device_memory_bytes > 0 && sort_bytes_needed > device_memory_bytes)) {
     return ExecutionPath::kCpu;
   }
   return ExecutionPath::kGpu;

@@ -41,9 +41,15 @@ ExecutionPath ChooseGroupByPath(const OptimizerEstimates& estimates,
                                 bool gpu_available);
 
 // Sort routing: the job-level decision is inside the hybrid sorter; this
-// gate only skips GPU dispatch entirely for small inputs.
-ExecutionPath ChooseSortPath(uint64_t rows, const RouterThresholds& thresholds,
-                             bool gpu_available);
+// gate skips GPU dispatch for small inputs (below T1) and for inputs that
+// could never reserve device memory anyway: rows above T3, or a sort whose
+// device footprint (`sort_bytes_needed`, see sort::GpuSortBytesNeeded)
+// exceeds `device_memory_bytes` -- the capacity of the largest device, 0
+// when unknown. Routing those to the CPU up front avoids burning the
+// reservation-wait budget on a placement that must fail.
+ExecutionPath ChooseSortPath(uint64_t rows, uint64_t sort_bytes_needed,
+                             const RouterThresholds& thresholds,
+                             bool gpu_available, uint64_t device_memory_bytes);
 
 }  // namespace blusim::core
 

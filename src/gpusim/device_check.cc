@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/task_tag.h"
 
 #if defined(__GLIBC__)
 #include <execinfo.h>
@@ -16,8 +17,6 @@ namespace blusim::gpusim {
 namespace {
 
 constexpr int kMaxFrames = 16;
-
-thread_local uint64_t tls_current_query = 0;
 
 std::vector<void*> CaptureBacktrace() {
 #if defined(BLUSIM_HAVE_BACKTRACE)
@@ -98,8 +97,11 @@ DeviceChecker::ScopedQuery::ScopedQuery(DeviceChecker* checker,
                                         uint64_t query_id,
                                         const std::string& query_name)
     : checker_(checker), query_id_(query_id),
-      previous_(tls_current_query) {
-  tls_current_query = query_id;
+      previous_(common::CurrentTaskTag()) {
+  // The ambient task tag doubles as allocation ownership: ThreadPool::Submit
+  // forwards it to pool workers, so hybrid-sort morsels that allocate on a
+  // shared worker thread still attribute to the owning query.
+  common::SetCurrentTaskTag(query_id);
   if (checker_ != nullptr && checker_->enabled()) {
     common::MutexLock lock(&checker_->mu_);
     checker_->query_names_[query_id] = query_name;
@@ -107,16 +109,16 @@ DeviceChecker::ScopedQuery::ScopedQuery(DeviceChecker* checker,
 }
 
 DeviceChecker::ScopedQuery::~ScopedQuery() {
-  tls_current_query = previous_;
+  common::SetCurrentTaskTag(previous_);
   if (checker_ != nullptr) checker_->EndQuery(query_id_);
 }
 
-uint64_t DeviceChecker::CurrentQuery() { return tls_current_query; }
+uint64_t DeviceChecker::CurrentQuery() { return common::CurrentTaskTag(); }
 
 uint64_t DeviceChecker::Register(AllocRecord record) {
   common::MutexLock lock(&mu_);
   record.id = next_id_++;
-  record.query_id = tls_current_query;
+  record.query_id = common::CurrentTaskTag();
   auto name = query_names_.find(record.query_id);
   if (name != query_names_.end()) record.query_name = name->second;
   const uint64_t id = record.id;
@@ -237,7 +239,7 @@ void DeviceChecker::OnAccessViolation(uint64_t id, uint64_t offset,
     AllocRecord unknown;
     unknown.id = id;
     unknown.user_bytes = user_bytes;
-    unknown.query_id = tls_current_query;
+    unknown.query_id = common::CurrentTaskTag();
     Report(unknown, DeviceIssueKind::kOutOfBounds, os.str());
   }
 }

@@ -35,6 +35,7 @@ GroupByKernelKind GpuModerator::ChooseKernel(const QueryMetadata& metadata,
     common::MutexLock lock(&mu_);
     auto it = feedback_.find(MakeSignature(metadata));
     if (it != feedback_.end() && it->second.observations > 0) {
+      it->second.last_used = ++use_tick_;
       return it->second.best_kernel;
     }
   }
@@ -80,17 +81,44 @@ std::vector<GroupByKernelKind> GpuModerator::CandidateKernels(
 void GpuModerator::RecordFeedback(const QueryMetadata& metadata,
                                   GroupByKernelKind kind, SimTime duration) {
   common::MutexLock lock(&mu_);
-  FeedbackCell& cell = feedback_[MakeSignature(metadata)];
+  const Signature sig = MakeSignature(metadata);
+  auto it = feedback_.find(sig);
+  if (it == feedback_.end()) {
+    // Inserting a new signature: hold the table at the cap by evicting the
+    // least-recently-used cell first. The table is small (<= the cap), so
+    // a linear scan beats maintaining a second index under the lock.
+    if (options_.max_feedback_entries > 0 &&
+        feedback_.size() >= options_.max_feedback_entries) {
+      auto lru = feedback_.begin();
+      for (auto cand = feedback_.begin(); cand != feedback_.end(); ++cand) {
+        if (cand->second.last_used < lru->second.last_used) lru = cand;
+      }
+      feedback_.erase(lru);
+    }
+    it = feedback_.emplace(sig, FeedbackCell{}).first;
+  }
+  FeedbackCell& cell = it->second;
   if (cell.observations == 0 || duration < cell.best_time) {
     cell.best_time = duration;
     cell.best_kernel = kind;
   }
   ++cell.observations;
+  cell.last_used = ++use_tick_;
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->Set(static_cast<int64_t>(feedback_.size()));
+  }
 }
 
 size_t GpuModerator::feedback_entries() const {
   common::MutexLock lock(&mu_);
   return feedback_.size();
+}
+
+void GpuModerator::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  entries_gauge_ = metrics->GetGauge(
+      "blusim_moderator_feedback_entries", {},
+      "Signatures resident in the moderator's feedback table");
 }
 
 }  // namespace blusim::groupby

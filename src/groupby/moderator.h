@@ -10,6 +10,7 @@
 #include "common/sim_clock.h"
 #include "gpusim/cost_model.h"
 #include "groupby/layout.h"
+#include "obs/metrics.h"
 
 namespace blusim::groupby {
 
@@ -39,6 +40,11 @@ struct ModeratorOptions {
   // When true, consult recorded feedback before the static rules
   // (the paper lists this as future work; implemented as an extension).
   bool use_feedback = false;
+  // Cap on the feedback table: when an insert would exceed this many
+  // signatures, the least-recently-used cell is evicted (0 = unbounded).
+  // Long-running servers see an unbounded stream of query shapes; the
+  // table must not grow with them.
+  size_t max_feedback_entries = 1024;
 };
 
 // The GPU moderator: selects the group-by kernel for a query at runtime
@@ -74,6 +80,9 @@ class GpuModerator {
   // Number of feedback observations recorded (for tests/monitoring).
   size_t feedback_entries() const EXCLUDES(mu_);
 
+  // Wires the feedback-table size gauge into `metrics`.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
  private:
   // Coarse query signature for the feedback table: log2 buckets of rows
   // and groups plus the aggregate count.
@@ -89,11 +98,15 @@ class GpuModerator {
     SimTime best_time = 0;
     gpusim::GroupByKernelKind best_kernel = gpusim::GroupByKernelKind::kRegular;
     uint64_t observations = 0;
+    uint64_t last_used = 0;  // use_tick_ at the most recent read or write
   };
 
   ModeratorOptions options_;
   mutable common::Mutex mu_;
-  std::map<Signature, FeedbackCell> feedback_ GUARDED_BY(mu_);
+  // mutable: feedback reads refresh recency under mu_ from const methods.
+  mutable uint64_t use_tick_ GUARDED_BY(mu_) = 0;
+  mutable std::map<Signature, FeedbackCell> feedback_ GUARDED_BY(mu_);
+  obs::Gauge* entries_gauge_ = nullptr;
 };
 
 }  // namespace blusim::groupby

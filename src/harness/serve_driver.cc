@@ -1,0 +1,76 @@
+#include "harness/serve_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/annotations.h"
+
+namespace blusim::harness {
+
+Result<ServedRunResult> RunServedStreams(
+    serve::QueryService* service,
+    const std::vector<workload::WorkloadQuery>& queries,
+    const ServedRunOptions& options) {
+  const int streams = std::max(1, options.streams);
+  const int reps = std::max(1, options.reps);
+
+  struct StreamState {
+    common::Mutex mu;
+    ServedRunResult run GUARDED_BY(mu);
+    Status first_error GUARDED_BY(mu);
+  } state;
+
+  auto stream_fn = [&]() {
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const workload::WorkloadQuery& wq : queries) {
+        {
+          common::MutexLock lock(&state.mu);
+          if (!state.first_error.ok()) return;
+          ++state.run.submitted;
+        }
+        auto qr = service->Submit(wq.spec);
+        common::MutexLock lock(&state.mu);
+        if (!qr.ok()) {
+          if (qr.status().code() == StatusCode::kOverloaded) {
+            // Load shedding is the admission policy working, not a
+            // failure; the client moves on to its next query.
+            ++state.run.shed;
+            continue;
+          }
+          if (state.first_error.ok()) {
+            state.first_error = Status(qr.status().code(),
+                                       "query '" + wq.spec.name + "': " +
+                                           qr.status().message());
+          }
+          return;
+        }
+        if (qr->profile.degraded) ++state.run.degraded;
+        QueryRunResult r;
+        r.name = wq.spec.name;
+        r.qclass = wq.qclass;
+        r.elapsed = qr->profile.total_elapsed;
+        r.gpu_used = qr->profile.gpu_used;
+        r.profile = std::move(qr->profile);
+        state.run.results.push_back(std::move(r));
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(streams - 1));
+  for (int s = 1; s < streams; ++s) threads.emplace_back(stream_fn);
+  stream_fn();
+  for (std::thread& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  common::MutexLock lock(&state.mu);
+  BLUSIM_RETURN_NOT_OK(state.first_error);
+  state.run.wall_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  return std::move(state.run);
+}
+
+}  // namespace blusim::harness

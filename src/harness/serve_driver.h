@@ -1,0 +1,38 @@
+#ifndef BLUSIM_HARNESS_SERVE_DRIVER_H_
+#define BLUSIM_HARNESS_SERVE_DRIVER_H_
+
+#include <vector>
+
+#include "harness/runner.h"
+#include "serve/query_service.h"
+
+namespace blusim::harness {
+
+// Closed-loop multi-stream driver against a QueryService: each stream
+// submits the next query the moment the previous one returns, modeling the
+// paper's figure-8 multi-user experiment with admission control in front.
+struct ServedRunOptions {
+  int streams = 7;
+  int reps = 1;
+};
+
+struct ServedRunResult {
+  // Completed queries, in completion order.
+  std::vector<QueryRunResult> results;
+  uint64_t submitted = 0;
+  uint64_t shed = 0;      // rejected by admission control (kOverloaded)
+  uint64_t degraded = 0;  // completed with a GPU phase degraded to CPU
+  int64_t wall_us = 0;    // wall-clock time for the whole run
+};
+
+// Runs `streams` closed-loop clients through the query list `reps` times.
+// Shed submissions are counted, not retried, and are not errors; any other
+// query failure aborts the run with that status.
+Result<ServedRunResult> RunServedStreams(
+    serve::QueryService* service,
+    const std::vector<workload::WorkloadQuery>& queries,
+    const ServedRunOptions& options);
+
+}  // namespace blusim::harness
+
+#endif  // BLUSIM_HARNESS_SERVE_DRIVER_H_

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/task_tag.h"
 
 namespace blusim::runtime {
 
@@ -45,7 +46,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     common::MutexLock lock(&mu_);
     BLUSIM_CHECK(!shutdown_);
     queue_.push_back(QueuedTask{std::move(task),
-                                std::chrono::steady_clock::now()});
+                                std::chrono::steady_clock::now(),
+                                common::CurrentTaskTag()});
     if (queue_depth_gauge_ != nullptr) {
       queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
@@ -75,6 +77,7 @@ void ThreadPool::WorkerLoop() {
       task_wait_us_->Observe(static_cast<uint64_t>(
           std::max<int64_t>(0, waited.count())));
     }
+    common::ScopedTaskTag tag_scope(task.task_tag);
     task.fn();
   }
 }

@@ -17,6 +17,12 @@ namespace blusim::runtime {
 // Fixed-size worker pool modeling DB2 sub-agents. Operators split their
 // input into morsels and run them via ParallelFor; the pool is shared by
 // all queries in a process (like BLU's agent pool).
+//
+// Submit captures the submitting thread's ambient task tag
+// (common/task_tag.h, the owning query id) and re-establishes it on the
+// worker around the task, so per-query attribution -- most importantly the
+// device checker's allocation ownership -- survives the handoff to shared
+// pool threads.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads = 0,
@@ -48,6 +54,7 @@ class ThreadPool {
   struct QueuedTask {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    uint64_t task_tag = 0;  // submitter's ambient tag (owning query id)
   };
 
   void WorkerLoop() EXCLUDES(mu_);

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/rng.h"
+
 namespace blusim::sched {
 
 using gpusim::SimDevice;
@@ -24,6 +26,9 @@ GpuScheduler::GpuScheduler(std::vector<gpusim::SimDevice*> devices,
     wait_us_ = metrics->GetHistogram(
         "blusim_sched_reservation_wait_us", {},
         "Simulated reservation wait per placement (microseconds)");
+    waiter_depth_gauge_ = metrics->GetGauge(
+        "blusim_sched_waiter_queue_depth", {},
+        "Placements queued in the FIFO reservation-wait line");
   }
 }
 
@@ -49,42 +54,134 @@ Result<SimDevice*> GpuScheduler::PickDevice(uint64_t bytes_needed) {
   return best;
 }
 
+uint64_t GpuScheduler::JoinWaiters() {
+  common::MutexLock lock(&wait_mu_);
+  const uint64_t ticket = next_ticket_++;
+  waiters_.push_back(ticket);
+  if (waiter_depth_gauge_ != nullptr) {
+    waiter_depth_gauge_->Set(static_cast<int64_t>(waiters_.size()));
+  }
+  return ticket;
+}
+
+void GpuScheduler::LeaveWaiters(uint64_t ticket) {
+  common::MutexLock lock(&wait_mu_);
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (*it == ticket) {
+      waiters_.erase(it);
+      break;
+    }
+  }
+  if (waiter_depth_gauge_ != nullptr) {
+    waiter_depth_gauge_->Set(static_cast<int64_t>(waiters_.size()));
+  }
+}
+
+bool GpuScheduler::AnyWaiters() const {
+  common::MutexLock lock(&wait_mu_);
+  return !waiters_.empty();
+}
+
+bool GpuScheduler::IsHeadWaiter(uint64_t ticket) const {
+  common::MutexLock lock(&wait_mu_);
+  return !waiters_.empty() && waiters_.front() == ticket;
+}
+
+Result<SimDevice*> GpuScheduler::FinishPick(SimDevice* device,
+                                            SimTime waited_sim,
+                                            uint64_t bytes_needed,
+                                            SimTime* waited) {
+  if (waited_sim > 0) {
+    device->monitor().Record(gpusim::GpuEvent::kReservationWait, waited_sim,
+                             bytes_needed);
+    if (waits_total_ != nullptr) waits_total_->Add(1);
+  }
+  if (picks_total_ != nullptr) picks_total_->Add(1);
+  if (wait_us_ != nullptr) wait_us_->Observe(static_cast<uint64_t>(waited_sim));
+  if (waited != nullptr) *waited = waited_sim;
+  return device;
+}
+
+Status GpuScheduler::FinishDenial(Status status, SimTime waited_sim,
+                                  uint64_t bytes_needed, SimTime* waited) {
+  // Denied: the wait still happened, so account it somewhere visible.
+  if (!devices_.empty()) {
+    devices_.front()->monitor().Record(gpusim::GpuEvent::kReservationWait,
+                                       waited_sim, bytes_needed);
+  }
+  if (denials_total_ != nullptr) denials_total_->Add(1);
+  if (wait_us_ != nullptr) wait_us_->Observe(static_cast<uint64_t>(waited_sim));
+  if (waited != nullptr) *waited = waited_sim;
+  return status;
+}
+
 Result<SimDevice*> GpuScheduler::PickDeviceWithWait(
     uint64_t bytes_needed, SimTime* waited, const WaitOptions& options) {
+  int attempts_used = 0;
+  Status last_status =
+      Status::DeviceUnavailable("no device can reserve " +
+                                std::to_string(bytes_needed) + " bytes");
+
+  // Uncontended fast path: one immediate attempt with zero wait charged.
+  // Skipped when a FIFO line has formed -- a newcomer must not reserve
+  // ahead of placements already waiting for memory.
+  if (!AnyWaiters()) {
+    Result<SimDevice*> first = PickDevice(bytes_needed);
+    if (first.ok()) {
+      return FinishPick(first.value(), 0, bytes_needed, waited);
+    }
+    last_status = first.status();
+    attempts_used = 1;
+    if (attempts_used >= options.max_attempts) {
+      return FinishDenial(std::move(last_status), 0, bytes_needed, waited);
+    }
+  }
+
+  const uint64_t ticket = JoinWaiters();
+  Rng jitter_rng(options.jitter_seed != 0
+                     ? options.jitter_seed
+                     : ticket * 0xff51afd7ed558ccdULL + 0x9e3779b97f4a7c15ULL);
+  SimTime interval = options.poll_interval;
   SimTime waited_sim = 0;
-  for (int attempt = 0; ; ++attempt) {
-    Result<SimDevice*> picked = PickDevice(bytes_needed);
-    if (picked.ok()) {
-      SimDevice* device = picked.value();
-      if (waited_sim > 0) {
-        device->monitor().Record(gpusim::GpuEvent::kReservationWait,
-                                 waited_sim, bytes_needed);
-        if (waits_total_ != nullptr) waits_total_->Add(1);
+  for (;;) {
+    // Charge one poll interval (jittered under backoff) and yield so
+    // concurrent streams get wall time to release memory.
+    SimTime charge = interval;
+    if (options.exp_backoff) {
+      if (options.jitter > 0) {
+        const double factor =
+            1.0 + options.jitter * (2.0 * jitter_rng.NextDouble() - 1.0);
+        charge = static_cast<SimTime>(static_cast<double>(interval) * factor);
+        if (charge < 1) charge = 1;
       }
-      if (picks_total_ != nullptr) picks_total_->Add(1);
-      if (wait_us_ != nullptr) {
-        wait_us_->Observe(static_cast<uint64_t>(waited_sim));
-      }
-      if (waited != nullptr) *waited = waited_sim;
-      return device;
+      interval = std::min<SimTime>(interval * 2, options.max_backoff_interval);
     }
-    if (attempt + 1 >= options.max_attempts) {
-      // Denied: the wait still happened, so account it somewhere visible.
-      if (!devices_.empty()) {
-        devices_.front()->monitor().Record(gpusim::GpuEvent::kReservationWait,
-                                           waited_sim, bytes_needed);
-      }
-      if (denials_total_ != nullptr) denials_total_->Add(1);
-      if (wait_us_ != nullptr) {
-        wait_us_->Observe(static_cast<uint64_t>(waited_sim));
-      }
-      if (waited != nullptr) *waited = waited_sim;
-      return picked.status();
+    if (options.deadline > 0 && waited_sim + charge > options.deadline) {
+      LeaveWaiters(ticket);
+      return FinishDenial(std::move(last_status), waited_sim, bytes_needed,
+                          waited);
     }
-    waited_sim += options.poll_interval;
+    waited_sim += charge;
     if (options.real_sleep_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options.real_sleep_us));
+    }
+
+    // FIFO fairness: only the head of the line attempts placement; everyone
+    // else just accumulates wait for this round.
+    if (IsHeadWaiter(ticket)) {
+      Result<SimDevice*> picked = PickDevice(bytes_needed);
+      if (picked.ok()) {
+        LeaveWaiters(ticket);
+        return FinishPick(picked.value(), waited_sim, bytes_needed, waited);
+      }
+      last_status = picked.status();
+    }
+    ++attempts_used;
+    if (attempts_used >= options.max_attempts) {
+      LeaveWaiters(ticket);
+      return FinishDenial(std::move(last_status), waited_sim, bytes_needed,
+                          waited);
     }
   }
 }
@@ -112,6 +209,11 @@ uint64_t GpuScheduler::total_free_memory() const {
   uint64_t total = 0;
   for (SimDevice* d : devices_) total += d->memory().available();
   return total;
+}
+
+size_t GpuScheduler::waiter_queue_depth() const {
+  common::MutexLock lock(&wait_mu_);
+  return waiters_.size();
 }
 
 }  // namespace blusim::sched

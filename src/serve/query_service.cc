@@ -1,0 +1,164 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace blusim::serve {
+
+QueryService::QueryService(core::Engine* engine, ServiceOptions options)
+    : engine_(engine), options_(options) {
+  options_.max_concurrent = std::max(1, options_.max_concurrent);
+  const core::EngineConfig& config = engine_->config();
+  const uint64_t slots = static_cast<uint64_t>(options_.max_concurrent);
+  const size_t num_devices = engine_->scheduler().num_devices();
+
+  // Fair-share budgets: each of the max_concurrent admitted queries may
+  // claim an equal slice of the aggregate device memory (clamped to one
+  // device -- a single placement cannot span devices) and of the pinned
+  // staging pool.
+  exec_opts_.device_budget_bytes = options_.device_budget_bytes;
+  if (exec_opts_.device_budget_bytes == 0 && num_devices > 0) {
+    const uint64_t per_device = config.device_spec.device_memory_bytes;
+    const uint64_t total = per_device * num_devices;
+    exec_opts_.device_budget_bytes =
+        std::min(per_device, std::max<uint64_t>(1, total / slots));
+  }
+  exec_opts_.pinned_budget_bytes = options_.pinned_budget_bytes;
+  if (exec_opts_.pinned_budget_bytes == 0) {
+    exec_opts_.pinned_budget_bytes =
+        std::max<uint64_t>(1, config.pinned_pool_bytes / slots);
+  }
+
+  exec_opts_.wait = options_.wait;
+  exec_opts_.wait.exp_backoff = true;
+  exec_opts_.wait.deadline = options_.gpu_deadline;
+  if (exec_opts_.wait.deadline == 0 && num_devices > 0) {
+    // Degradation tipping point: once a placement has waited a few
+    // transfer-times' worth of its own budget for device memory, running
+    // on the CPU is the faster end-to-end choice.
+    exec_opts_.wait.deadline = std::max<SimTime>(
+        2000, 4 * engine_->cost_model().TransferTime(
+                      exec_opts_.device_budget_bytes, /*pinned=*/true));
+  }
+
+  obs::MetricsRegistry& metrics = engine_->metrics();
+  admitted_total_ = metrics.GetCounter(
+      "blusim_serve_admitted_total", {},
+      "Queries admitted past the service's concurrency gate");
+  shed_total_ = metrics.GetCounter(
+      "blusim_serve_shed_total", {},
+      "Submissions rejected: admission queue full or queue wait timed out");
+  degraded_total_ = metrics.GetCounter(
+      "blusim_serve_degraded_total", {},
+      "Served queries that degraded a GPU-routed phase to the CPU");
+  active_gauge_ = metrics.GetGauge(
+      "blusim_serve_active", {}, "Queries currently executing");
+  queue_depth_gauge_ = metrics.GetGauge(
+      "blusim_serve_queue_depth", {}, "Submissions waiting for admission");
+  admission_wait_us_ = metrics.GetHistogram(
+      "blusim_serve_admission_wait_us", {},
+      "Wall-clock admission-queue wait per admitted query (microseconds)");
+}
+
+Result<core::QueryResult> QueryService::Submit(const core::QuerySpec& query) {
+  const auto enqueued = std::chrono::steady_clock::now();
+  {
+    common::MutexLock lock(&mu_);
+    ++stats_.submitted;
+    if (active_ >= options_.max_concurrent &&
+        queue_.size() >= options_.max_queue_depth) {
+      // Load shedding: a bounded queue keeps queue waits bounded; the
+      // client sees the overload instead of an ever-growing backlog.
+      ++stats_.shed;
+      shed_total_->Add(1);
+      return Status::Overloaded(
+          "admission queue full (" + std::to_string(queue_.size()) +
+          " queued, " + std::to_string(active_) + " active)");
+    }
+    const uint64_t ticket = next_ticket_++;
+    queue_.push_back(ticket);
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+
+    // FIFO admission: wait until this ticket is at the head of the line
+    // and an execution slot is free. Explicit wait loop for the
+    // thread-safety analysis (see runtime/thread_pool.cc).
+    bool timed_out = false;
+    while (!(queue_.front() == ticket &&
+             active_ < options_.max_concurrent)) {
+      if (options_.admission_timeout_us > 0) {
+        const auto deadline =
+            enqueued + std::chrono::microseconds(options_.admission_timeout_us);
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+            !(queue_.front() == ticket &&
+              active_ < options_.max_concurrent)) {
+          timed_out = true;
+          break;
+        }
+      } else {
+        cv_.wait(lock);
+      }
+    }
+    if (timed_out) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == ticket) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      ++stats_.shed;
+      shed_total_->Add(1);
+      // The head may have changed; wake the remaining waiters to re-check.
+      cv_.notify_all();
+      return Status::Overloaded("admission wait exceeded " +
+                                std::to_string(options_.admission_timeout_us) +
+                                "us");
+    }
+    queue_.pop_front();
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    ++active_;
+    active_gauge_->Set(active_);
+    ++stats_.admitted;
+    // The next ticket is head now and may also have a free slot: wake the
+    // line so admission is not serialized behind query completions.
+    cv_.notify_all();
+  }
+  admitted_total_->Add(1);
+
+  // Charge the wall-clock queue wait into the query's simulated profile
+  // 1:1, so served latencies include the admission delay.
+  const int64_t waited_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - enqueued)
+          .count();
+  core::ExecOptions opts = exec_opts_;
+  opts.admission_wait = static_cast<SimTime>(std::max<int64_t>(0, waited_us));
+  admission_wait_us_->Observe(static_cast<uint64_t>(opts.admission_wait));
+
+  auto result = engine_->Execute(query, opts);
+
+  {
+    common::MutexLock lock(&mu_);
+    --active_;
+    active_gauge_->Set(active_);
+    if (result.ok()) {
+      ++stats_.completed;
+      if (result->profile.degraded) {
+        ++stats_.degraded;
+        degraded_total_->Add(1);
+      }
+    }
+    cv_.notify_all();
+  }
+  return result;
+}
+
+ServiceStats QueryService::stats() const {
+  common::MutexLock lock(&mu_);
+  ServiceStats out = stats_;
+  out.active = active_;
+  out.queued = queue_.size();
+  return out;
+}
+
+}  // namespace blusim::serve

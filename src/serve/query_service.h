@@ -1,0 +1,106 @@
+#ifndef BLUSIM_SERVE_QUERY_SERVICE_H_
+#define BLUSIM_SERVE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+
+#include "common/annotations.h"
+#include "core/engine.h"
+
+namespace blusim::serve {
+
+// Admission and degradation policy for a shared engine serving N
+// concurrent clients.
+struct ServiceOptions {
+  // Queries executing at once; further submissions queue.
+  int max_concurrent = 4;
+  // Submissions allowed to queue behind the active set; one more and the
+  // submission is shed with kOverloaded (bounded queue = bounded latency).
+  size_t max_queue_depth = 16;
+  // Wall-clock cap on time spent queued before the submission sheds
+  // itself (microseconds; 0 = wait indefinitely).
+  int64_t admission_timeout_us = 0;
+
+  // Per-query memory budgets (0 = derive a fair share: one device's
+  // memory and the pinned pool, each divided by max_concurrent). A GPU
+  // placement that would exceed its budget degrades to the CPU chain.
+  uint64_t device_budget_bytes = 0;
+  uint64_t pinned_budget_bytes = 0;
+
+  // Deadline for a GPU placement's reservation wait in simulated
+  // microseconds (0 = derive from the cost model: a few times the cost of
+  // transferring the device budget -- past that, waiting for the device
+  // costs more than the offload saves). A placement that cannot reserve
+  // within the deadline degrades to the CPU chain and completes.
+  SimTime gpu_deadline = 0;
+
+  // Base reservation-wait policy. The service always enables exponential
+  // backoff with jitter on top of it (concurrent streams denied together
+  // must not re-poll in lockstep) and installs the deadline above.
+  sched::WaitOptions wait;
+};
+
+// Point-in-time serving counters (mirrored in the engine's metrics
+// registry under blusim_serve_*).
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;       // rejected: queue full or admission timeout
+  uint64_t completed = 0;
+  uint64_t degraded = 0;   // completed, but a GPU phase re-routed to CPU
+  int active = 0;
+  size_t queued = 0;
+};
+
+// Serves concurrent queries over one shared Engine: a bounded FIFO
+// admission queue with load shedding, per-query device/pinned budgets, and
+// deadline-bounded GPU placement with CPU degradation. Submit never fails
+// for resource reasons once admitted -- a query that cannot get the GPU in
+// time completes on the CPU instead of erroring.
+class QueryService {
+ public:
+  QueryService(core::Engine* engine, ServiceOptions options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Blocks until admitted (FIFO order), executes, and returns the result.
+  // kOverloaded when the admission queue is full or the queue wait
+  // exceeded admission_timeout_us; any other error is the query's own.
+  Result<core::QueryResult> Submit(const core::QuerySpec& query)
+      EXCLUDES(mu_);
+
+  ServiceStats stats() const EXCLUDES(mu_);
+
+  // The effective per-query limits after fair-share derivation.
+  uint64_t device_budget_bytes() const { return exec_opts_.device_budget_bytes; }
+  uint64_t pinned_budget_bytes() const { return exec_opts_.pinned_budget_bytes; }
+  SimTime gpu_deadline() const { return exec_opts_.wait.deadline; }
+
+ private:
+  core::Engine* engine_;
+  ServiceOptions options_;
+  // Budgets + wait policy shared by every admitted query (admission_wait
+  // is stamped per query).
+  core::ExecOptions exec_opts_;
+
+  mutable common::Mutex mu_;
+  std::condition_variable_any cv_;
+  uint64_t next_ticket_ GUARDED_BY(mu_) = 1;
+  std::deque<uint64_t> queue_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;
+  ServiceStats stats_ GUARDED_BY(mu_);
+
+  // Engine-registry instruments.
+  obs::Counter* admitted_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* degraded_total_;
+  obs::Gauge* active_gauge_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* admission_wait_us_;
+};
+
+}  // namespace blusim::serve
+
+#endif  // BLUSIM_SERVE_QUERY_SERVICE_H_

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/engine.h"
 #include "gpusim/device_memory.h"
 #include "gpusim/pinned_pool.h"
+#include "runtime/thread_pool.h"
 #include "workload/data_gen.h"
 #include "workload/queries.h"
 
@@ -273,6 +275,37 @@ TEST(DeviceCheckConcurrencyTest, ParallelViolationsKeepAttribution) {
     seen[issue.query_id - 200] = true;
   }
   for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(seen[t]) << t;
+}
+
+// Regression: allocations made on shared pool worker threads (hybrid-sort
+// jobs, key-generation morsels) used to attribute to query 0 because the
+// checker's thread-local owner never crossed the Submit handoff. The
+// ambient task tag (common/task_tag.h) now rides along with every task.
+TEST(DeviceCheckConcurrencyTest, PoolWorkerAllocationsKeepAttribution) {
+  DeviceChecker checker(true);
+  DeviceMemoryManager memory(64ULL << 20);
+  memory.AttachChecker(&checker);
+  runtime::ThreadPool pool(2);
+
+  {
+    DeviceChecker::ScopedQuery scope(&checker, 41, "q41-pool");
+    std::atomic<bool> done{false};
+    pool.Submit([&] {
+      EXPECT_EQ(DeviceChecker::CurrentQuery(), 41u);
+      auto reservation = memory.Reserve(1024);
+      ASSERT_TRUE(reservation.ok());
+      auto buf = memory.Alloc(reservation.value(), 1024);
+      ASSERT_TRUE(buf.ok());
+      buf->data()[buf->size()] = 0x01;  // back-redzone scribble
+      buf->Free();
+      done.store(true);
+    });
+    while (!done.load()) std::this_thread::yield();
+  }
+  ASSERT_EQ(checker.issue_count(DeviceIssueKind::kOutOfBounds), 1u);
+  const DeviceIssue issue = checker.issues().front();
+  EXPECT_EQ(issue.query_id, 41u);
+  EXPECT_EQ(issue.query_name, "q41-pool");
 }
 
 // End-to-end: an engine with the checker forced on runs a real query

@@ -126,6 +126,58 @@ TEST_F(ModeratorTest, FeedbackIgnoredWhenDisabled) {
             GroupByKernelKind::kRegular);
 }
 
+TEST_F(ModeratorTest, FeedbackTableCappedWithLruEviction) {
+  // Regression: the feedback table grew without bound -- one entry per
+  // query signature, forever, in a long-running server. It is now capped
+  // and evicts the least-recently-used signature.
+  ModeratorOptions options;
+  options.use_feedback = true;
+  options.max_feedback_entries = 2;
+  GpuModerator mod(options);
+  const QueryMetadata a = Meta(1ULL << 20, 50000, 3);
+  const QueryMetadata b = Meta(1ULL << 22, 50000, 3);
+  const QueryMetadata c = Meta(1ULL << 24, 50000, 3);
+  // Static rule picks kernel 1 for all three shapes, so a kRowLock answer
+  // below proves the feedback cell is still present.
+  for (const QueryMetadata* m : {&a, &b, &c}) {
+    EXPECT_EQ(mod.ChooseKernel(*m, *layout_, kSharedMem),
+              GroupByKernelKind::kRegular);
+  }
+
+  mod.RecordFeedback(a, GroupByKernelKind::kRowLock, 100);
+  mod.RecordFeedback(b, GroupByKernelKind::kRowLock, 100);
+  EXPECT_EQ(mod.feedback_entries(), 2u);
+  // Reading `a` refreshes its recency, leaving `b` as the LRU entry.
+  EXPECT_EQ(mod.ChooseKernel(a, *layout_, kSharedMem),
+            GroupByKernelKind::kRowLock);
+  mod.RecordFeedback(c, GroupByKernelKind::kRowLock, 100);
+  EXPECT_EQ(mod.feedback_entries(), 2u);
+  EXPECT_EQ(mod.ChooseKernel(a, *layout_, kSharedMem),
+            GroupByKernelKind::kRowLock);  // survived
+  EXPECT_EQ(mod.ChooseKernel(c, *layout_, kSharedMem),
+            GroupByKernelKind::kRowLock);  // newly inserted
+  EXPECT_EQ(mod.ChooseKernel(b, *layout_, kSharedMem),
+            GroupByKernelKind::kRegular);  // evicted, back to the static rule
+}
+
+TEST_F(ModeratorTest, FeedbackEntriesGaugeTracksTableSize) {
+  obs::MetricsRegistry registry;
+  ModeratorOptions options;
+  options.use_feedback = true;
+  options.max_feedback_entries = 2;
+  GpuModerator mod(options);
+  mod.AttachMetrics(&registry);
+  obs::Gauge* gauge = registry.GetGauge("blusim_moderator_feedback_entries");
+  mod.RecordFeedback(Meta(1ULL << 20, 50000, 3),
+                     GroupByKernelKind::kRowLock, 100);
+  EXPECT_EQ(gauge->Value(), 1);
+  mod.RecordFeedback(Meta(1ULL << 22, 50000, 3),
+                     GroupByKernelKind::kRowLock, 100);
+  mod.RecordFeedback(Meta(1ULL << 24, 50000, 3),
+                     GroupByKernelKind::kRowLock, 100);  // capped: evicts
+  EXPECT_EQ(gauge->Value(), 2);
+}
+
 TEST(SharedTableCapacityTest, FitsBudget) {
   columnar::Schema schema;
   schema.AddField({"k", columnar::DataType::kInt64, false});

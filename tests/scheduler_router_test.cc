@@ -155,6 +155,97 @@ TEST_F(SchedulerTest, DenialStillRecordsWait) {
   EXPECT_EQ(stats.total_time, 200);
 }
 
+TEST_F(SchedulerTest, BackoffDeadlineStopsBeforeOvershoot) {
+  // Deterministic (jitter off): intervals 100, 200, then 400 which would
+  // push the accumulated wait past the 500 us deadline -- the placement
+  // gives up at 300 us instead of overshooting its budget.
+  sched::WaitOptions options;
+  options.max_attempts = 100;
+  options.poll_interval = 100;
+  options.real_sleep_us = 0;
+  options.exp_backoff = true;
+  options.jitter = 0;
+  options.max_backoff_interval = 400;
+  options.deadline = 500;
+  SimTime waited = -1;
+  auto pick = sched_.PickDeviceWithWait(100 << 20, &waited, options);
+  ASSERT_FALSE(pick.ok());
+  EXPECT_EQ(pick.status().code(), StatusCode::kDeviceUnavailable);
+  EXPECT_EQ(waited, 300);
+  EXPECT_EQ(sched_.waiter_queue_depth(), 0u);
+}
+
+TEST_F(SchedulerTest, BackoffJitterStaysWithinBounds) {
+  // Three jittered charges of nominal 100 + 200 + 400; each is scaled by a
+  // factor in [0.75, 1.25], so the total lands in [~525, 875]. Same seed,
+  // same wait -- retries are randomized but reproducible.
+  sched::WaitOptions options;
+  options.max_attempts = 4;
+  options.poll_interval = 100;
+  options.real_sleep_us = 0;
+  options.exp_backoff = true;
+  options.jitter = 0.25;
+  options.jitter_seed = 12345;
+  options.max_backoff_interval = 10000;
+  SimTime waited_a = -1;
+  ASSERT_FALSE(sched_.PickDeviceWithWait(100 << 20, &waited_a, options).ok());
+  EXPECT_GE(waited_a, 520);
+  EXPECT_LE(waited_a, 875);
+  SimTime waited_b = -1;
+  ASSERT_FALSE(sched_.PickDeviceWithWait(100 << 20, &waited_b, options).ok());
+  EXPECT_EQ(waited_a, waited_b);
+}
+
+TEST_F(SchedulerTest, FifoLineKeepsSmallRequestsFromStarvingLargeOnes) {
+  // d1 (4 MB) is full and d0 (1 MB) keeps 512 KB free. A 3 MB placement
+  // queues for d1; a 256 KB placement arriving later would fit d0
+  // immediately but must not jump the line -- it waits behind the large
+  // request until d1 frees up and the head places first.
+  auto r0 = d0_.memory().Reserve(512 << 10);
+  ASSERT_TRUE(r0.ok());
+  auto r1 = d1_.memory().Reserve(4 << 20);
+  ASSERT_TRUE(r1.ok());
+
+  sched::WaitOptions options;
+  options.max_attempts = 1000000;
+  options.poll_interval = 100;
+  options.real_sleep_us = 100;
+  std::atomic<bool> big_done{false};
+  std::atomic<bool> small_done{false};
+  SimTime big_waited = -1;
+  SimTime small_waited = -1;
+  Result<SimDevice*> big_pick = Status::Internal("not run");
+  Result<SimDevice*> small_pick = Status::Internal("not run");
+
+  std::thread big([&] {
+    big_pick = sched_.PickDeviceWithWait(3 << 20, &big_waited, options);
+    big_done.store(true);
+  });
+  while (sched_.waiter_queue_depth() < 1) std::this_thread::yield();
+  std::thread small([&] {
+    small_pick = sched_.PickDeviceWithWait(256 << 10, &small_waited, options);
+    small_done.store(true);
+  });
+  while (sched_.waiter_queue_depth() < 2) std::this_thread::yield();
+
+  // The small request could place on d0 right now; FIFO order holds it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sched_.waiter_queue_depth(), 2u);
+  EXPECT_FALSE(small_done.load());
+  EXPECT_FALSE(big_done.load());
+
+  r1.value().Release();
+  big.join();
+  small.join();
+  ASSERT_TRUE(big_pick.ok());
+  EXPECT_EQ(big_pick.value()->id(), 1);
+  EXPECT_GT(big_waited, 0);
+  ASSERT_TRUE(small_pick.ok());
+  EXPECT_GT(small_waited, 0);
+  EXPECT_EQ(sched_.waiter_queue_depth(), 0u);
+  r0.value().Release();
+}
+
 TEST(SchedulerMetricsTest, RegistryCountsPicksWaitsAndDenials) {
   HostSpec host;
   DeviceSpec spec;
@@ -252,9 +343,29 @@ TEST(RouterTest, ThresholdBoundariesExact) {
 TEST(RouterTest, SortPathGate) {
   RouterThresholds t;
   t.t1_min_rows = 100;
-  EXPECT_EQ(ChooseSortPath(99, t, true), ExecutionPath::kCpu);
-  EXPECT_EQ(ChooseSortPath(100, t, true), ExecutionPath::kGpu);
-  EXPECT_EQ(ChooseSortPath(100000, t, false), ExecutionPath::kCpu);
+  EXPECT_EQ(ChooseSortPath(99, 1024, t, true, 0), ExecutionPath::kCpu);
+  EXPECT_EQ(ChooseSortPath(100, 1024, t, true, 0), ExecutionPath::kGpu);
+  EXPECT_EQ(ChooseSortPath(100000, 1024, t, false, 0), ExecutionPath::kCpu);
+}
+
+TEST(RouterTest, SortPathHonorsT3AndDeviceCapacity) {
+  // Regression: the sort gate used to check only T1, so sorts above T3 (or
+  // bigger than any device) were dispatched to the GPU just to fail the
+  // reservation and burn the whole wait budget before falling back.
+  RouterThresholds t;
+  t.t1_min_rows = 100;
+  t.t3_max_rows = 1000;
+  EXPECT_EQ(ChooseSortPath(1000, 1024, t, true, 1 << 20),
+            ExecutionPath::kGpu);
+  EXPECT_EQ(ChooseSortPath(1001, 1024, t, true, 1 << 20),
+            ExecutionPath::kCpu);
+  // Fits T3 by rows but the device footprint exceeds device memory.
+  EXPECT_EQ(ChooseSortPath(500, 2 << 20, t, true, 1 << 20),
+            ExecutionPath::kCpu);
+  EXPECT_EQ(ChooseSortPath(500, 512 << 10, t, true, 1 << 20),
+            ExecutionPath::kGpu);
+  // Unknown device capacity (0) skips the footprint check.
+  EXPECT_EQ(ChooseSortPath(500, 2 << 20, t, true, 0), ExecutionPath::kGpu);
 }
 
 TEST(RouterTest, PathNames) {

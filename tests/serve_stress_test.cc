@@ -1,0 +1,327 @@
+// Stress tests for the serving layer: oversubscribed admission over one
+// shared engine, injected reservation pressure (tiny devices, tiny
+// budgets), load shedding and CPU degradation. Every admitted query must
+// complete with results identical to a single-stream CPU run; the only
+// acceptable rejection is kOverloaded from the admission gate.
+//
+// Labeled `concurrency` so it runs under the BLUSIM_SANITIZE=thread build.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "harness/runner.h"
+#include "serve/query_service.h"
+#include "workload/data_gen.h"
+
+namespace blusim {
+namespace {
+
+using core::QuerySpec;
+using runtime::AggFn;
+using runtime::CmpOp;
+
+class ServeStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::ScaleConfig scale;
+    scale.store_sales_rows = 80000;
+    scale.customers = 4000;
+    scale.items = 800;
+    auto db = workload::GenerateDatabase(scale);
+    ASSERT_TRUE(db.ok());
+    db_ = new workload::Database(std::move(db).value());
+
+    // Deliberately tiny devices: concurrent GPU placements contend for
+    // memory, so the deadline/degradation path actually fires.
+    core::EngineConfig on;
+    on.cpu_threads = 2;
+    on.device_spec = on.device_spec.WithMemory(8ULL << 20);
+    on.thresholds.t1_min_rows = 15000;
+    on.thresholds.t2_min_groups = 4;
+    on.sort_min_gpu_rows = 8192;
+    core::EngineConfig off = on;
+    off.gpu_enabled = false;
+    gpu_ = harness::MakeEngine(*db_, on).release();
+    cpu_ = harness::MakeEngine(*db_, off).release();
+
+    for (const QuerySpec& q : Queries()) {
+      auto ref = cpu_->Execute(q);
+      ASSERT_TRUE(ref.ok()) << q.name << ": " << ref.status().ToString();
+      reference_[q.name] = Fingerprint(*ref->table);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete gpu_;
+    delete cpu_;
+    delete db_;
+    gpu_ = nullptr;
+    cpu_ = nullptr;
+    db_ = nullptr;
+    reference_.clear();
+  }
+
+  static std::vector<QuerySpec> Queries() {
+    const columnar::Table& ss = *db_->at("store_sales");
+    std::vector<QuerySpec> out;
+
+    QuerySpec store;
+    store.name = "serve-store";
+    store.fact_table = "store_sales";
+    runtime::GroupBySpec g1;
+    g1.key_columns = {workload::Col(ss, "ss_store_sk")};
+    g1.aggregates = {{AggFn::kSum, workload::Col(ss, "ss_net_paid"), "paid"},
+                     {AggFn::kCount, -1, "n"},
+                     {AggFn::kAvg, workload::Col(ss, "ss_quantity"), "qty"}};
+    store.groupby = g1;
+    out.push_back(store);
+
+    QuerySpec item;
+    item.name = "serve-item";
+    item.fact_table = "store_sales";
+    core::DimJoinSpec j;
+    j.dim_table = "item";
+    j.fact_fk_column = workload::Col(ss, "ss_item_sk");
+    j.dim_pk_column = workload::Col(*db_->at("item"), "i_item_sk");
+    item.joins.push_back(j);
+    runtime::GroupBySpec g2;
+    g2.key_columns = {workload::Col(ss, "ss_item_sk")};
+    g2.aggregates = {{AggFn::kMin, workload::Col(ss, "ss_sales_price"), "lo"},
+                     {AggFn::kMax, workload::Col(ss, "ss_sales_price"), "hi"},
+                     {AggFn::kSum, workload::Col(ss, "ss_net_profit"), "p"}};
+    item.groupby = g2;
+    out.push_back(item);
+
+    QuerySpec cust;
+    cust.name = "serve-customer";
+    cust.fact_table = "store_sales";
+    runtime::Predicate p;
+    p.column = workload::Col(ss, "ss_sold_date_sk");
+    p.op = CmpOp::kBetween;
+    p.lo = 200;
+    p.hi = 1400;
+    cust.fact_filters.push_back(p);
+    runtime::GroupBySpec g3;
+    g3.key_columns = {workload::Col(ss, "ss_customer_sk")};
+    g3.aggregates = {{AggFn::kSum, workload::Col(ss, "ss_ext_tax"), "tax"},
+                     {AggFn::kCount, -1, "n"}};
+    cust.groupby = g3;
+    out.push_back(cust);
+
+    QuerySpec sorted;
+    sorted.name = "serve-sort";
+    sorted.fact_table = "store_sales";
+    sorted.projection = {workload::Col(ss, "ss_ticket_number"),
+                         workload::Col(ss, "ss_net_paid")};
+    sorted.order_by = {{1, true}};
+    sorted.limit = 1000;
+    out.push_back(sorted);
+    return out;
+  }
+
+  // Order-independent numeric fingerprint (per-column value sums), same
+  // idiom as fuzz_differential_test.cc.
+  static std::vector<double> Fingerprint(const columnar::Table& t) {
+    std::vector<double> sums(t.num_columns() + 1, 0.0);
+    sums[0] = static_cast<double>(t.num_rows());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const columnar::Column& col = t.column(c);
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        double v = 0;
+        switch (col.type()) {
+          case columnar::DataType::kString:
+            v = static_cast<double>(col.string_data()[r].size());
+            break;
+          case columnar::DataType::kFloat64:
+            v = col.float64_data()[r];
+            break;
+          case columnar::DataType::kDecimal128:
+            v = col.decimal_data()[r].ToDouble();
+            break;
+          default:
+            v = static_cast<double>(col.GetInt64(r));
+            break;
+        }
+        sums[c + 1] += v;
+      }
+    }
+    return sums;
+  }
+
+  static void ExpectMatchesReference(const std::string& name,
+                                     const columnar::Table& table) {
+    const auto it = reference_.find(name);
+    ASSERT_NE(it, reference_.end()) << name;
+    const std::vector<double> got = Fingerprint(table);
+    ASSERT_EQ(got.size(), it->second.size()) << name;
+    for (size_t k = 0; k < got.size(); ++k) {
+      const double tol = 1e-7 * std::max({std::fabs(got[k]),
+                                          std::fabs(it->second[k]), 1.0});
+      EXPECT_NEAR(got[k], it->second[k], tol) << name << " column " << k;
+    }
+  }
+
+  static void ExpectDeviceStateClean(core::Engine* engine) {
+    for (size_t d = 0; d < engine->scheduler().num_devices(); ++d) {
+      EXPECT_EQ(engine->scheduler().device(d)->memory().reserved(), 0u);
+      EXPECT_EQ(engine->scheduler().device(d)->outstanding_jobs(), 0);
+    }
+    EXPECT_EQ(engine->pinned_pool().allocated(), 0u);
+    EXPECT_EQ(engine->scheduler().waiter_queue_depth(), 0u);
+  }
+
+  static workload::Database* db_;
+  static core::Engine* gpu_;
+  static core::Engine* cpu_;
+  static std::map<std::string, std::vector<double>> reference_;
+};
+
+workload::Database* ServeStressTest::db_ = nullptr;
+core::Engine* ServeStressTest::gpu_ = nullptr;
+core::Engine* ServeStressTest::cpu_ = nullptr;
+std::map<std::string, std::vector<double>> ServeStressTest::reference_;
+
+// Seven streams against two execution slots and a two-deep queue: every
+// submission either completes (with single-stream-identical results) or is
+// shed with kOverloaded. Nothing else is acceptable.
+TEST_F(ServeStressTest, OversubscribedStreamsCompleteOrShed) {
+  serve::ServiceOptions sopts;
+  sopts.max_concurrent = 2;
+  sopts.max_queue_depth = 2;
+  serve::QueryService service(gpu_, sopts);
+  const auto queries = Queries();
+
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> wrong_errors{0};
+  const int kStreams = 7;
+  const int kReps = 2;
+  auto stream_fn = [&] {
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const QuerySpec& q : queries) {
+        auto r = service.Submit(q);
+        if (!r.ok()) {
+          if (r.status().code() == StatusCode::kOverloaded) {
+            ++shed;
+          } else {
+            ADD_FAILURE() << q.name << ": " << r.status().ToString();
+            ++wrong_errors;
+          }
+          continue;
+        }
+        ExpectMatchesReference(q.name, *r->table);
+        ++completed;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kStreams; ++s) threads.emplace_back(stream_fn);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong_errors.load(), 0u);
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<uint64_t>(kStreams * kReps * queries.size()));
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed);
+  EXPECT_EQ(stats.completed, completed.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  EXPECT_EQ(stats.admitted, stats.completed);
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.queued, 0u);
+
+  obs::MetricsRegistry& metrics = gpu_->metrics();
+  EXPECT_EQ(metrics.GetCounter("blusim_serve_admitted_total")->Value(),
+            stats.admitted);
+  EXPECT_EQ(metrics.GetCounter("blusim_serve_shed_total")->Value(),
+            stats.shed);
+  EXPECT_EQ(metrics.GetCounter("blusim_serve_degraded_total")->Value(),
+            stats.degraded);
+  ExpectDeviceStateClean(gpu_);
+}
+
+// A per-query device budget far below any reservation forces every
+// GPU-routed phase onto the CPU chain: the queries still complete, still
+// match the reference, and the degradation is visible in stats and
+// metrics.
+TEST_F(ServeStressTest, BudgetStarvedQueriesDegradeAndComplete) {
+  serve::ServiceOptions sopts;
+  sopts.max_concurrent = 2;
+  sopts.max_queue_depth = 16;
+  sopts.device_budget_bytes = 1024;  // nothing real fits this
+  serve::QueryService service(gpu_, sopts);
+  const uint64_t degraded_before =
+      gpu_->metrics().GetCounter("blusim_serve_degraded_total")->Value();
+
+  for (const QuerySpec& q : Queries()) {
+    auto r = service.Submit(q);
+    ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+    ExpectMatchesReference(q.name, *r->table);
+    EXPECT_FALSE(r->profile.gpu_used) << q.name;
+  }
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, Queries().size());
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GT(stats.degraded, 0u);
+  EXPECT_GT(
+      gpu_->metrics().GetCounter("blusim_serve_degraded_total")->Value(),
+      degraded_before);
+  ExpectDeviceStateClean(gpu_);
+}
+
+// With one slot and no queue, a submission arriving while a query holds
+// the slot must shed immediately with kOverloaded.
+TEST_F(ServeStressTest, FullQueueShedsWithOverloaded) {
+  serve::ServiceOptions sopts;
+  sopts.max_concurrent = 1;
+  sopts.max_queue_depth = 0;
+  serve::QueryService service(gpu_, sopts);
+  const auto queries = Queries();
+
+  std::atomic<bool> holder_done{false};
+  std::thread holder([&] {
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const QuerySpec& q : queries) {
+        // The main thread collides with us on purpose; our own shed just
+        // means it won the slot that round -- retry until we get through.
+        auto r = service.Submit(q);
+        while (!r.ok() &&
+               r.status().code() == StatusCode::kOverloaded) {
+          std::this_thread::yield();
+          r = service.Submit(q);
+        }
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+      }
+    }
+    holder_done.store(true);
+  });
+  // Collide with the holder: a submission while it occupies the slot must
+  // shed. The holder might finish a query between our check and our
+  // Submit (then we get admitted and run), so keep trying; with dozens of
+  // holder queries in flight a collision is guaranteed long before it
+  // drains.
+  bool saw_shed = false;
+  while (!saw_shed && !holder_done.load()) {
+    if (service.stats().active == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    auto r = service.Submit(queries.front());
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kOverloaded);
+      saw_shed = true;
+    }
+  }
+  holder.join();
+  EXPECT_TRUE(saw_shed);
+  EXPECT_GE(service.stats().shed, 1u);
+  ExpectDeviceStateClean(gpu_);
+}
+
+}  // namespace
+}  // namespace blusim
