@@ -1,0 +1,306 @@
+// Data-path fusion benchmark: the same filtered group-by runs on two
+// engines -- fusion enabled (deferred scan, fused record staging, fused
+// scan+aggregate kernels) and disabled (FilterScan + SoA staging + classic
+// kernels) -- across a selectivity x key-cardinality sweep.
+//
+// Per swept point it records the host->device bytes each pipeline actually
+// moved (the blusim_bytes_* counters), the staged bytes fusion avoided, the
+// simulated end-to-end elapsed time of both runs, and whether the two
+// result tables are identical (sorted comparison, float sums by tolerance).
+// Emits BENCH_fusion.json; the committed copy lives in results/.
+//
+// The engines are deterministic simulators, so one run per point is exact:
+// there is no timing noise to average away.
+//
+// Env knobs: BLUSIM_BENCH_FUSION_ROWS (default 1000000). Points where the
+// router keeps either pipeline on the CPU (tiny smoke runs) are reported
+// with "gpu_both": false and excluded from the byte/speedup gates.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "runtime/operators.h"
+
+namespace blusim {
+namespace {
+
+using columnar::DataType;
+using columnar::Schema;
+using columnar::Table;
+using core::EngineConfig;
+using core::QuerySpec;
+using runtime::AggFn;
+using runtime::CmpOp;
+using runtime::Predicate;
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+// Columns: k (int32 key), qty (nullable int32), rev (nullable float64),
+// sel (int32 uniform 0..99 -- a `sel < P` predicate passes P% of rows).
+std::shared_ptr<Table> MakeFact(uint64_t rows, uint64_t groups) {
+  Schema schema;
+  schema.AddField({"k", DataType::kInt32, false});
+  schema.AddField({"qty", DataType::kInt32, true});
+  schema.AddField({"rev", DataType::kFloat64, true});
+  schema.AddField({"sel", DataType::kInt32, false});
+  auto t = std::make_shared<Table>(schema);
+  t->Reserve(rows);
+  Rng rng(rows ^ (groups << 1));
+  for (uint64_t r = 0; r < rows; ++r) {
+    t->column(0).AppendInt32(static_cast<int32_t>(rng.Below(groups)));
+    if (rng.NextDouble() < 0.1) {
+      t->column(1).AppendNull();
+    } else {
+      t->column(1).AppendInt32(static_cast<int32_t>(rng.Range(0, 100)));
+    }
+    if (rng.NextDouble() < 0.1) {
+      t->column(2).AppendNull();
+    } else {
+      t->column(2).AppendDouble(static_cast<double>(rng.Below(10000)) / 4.0);
+    }
+    t->column(3).AppendInt32(static_cast<int32_t>(rng.Below(100)));
+  }
+  return t;
+}
+
+// Thresholds lowered so every swept point that is not CPU-trivial routes
+// to the device in BOTH pipelines; memory sized so nothing spills.
+EngineConfig BenchConfig(bool fusion) {
+  EngineConfig c;
+  c.num_devices = 1;
+  c.cpu_threads = 4;
+  c.device_workers = 2;
+  c.device_spec = c.device_spec.WithMemory(512ULL << 20);
+  c.pinned_pool_bytes = 256ULL << 20;
+  c.thresholds.t1_min_rows = 1000;
+  c.thresholds.t2_min_groups = 2;
+  c.enable_fusion = fusion;
+  return c;
+}
+
+QuerySpec MakeQuery(uint64_t sel_pct) {
+  QuerySpec q;
+  q.name = "fusion_sweep";
+  q.fact_table = "sales";
+  Predicate p;
+  p.column = 3;  // sel
+  p.op = CmpOp::kLt;
+  p.lo = static_cast<double>(sel_pct);
+  q.fact_filters = {p};
+  q.groupby.emplace();
+  q.groupby->key_columns = {0};
+  q.groupby->aggregates = {{AggFn::kSum, 1, "sum_qty"},
+                           {AggFn::kSum, 2, "sum_rev"},
+                           {AggFn::kCount, -1, "n"}};
+  return q;
+}
+
+// Sorted row-by-row comparison; float sums by relative tolerance (device
+// accumulation order legitimately differs between the two pipelines).
+bool SameResults(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  auto row_key = [](const Table& t, size_t r) {
+    std::string s;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      if (t.column(c).type() == DataType::kFloat64) continue;
+      s += std::to_string(t.column(c).GetInt64(r));
+      s += "|";
+    }
+    return s;
+  };
+  auto order = [&](const Table& t) {
+    std::vector<size_t> idx(t.num_rows());
+    for (size_t r = 0; r < idx.size(); ++r) idx[r] = r;
+    std::sort(idx.begin(), idx.end(), [&](size_t x, size_t y) {
+      return row_key(t, x) < row_key(t, y);
+    });
+    return idx;
+  };
+  const std::vector<size_t> ia = order(a);
+  const std::vector<size_t> ib = order(b);
+  for (size_t r = 0; r < ia.size(); ++r) {
+    if (row_key(a, ia[r]) != row_key(b, ib[r])) return false;
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      if (a.column(c).type() != DataType::kFloat64) continue;
+      const double va = a.column(c).float64_data()[ia[r]];
+      const double vb = b.column(c).float64_data()[ib[r]];
+      const double tol = 1e-9 * std::max({std::fabs(va), std::fabs(vb), 1.0});
+      if (std::fabs(va - vb) > tol) return false;
+    }
+  }
+  return true;
+}
+
+struct PointResult {
+  uint64_t sel_pct = 0;
+  uint64_t groups = 0;
+  uint64_t result_groups = 0;
+  bool gpu_both = false;
+  bool differential_ok = false;
+  uint64_t h2d_fused = 0;
+  uint64_t h2d_unfused = 0;
+  uint64_t d2h_fused = 0;
+  uint64_t bytes_avoided = 0;
+  double h2d_reduction = 0;  // 1 - fused/unfused
+  double elapsed_fused_ms = 0;
+  double elapsed_unfused_ms = 0;
+  double speedup = 0;  // unfused / fused
+};
+
+uint64_t GroupByCounter(core::Engine* engine, const char* name) {
+  return engine->metrics().GetCounter(name, {{"op", "groupby"}})->Value();
+}
+
+}  // namespace
+}  // namespace blusim
+
+int main() {
+  using namespace blusim;
+
+  const uint64_t rows =
+      std::max<uint64_t>(EnvU64("BLUSIM_BENCH_FUSION_ROWS", 1000000), 1);
+  const uint64_t selectivities[] = {1, 10, 50, 100};
+  const uint64_t cardinalities[] = {64, 65536};
+
+  std::vector<PointResult> points;
+  for (uint64_t groups : cardinalities) {
+    auto fact = MakeFact(rows, groups);
+    for (uint64_t sel : selectivities) {
+      const QuerySpec query = MakeQuery(sel);
+
+      // Fresh engines per point: the byte counters then read exactly this
+      // query's traffic, with no cross-point accumulation.
+      core::Engine fused_engine(BenchConfig(true));
+      core::Engine plain_engine(BenchConfig(false));
+      if (!fused_engine.RegisterTable("sales", fact).ok() ||
+          !plain_engine.RegisterTable("sales", fact).ok()) {
+        std::fprintf(stderr, "RegisterTable failed\n");
+        return 1;
+      }
+      auto fr = fused_engine.Execute(query);
+      if (!fr.ok()) {
+        std::fprintf(stderr, "fused run: %s\n", fr.status().ToString().c_str());
+        return 1;
+      }
+      auto pr = plain_engine.Execute(query);
+      if (!pr.ok()) {
+        std::fprintf(stderr, "unfused run: %s\n",
+                     pr.status().ToString().c_str());
+        return 1;
+      }
+
+      PointResult p;
+      p.sel_pct = sel;
+      p.groups = groups;
+      p.result_groups = fr->table->num_rows();
+      p.gpu_both = fr->profile.gpu_used && pr->profile.gpu_used;
+      p.differential_ok = SameResults(*fr->table, *pr->table);
+      p.h2d_fused = GroupByCounter(&fused_engine, "blusim_bytes_h2d_total");
+      p.h2d_unfused = GroupByCounter(&plain_engine, "blusim_bytes_h2d_total");
+      p.d2h_fused = GroupByCounter(&fused_engine, "blusim_bytes_d2h_total");
+      p.bytes_avoided =
+          GroupByCounter(&fused_engine, "blusim_bytes_staged_avoided_total");
+      if (p.h2d_unfused > 0) {
+        p.h2d_reduction = 1.0 - static_cast<double>(p.h2d_fused) /
+                                    static_cast<double>(p.h2d_unfused);
+      }
+      p.elapsed_fused_ms =
+          static_cast<double>(fr->profile.total_elapsed) / 1000.0;
+      p.elapsed_unfused_ms =
+          static_cast<double>(pr->profile.total_elapsed) / 1000.0;
+      if (p.elapsed_fused_ms > 0) {
+        p.speedup = p.elapsed_unfused_ms / p.elapsed_fused_ms;
+      }
+      points.push_back(p);
+
+      std::printf(
+          "sel=%3llu%% groups=%-6llu %s  h2d %9llu vs %9llu (-%4.1f%%)  "
+          "avoided %9llu  elapsed %8.3f vs %8.3f ms  speedup %.2fx  %s\n",
+          static_cast<unsigned long long>(sel),
+          static_cast<unsigned long long>(groups),
+          p.gpu_both ? "gpu" : "cpu",
+          static_cast<unsigned long long>(p.h2d_fused),
+          static_cast<unsigned long long>(p.h2d_unfused),
+          p.h2d_reduction * 100.0,
+          static_cast<unsigned long long>(p.bytes_avoided),
+          p.elapsed_fused_ms, p.elapsed_unfused_ms, p.speedup,
+          p.differential_ok ? "identical" : "MISMATCH");
+    }
+  }
+
+  // Acceptance gates, evaluated over the device-routed points only.
+  bool all_identical = true;
+  bool reduction_ok = true;  // >= 40% h2d reduction at <= 50% selectivity
+  int speedup_points = 0;    // points with >= 1.3x end-to-end speedup
+  int gpu_points = 0;
+  for (const PointResult& p : points) {
+    all_identical = all_identical && p.differential_ok;
+    if (!p.gpu_both) continue;
+    ++gpu_points;
+    if (p.sel_pct <= 50 && p.h2d_reduction < 0.40) reduction_ok = false;
+    if (p.speedup >= 1.3) ++speedup_points;
+  }
+
+  FILE* f = std::fopen("BENCH_fusion.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fusion.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"groupby_fusion\",\n"
+               "  \"rows\": %llu,\n  \"cases\": [\n",
+               static_cast<unsigned long long>(rows));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"selectivity_pct\": %llu, \"groups\": %llu, "
+        "\"result_groups\": %llu, \"gpu_both\": %s,\n"
+        "     \"h2d_bytes_fused\": %llu, \"h2d_bytes_unfused\": %llu, "
+        "\"h2d_reduction\": %.4f,\n"
+        "     \"d2h_bytes\": %llu, \"staged_bytes_avoided\": %llu,\n"
+        "     \"elapsed_ms_fused\": %.3f, \"elapsed_ms_unfused\": %.3f, "
+        "\"speedup\": %.3f, \"differential_ok\": %s}%s\n",
+        static_cast<unsigned long long>(p.sel_pct),
+        static_cast<unsigned long long>(p.groups),
+        static_cast<unsigned long long>(p.result_groups),
+        p.gpu_both ? "true" : "false",
+        static_cast<unsigned long long>(p.h2d_fused),
+        static_cast<unsigned long long>(p.h2d_unfused), p.h2d_reduction,
+        static_cast<unsigned long long>(p.d2h_fused),
+        static_cast<unsigned long long>(p.bytes_avoided),
+        p.elapsed_fused_ms, p.elapsed_unfused_ms, p.speedup,
+        p.differential_ok ? "true" : "false",
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"gpu_points\": %d,\n"
+               "  \"all_differential_identical\": %s,\n"
+               "  \"h2d_reduction_ge_40pct_at_le_50pct_sel\": %s,\n"
+               "  \"points_with_speedup_ge_1_3x\": %d\n}\n",
+               gpu_points, all_identical ? "true" : "false",
+               reduction_ok ? "true" : "false", speedup_points);
+  std::fclose(f);
+  std::printf("wrote BENCH_fusion.json (%d gpu points, %d with >=1.3x)\n",
+              gpu_points, speedup_points);
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: fused/unfused results differ\n");
+    return 1;
+  }
+  return 0;
+}

@@ -190,16 +190,89 @@ uint64_t Engine::EstimateGroups(const GroupByPlan& plan,
   return std::max<uint64_t>(1, sketch.Estimate());
 }
 
+OptimizerEstimates Engine::SampleEstimates(
+    const GroupByPlan& plan, const Table& fact,
+    const std::vector<Predicate>& filters) const {
+  OptimizerEstimates est;
+  const uint64_t n = fact.num_rows();
+  if (n == 0) return est;
+  const uint64_t target = std::min<uint64_t>(n, 4096);
+  const uint64_t step = std::max<uint64_t>(1, n / target);
+  KmvSketch sketch(512);
+  uint64_t examined = 0;
+  uint64_t passed = 0;
+  for (uint64_t row = 0; row < n; row += step) {
+    ++examined;
+    if (!filters.empty() &&
+        !runtime::RowMatchesPredicates(fact, filters,
+                                       static_cast<uint32_t>(row))) {
+      continue;
+    }
+    ++passed;
+    uint64_t h;
+    if (plan.wide_key()) {
+      runtime::WideKey wk;
+      plan.FillWideKey(static_cast<uint32_t>(row), &wk);
+      h = Murmur3_64(wk.bytes, wk.len);
+    } else {
+      h = Mix64(plan.PackKey(static_cast<uint32_t>(row)));
+    }
+    sketch.AddHash(h);
+  }
+  est.rows = examined > 0 ? n * passed / examined : n;
+  const uint64_t distinct = std::max<uint64_t>(1, sketch.Estimate());
+  // Near-unique sampled keys mean the distinct count grows with the input
+  // (scale the sampled ratio up); a saturated/bounded key domain shows
+  // repeats in the sample and the sketch estimate stands on its own.
+  if (passed > 0 && distinct * 4 >= passed * 3) {
+    est.groups = std::max<uint64_t>(
+        1, est.rows * distinct / std::max<uint64_t>(1, passed));
+  } else {
+    est.groups = distinct;
+  }
+  return est;
+}
+
 Result<Engine::GroupByOutcome> Engine::RunGroupBy(
     const QuerySpec& query, const Table& fact,
-    const std::vector<uint32_t>& selection, const ExecOptions& opts,
+    const std::vector<uint32_t>* selection, const ExecOptions& opts,
     QueryProfile* profile, obs::TraceBuilder* trace) {
   BLUSIM_ASSIGN_OR_RETURN(GroupByPlan plan,
                           GroupByPlan::Make(fact, *query.groupby));
 
+  // Deferred-scan mode (data-path fusion): the caller skipped FilterScan
+  // so the fused staging sweep can evaluate the predicates in-line with
+  // the pinned write. Paths that need explicit row ids (CPU chain,
+  // partitioned, SoA staging) materialize the selection here instead, and
+  // record the scan phase the caller skipped.
+  bool deferred = selection == nullptr;
+  std::vector<uint32_t> scanned_rows;
+  auto materialize_selection = [&]() -> Status {
+    if (!deferred) return Status::OK();
+    BLUSIM_ASSIGN_OR_RETURN(
+        scanned_rows, runtime::FilterScan(fact, query.fact_filters, &pool_));
+    PhaseRecord scan;
+    scan.kind = PhaseRecord::Kind::kCpu;
+    scan.label = "scan";
+    scan.cpu_work = cost_.HostScanTime(
+        fact.num_rows(),
+        query.fact_filters.empty() ? 4 : ScanWidth(fact, query.fact_filters),
+        1);
+    scan.dop = config_.query_dop;
+    RecordPhase(std::move(scan), obs::kCatCpu, profile, trace);
+    selection = &scanned_rows;
+    deferred = false;
+    plan.set_stage_filter({});
+    return Status::OK();
+  };
+
   OptimizerEstimates estimates;
-  estimates.rows = selection.size();
-  estimates.groups = EstimateGroups(plan, selection);
+  if (deferred) {
+    estimates = SampleEstimates(plan, fact, query.fact_filters);
+  } else {
+    estimates.rows = selection->size();
+    estimates.groups = EstimateGroups(plan, *selection);
+  }
   trace->Annotate("kmv_estimate", std::to_string(estimates.groups));
 
   // Cap T3 by what actually fits on a device (inputs + table).
@@ -229,10 +302,12 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
   if (path == ExecutionPath::kPartitioned && config_.enable_partitioned_gpu) {
     // Extension: range-partitioned multi-device execution with a host
     // merge (the paper describes the mechanism in section 2.2 but ran
-    // these queries on the CPU).
+    // these queries on the CPU). The chunked path stages SoA per device,
+    // so a deferred filter materializes first.
+    BLUSIM_RETURN_NOT_OK(materialize_selection());
     groupby::PartitionedStats pstats;
     auto part_out = groupby::PartitionedGroupBy::Execute(
-        plan, &scheduler_, &pinned_, &pool_, &moderator_, selection,
+        plan, &scheduler_, &pinned_, &pool_, &moderator_, *selection,
         config_.groupby_options, &pstats);
     if (part_out.ok()) {
       for (const auto& chunk : pstats.chunks) {
@@ -269,10 +344,29 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
   }
 
   if (path == ExecutionPath::kGpu) {
+    groupby::GpuGroupByOptions gopts = config_.groupby_options;
+    gopts.allow_fusion = gopts.allow_fusion && config_.enable_fusion;
+    gopts.estimated_rows = estimates.rows;
+    gopts.estimated_groups = estimates.groups;
+    if (deferred) plan.set_stage_filter(query.fact_filters);
+    groupby::StageMode mode = groupby::GpuGroupBy::ChooseStageMode(
+        plan, cost_, gopts,
+        deferred ? fact.num_rows() : selection->size(),
+        pool_.num_threads());
+    if (deferred && mode != groupby::StageMode::kFusedRecords) {
+      // Unfusable (wide key) or fusion not worth it for this shape: run
+      // the classic scan up front and stage SoA over the survivors.
+      BLUSIM_RETURN_NOT_OK(materialize_selection());
+      mode = groupby::GpuGroupBy::ChooseStageMode(
+          plan, cost_, gopts, selection->size(), pool_.num_threads());
+    }
     const uint64_t capacity = groupby::ChooseCapacity(estimates.groups);
     const uint64_t bytes_needed =
-        groupby::GpuGroupBy::DeviceBytesNeeded(plan, estimates.rows,
-                                               capacity);
+        mode == groupby::StageMode::kFusedRecords
+            ? groupby::GpuGroupBy::FusedDeviceBytesNeeded(
+                  plan, estimates.rows, capacity)
+            : groupby::GpuGroupBy::DeviceBytesNeeded(plan, estimates.rows,
+                                                     capacity);
     // Per-query budgets (serving layer): a reservation beyond this query's
     // granted share of device or pinned memory degrades to the CPU chain
     // up front instead of competing for memory it was not allotted.
@@ -308,17 +402,19 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
     if (device.ok()) {
       groupby::GpuGroupByStats stats;
       auto gpu_out = groupby::GpuGroupBy::Execute(
-          plan, device.value(), &pinned_, &pool_, &moderator_, &selection,
-          config_.groupby_options, &stats);
+          plan, device.value(), &pinned_, &pool_, &moderator_, selection,
+          gopts, &stats);
       if (gpu_out.ok()) {
-        // Host staging phase (chain + MEMCPY), then the device job. While
-        // the kernel runs, the host threads are released (the off-load
-        // benefit the concurrency experiments measure).
+        // Host staging phase (chain + MEMCPY, or the fused one-sweep scan
+        // + encode + pinned write), then the device job. While the kernel
+        // runs, the host threads are released (the off-load benefit the
+        // concurrency experiments measure).
         PhaseRecord stage;
         stage.kind = PhaseRecord::Kind::kCpu;
         stage.label = "groupby-stage";
         stage.cpu_work = stats.stage_time;
         stage.dop = config_.query_dop;
+        stage.bytes_moved = stats.bytes_in;  // pinned staging writes
         RecordPhase(std::move(stage), obs::kCatCpu, profile, trace);
 
         PhaseRecord gpu;
@@ -328,12 +424,16 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
                           stats.kernel_time + stats.transfer_out;
         gpu.device_mem = stats.device_bytes_reserved;
         gpu.device_id = device.value()->id();
+        gpu.bytes_moved = stats.bytes_in + stats.bytes_out;  // PCIe traffic
         // The device job breaks into timestamped sub-spans instead of one
         // opaque trace block (the profile keeps the aggregate phase).
         const char* kernel_name =
-            gpusim::GroupByKernelKindName(stats.kernel_used);
+            stats.fused
+                ? gpusim::GroupByKernelKindFusedName(stats.kernel_used)
+                : gpusim::GroupByKernelKindName(stats.kernel_used);
         trace->AddPhase("transfer-in", obs::kCatTransfer, stats.transfer_in,
-                        gpu.device_id);
+                        gpu.device_id,
+                        {{"bytes", std::to_string(stats.bytes_in)}});
         trace->AddPhase("hash-init", obs::kCatGpu, stats.table_init,
                         gpu.device_id);
         trace->AddPhase(std::string("kernel:") + kernel_name,
@@ -341,8 +441,16 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
                         {{"retries", std::to_string(stats.retries)},
                          {"raced", stats.raced ? "true" : "false"}});
         trace->AddPhase("transfer-out", obs::kCatTransfer,
-                        stats.transfer_out, gpu.device_id);
+                        stats.transfer_out, gpu.device_id,
+                        {{"bytes", std::to_string(stats.bytes_out)}});
         trace->Annotate("kernel", kernel_name);
+        trace->Annotate("fusion", stats.fused ? "on" : "off");
+        trace->Annotate("bytes_h2d", std::to_string(stats.bytes_in));
+        trace->Annotate("bytes_d2h", std::to_string(stats.bytes_out));
+        if (stats.fused) {
+          trace->Annotate("bytes_staged_avoided",
+                          std::to_string(stats.bytes_avoided));
+        }
         gpu.elapsed = gpu.IdleElapsed(cost_.HostParallelFactor(gpu.dop));
         profile->phases.push_back(std::move(gpu));
         metrics_
@@ -350,6 +458,20 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
                         {{"kernel", kernel_name}},
                         "Group-by kernel executions by moderator choice")
             ->Add(1);
+        metrics_
+            .GetCounter("blusim_bytes_h2d_total", {{"op", "groupby"}},
+                        "Host-to-device bytes moved (true wire sizes)")
+            ->Add(stats.bytes_in);
+        metrics_
+            .GetCounter("blusim_bytes_d2h_total", {{"op", "groupby"}},
+                        "Device-to-host bytes moved (true wire sizes)")
+            ->Add(stats.bytes_out);
+        metrics_
+            .GetCounter("blusim_bytes_staged_avoided_total",
+                        {{"op", "groupby"}},
+                        "Staged bytes data-path fusion avoided shipping "
+                        "versus SoA staging of the same survivor rows")
+            ->Add(stats.bytes_avoided);
 
         trace->Annotate("actual_groups",
                         std::to_string(gpu_out->table->num_rows()));
@@ -377,7 +499,8 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
 
   // CPU chain (baseline figure-1 path; also the fallback and the
   // "partitioned" case, which the prototype runs on the CPU).
-  auto cpu_out = runtime::CpuGroupBy::Execute(plan, &pool_, &selection);
+  BLUSIM_RETURN_NOT_OK(materialize_selection());
+  auto cpu_out = runtime::CpuGroupBy::Execute(plan, &pool_, selection);
   BLUSIM_RETURN_NOT_OK(cpu_out.status());
   trace->Annotate("actual_groups", std::to_string(cpu_out->num_groups));
 
@@ -385,7 +508,7 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
   phase.kind = PhaseRecord::Kind::kCpu;
   phase.label = "groupby-cpu";
   phase.cpu_work = cost_.HostGroupByTime(
-      selection.size(), cpu_out->num_groups,
+      selection->size(), cpu_out->num_groups,
       static_cast<int>(plan.slots().size()), 1);
   phase.dop = config_.query_dop;
   RecordPhase(std::move(phase), obs::kCatCpu, profile, trace);
@@ -419,10 +542,18 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query,
   }
 
   // --- Scan + filter the fact table ---
-  BLUSIM_ASSIGN_OR_RETURN(
-      std::vector<uint32_t> selection,
-      runtime::FilterScan(*fact, query.fact_filters, &pool_));
-  {
+  // Data-path fusion defers this scan for GPU-eligible group-bys without
+  // joins: RunGroupBy folds the predicates into the fused staging sweep
+  // (or materializes the selection itself if it ends up off the fused
+  // path), so no row ids are built that the device never needs.
+  const bool defer_scan = config_.enable_fusion &&
+                          config_.groupby_options.allow_fusion &&
+                          !devices_.empty() && query.groupby.has_value() &&
+                          query.joins.empty();
+  std::vector<uint32_t> selection;
+  if (!defer_scan) {
+    BLUSIM_ASSIGN_OR_RETURN(
+        selection, runtime::FilterScan(*fact, query.fact_filters, &pool_));
     PhaseRecord scan;
     scan.kind = PhaseRecord::Kind::kCpu;
     scan.label = "scan";
@@ -470,7 +601,8 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query,
   if (query.groupby.has_value()) {
     BLUSIM_ASSIGN_OR_RETURN(
         GroupByOutcome outcome,
-        RunGroupBy(query, *fact, selection, opts, &profile, &trace));
+        RunGroupBy(query, *fact, defer_scan ? nullptr : &selection, opts,
+                   &profile, &trace));
     profile.gpu_used = profile.gpu_used || outcome.gpu_used;
     result = outcome.table;
   }

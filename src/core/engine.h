@@ -43,6 +43,12 @@ struct EngineConfig {
   uint64_t pinned_pool_bytes = 256ULL << 20;
   // Master switch: false = baseline DB2 BLU (no GPU anywhere).
   bool gpu_enabled = true;
+  // Data-path fusion master switch (--no-fusion): when true, a GPU-routed
+  // group-by without joins defers its FilterScan so the staging sweep can
+  // fold predicate evaluation, key encoding and validity expansion into
+  // one pass over the pinned write, and the kernels consume the compact
+  // record stream. false reproduces the unfused SoA pipeline everywhere.
+  bool enable_fusion = true;
   // Enables the partitioned multi-device path for inputs above T3
   // (section 2.2). false reproduces the paper's prototype, which ran
   // oversize queries on the CPU.
@@ -147,9 +153,21 @@ class Engine {
   uint64_t EstimateGroups(const runtime::GroupByPlan& plan,
                           const std::vector<uint32_t>& selection) const;
 
+  // Routing estimates without a materialized selection (deferred-scan
+  // fusion): a strided sample of the fact table yields the predicate pass
+  // ratio and a sampled-KMV distinct count, scaled up when the sampled
+  // keys look near-unique (unbounded domain) and taken as-is otherwise.
+  OptimizerEstimates SampleEstimates(
+      const runtime::GroupByPlan& plan, const columnar::Table& fact,
+      const std::vector<runtime::Predicate>& filters) const;
+
+  // `selection` == nullptr means the caller deferred the fact FilterScan
+  // (data-path fusion): the group-by either folds the predicates into the
+  // fused staging sweep, or materializes the selection itself (recording
+  // the scan phase) before any path that needs explicit row ids.
   Result<GroupByOutcome> RunGroupBy(const QuerySpec& query,
                                     const columnar::Table& fact,
-                                    const std::vector<uint32_t>& selection,
+                                    const std::vector<uint32_t>* selection,
                                     const ExecOptions& opts,
                                     QueryProfile* profile,
                                     obs::TraceBuilder* trace);

@@ -152,10 +152,12 @@ std::string ExplainAnalyze(const QuerySpec& query, const Table& fact,
 
   os << "  " << std::left << std::setw(24) << "node" << std::right
      << std::setw(12) << "actual ms" << std::setw(8) << "dop"
-     << std::setw(8) << "dev" << "\n";
+     << std::setw(8) << "dev" << std::setw(14) << "bytes" << "\n";
   SimTime sum = 0;
+  uint64_t bytes_sum = 0;
   for (const PhaseRecord& phase : profile.phases) {
     sum += phase.elapsed;
+    bytes_sum += phase.bytes_moved;
     os << "  " << std::left << std::setw(24) << phase.label << std::right
        << std::setw(12) << std::fixed << std::setprecision(3)
        << (static_cast<double>(phase.elapsed) / 1000.0);
@@ -164,11 +166,17 @@ std::string ExplainAnalyze(const QuerySpec& query, const Table& fact,
     } else {
       os << std::setw(8) << "-" << std::setw(8) << phase.device_id;
     }
+    if (phase.bytes_moved > 0) {
+      os << std::setw(14) << phase.bytes_moved;
+    } else {
+      os << std::setw(14) << "-";
+    }
     os << "\n";
   }
   os << "  " << std::left << std::setw(24) << "total" << std::right
      << std::setw(12) << std::fixed << std::setprecision(3)
-     << (static_cast<double>(sum) / 1000.0) << "\n";
+     << (static_cast<double>(sum) / 1000.0) << std::setw(8) << ""
+     << std::setw(8) << "" << std::setw(14) << bytes_sum << "\n";
 
   if (!profile.trace.annotations.empty()) {
     os << "  annotations:";

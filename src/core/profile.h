@@ -35,6 +35,10 @@ struct PhaseRecord {
   SimTime device_time = 0;
   uint64_t device_mem = 0;
   int device_id = -1;
+  // Bytes this phase physically moved (true wire/copy sizes, not aligned
+  // allocations): pinned staging writes for CPU stage phases, PCIe traffic
+  // (both directions) for GPU phases. 0 = the phase moves no bulk data.
+  uint64_t bytes_moved = 0;
 
   // Elapsed time on an otherwise-idle system (serial runs): cpu work
   // divided by the parallel speedup, or the device occupancy.

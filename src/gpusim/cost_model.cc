@@ -42,6 +42,13 @@ constexpr uint64_t kK2RowsPerBlock = 16384;
 constexpr double kK3LockNsPerRow = 20.0;
 constexpr double kK3PlainNsPerAgg = 1.5;
 
+// Fused scan->aggregate kernels: the per-row base work (load, hash, probe)
+// drops because each row is one coalesced record read instead of gathers
+// from a key array, a row-id array and per-slot value/validity arrays.
+// Replaces the kernel's base constant; contention and per-aggregate terms
+// are unchanged.
+constexpr double kFusedScanNsPerRow = 3.5;
+
 // Contention: the average number of rows per group drives serialization on
 // hot hash entries. Penalty multiplies the synchronized portion of the work.
 double AtomicContentionFactor(uint64_t rows, uint64_t groups) {
@@ -118,44 +125,74 @@ const char* GroupByKernelKindName(GroupByKernelKind kind) {
   return "groupby_unknown";
 }
 
-SimTime CostModel::GroupByKernelTime(GroupByKernelKind kind,
-                                     const GroupByKernelParams& p) const {
-  const double effective_cores =
-      static_cast<double>(device_.total_cores()) * kDeviceUtilization;
-  const double rows = static_cast<double>(p.rows);
-  double core_ns = 0.0;
+const char* GroupByKernelKindFusedName(GroupByKernelKind kind) {
+  switch (kind) {
+    case GroupByKernelKind::kRegular: return "groupby_regular_fused";
+    case GroupByKernelKind::kSharedMem: return "groupby_sharedmem_fused";
+    case GroupByKernelKind::kRowLock: return "groupby_rowlock_fused";
+  }
+  return "groupby_unknown_fused";
+}
 
+namespace {
+
+// Shared shape of the three kernels' core-nanosecond cost; the SoA and
+// fused variants differ only in `base_ns_per_row`.
+double GroupByKernelCoreNs(GroupByKernelKind kind, const GroupByKernelParams& p,
+                           double base_ns_per_row) {
+  const double rows = static_cast<double>(p.rows);
   switch (kind) {
     case GroupByKernelKind::kRegular: {
       const double contention = AtomicContentionFactor(p.rows, p.groups);
-      double per_row = kK1BaseNsPerRow;
+      double per_row = base_ns_per_row;
       if (p.wide_key) per_row += kWideKeyLockNs * contention;
       const double per_agg =
           p.lock_typed_payload ? kLockTypedAggNs : kK1AtomicNsPerAgg;
       per_row += per_agg * p.num_aggregates * contention;
-      core_ns = rows * per_row;
-      break;
+      return rows * per_row;
     }
     case GroupByKernelKind::kSharedMem: {
       // Shared-memory grouping is nearly contention-free (conflicts stay
       // inside one SMX); the merge step pays per partial table entry.
-      double per_row = kK2BaseNsPerRow + kK2AtomicNsPerAgg * p.num_aggregates;
-      core_ns = rows * per_row;
+      double per_row = base_ns_per_row + kK2AtomicNsPerAgg * p.num_aggregates;
+      double core_ns = rows * per_row;
       const uint64_t blocks =
           std::max<uint64_t>(1, CeilDiv(p.rows, kK2RowsPerBlock));
       core_ns += static_cast<double>(blocks) *
                  static_cast<double>(p.groups) * kK2MergeNsPerEntry;
-      break;
+      return core_ns;
     }
     case GroupByKernelKind::kRowLock: {
       const double contention = RowLockContentionFactor(p.rows, p.groups);
-      double per_row = kK1BaseNsPerRow + kK3LockNsPerRow * contention +
+      double per_row = base_ns_per_row + kK3LockNsPerRow * contention +
                        kK3PlainNsPerAgg * p.num_aggregates;
-      core_ns = rows * per_row;
-      break;
+      return rows * per_row;
     }
   }
+  return 0.0;
+}
 
+double SoABaseNsPerRow(GroupByKernelKind kind) {
+  return kind == GroupByKernelKind::kSharedMem ? kK2BaseNsPerRow
+                                               : kK1BaseNsPerRow;
+}
+
+}  // namespace
+
+SimTime CostModel::GroupByKernelTime(GroupByKernelKind kind,
+                                     const GroupByKernelParams& p) const {
+  const double effective_cores =
+      static_cast<double>(device_.total_cores()) * kDeviceUtilization;
+  const double core_ns = GroupByKernelCoreNs(kind, p, SoABaseNsPerRow(kind));
+  const double us = core_ns / effective_cores / 1000.0;
+  return static_cast<SimTime>(us + kKernelLaunchOverheadUs + 0.5);
+}
+
+SimTime CostModel::FusedScanAggregateTime(GroupByKernelKind kind,
+                                          const GroupByKernelParams& p) const {
+  const double effective_cores =
+      static_cast<double>(device_.total_cores()) * kDeviceUtilization;
+  const double core_ns = GroupByKernelCoreNs(kind, p, kFusedScanNsPerRow);
   const double us = core_ns / effective_cores / 1000.0;
   return static_cast<SimTime>(us + kKernelLaunchOverheadUs + 0.5);
 }
@@ -254,6 +291,23 @@ SimTime CostModel::HostKeyGenTime(uint64_t rows, int dop) const {
 SimTime CostModel::HostMemcpyTime(uint64_t bytes) const {
   const double us = static_cast<double>(bytes) / (kHostMemcpyGbps * 1000.0);
   return static_cast<SimTime>(us + 0.5);
+}
+
+SimTime CostModel::HostFusedStageTime(uint64_t rows_scanned,
+                                      int scan_bytes_per_row,
+                                      uint64_t staged_rows,
+                                      uint64_t staged_bytes, int dop) const {
+  const double factor = HostParallelFactor(dop);
+  // Predicate scan touches every input row; key generation and the record
+  // encode only run for survivors.
+  double ns = static_cast<double>(rows_scanned) *
+              static_cast<double>(scan_bytes_per_row) * kHostScanNsPerByte /
+              factor;
+  ns += static_cast<double>(staged_rows) * kHostKeyGenNsPerRow / factor;
+  // Pinned record write at single-thread copy bandwidth (1 GB/s = 1 B/ns),
+  // matching HostMemcpyTime's model.
+  ns += static_cast<double>(staged_bytes) / kHostMemcpyGbps;
+  return NsToSimTime(ns);
 }
 
 }  // namespace blusim::gpusim

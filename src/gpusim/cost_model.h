@@ -20,6 +20,11 @@ enum class GroupByKernelKind {
 // "groupby_rowlock").
 const char* GroupByKernelKindName(GroupByKernelKind kind);
 
+// Fused-input variant of the same kernel ("groupby_regular_fused", ...),
+// reported when the kernel consumes the interleaved record stream produced
+// by fused staging instead of the SoA arrays.
+const char* GroupByKernelKindFusedName(GroupByKernelKind kind);
+
 // Parameters describing one group-by/aggregation kernel invocation.
 struct GroupByKernelParams {
   uint64_t rows = 0;
@@ -27,6 +32,7 @@ struct GroupByKernelParams {
   int num_aggregates = 1;
   int key_bytes = 8;
   int payload_bytes = 8;        // per-row payload width (all aggregates)
+  int record_bytes = 0;         // fused record stride (0 = SoA input)
   bool wide_key = false;        // key > 64 bit: lock path instead of CAS
   bool lock_typed_payload = false;  // payload type with no atomic support
 };
@@ -61,6 +67,14 @@ class CostModel {
   SimTime GroupByKernelTime(GroupByKernelKind kind,
                             const GroupByKernelParams& p) const;
 
+  // Fused scan->aggregate kernel over the interleaved record stream
+  // (data-path fusion). Same contention and per-aggregate model as
+  // GroupByKernelTime; only the per-row base cost differs, because the
+  // fused kernels read one coalesced record per row instead of gathering
+  // from strided SoA arrays.
+  SimTime FusedScanAggregateTime(GroupByKernelKind kind,
+                                 const GroupByKernelParams& p) const;
+
   // Hash-table mask initialization (parallel memset-like, section 4.3.1).
   SimTime HashTableInitTime(uint64_t table_bytes) const;
 
@@ -86,6 +100,14 @@ class CostModel {
   SimTime HostKeyGenTime(uint64_t rows, int dop) const;
   // MEMCPY evaluator: copy into the pinned staging area (section 4.1).
   SimTime HostMemcpyTime(uint64_t bytes) const;
+
+  // One-sweep fused staging (data-path fusion): predicate scan over every
+  // input row, key generation for the filter survivors only, and the
+  // pinned write of the compact records -- the single-pass replacement for
+  // FilterScan + HostKeyGenTime(all rows) + HostMemcpyTime(SoA bytes).
+  SimTime HostFusedStageTime(uint64_t rows_scanned, int scan_bytes_per_row,
+                             uint64_t staged_rows, uint64_t staged_bytes,
+                             int dop) const;
 
   // Effective parallel speedup for `dop` threads on this host: linear in
   // physical cores, diminishing returns across SMT threads.

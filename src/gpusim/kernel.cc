@@ -1,12 +1,27 @@
 #include "gpusim/kernel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 
+#include "common/bit_util.h"
+
 namespace blusim::gpusim {
+
+LaunchConfig MakeGridStrideConfig(const DeviceSpec& spec, uint64_t items,
+                                  uint32_t block_dim) {
+  LaunchConfig config;
+  config.block_dim = block_dim;
+  const uint64_t blocks_needed = CeilDiv(items, static_cast<uint64_t>(
+                                                    config.block_dim));
+  const uint64_t max_blocks = static_cast<uint64_t>(spec.num_smx) * 16;
+  config.grid_dim = static_cast<uint32_t>(
+      std::clamp<uint64_t>(blocks_needed, 1, max_blocks));
+  return config;
+}
 
 KernelLauncher::KernelLauncher(const DeviceSpec& spec, int workers)
     : workers_(workers), max_shared_mem_(spec.shared_mem_per_smx_bytes) {

@@ -46,6 +46,14 @@ struct LaunchConfig {
   uint64_t shared_mem_bytes = 0;  // per-block shared memory request
 };
 
+// Standard grid-stride launch shape: enough blocks to cover `items` at
+// `block_dim` threads each, capped at 16 resident blocks per SMX so the
+// grid matches what the device can actually keep in flight. Kernels using
+// this config iterate `for (i = ctx.global_thread(); i < items;
+// i += ctx.total_threads())`.
+LaunchConfig MakeGridStrideConfig(const DeviceSpec& spec, uint64_t items,
+                                  uint32_t block_dim = 256);
+
 // Runs simulated kernels: thread blocks are distributed over a host worker
 // pool (each block executes on exactly one worker, so shared memory is
 // race-free within a block while global-memory access across blocks is

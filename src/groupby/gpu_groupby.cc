@@ -25,58 +25,79 @@ using runtime::WideKey;
 
 namespace {
 
-// Sums the staged-array bytes a group-by ships to the device. Each staged
-// array is 64-byte aligned in the pinned pool, so count the rounded sizes
-// (the reservation must cover exactly what UploadInput allocates).
-uint64_t InputBytes(const GroupByPlan& plan, uint64_t rows) {
-  auto aligned = [](uint64_t b) { return AlignUp(std::max<uint64_t>(b, 1),
-                                                 64); };
-  uint64_t bytes = aligned(
-      rows * (plan.wide_key() ? sizeof(WideKey) : sizeof(uint64_t)));
-  bytes += aligned(rows * sizeof(uint32_t));  // row ids
-  for (const AggSlot& slot : plan.slots()) {
-    if (slot.input_column < 0) continue;
-    if (slot.fn != runtime::AggFn::kCount) {
-      bytes += aligned(
-          rows * (slot.acc_type == DataType::kDecimal128 ? 16 : 8));
-    }
-    const columnar::Column& col =
-        plan.table().column(static_cast<size_t>(slot.input_column));
-    if (col.has_nulls()) bytes += aligned(rows);
-  }
-  return bytes;
-}
-
-// Moves staged pinned buffers onto the device, charging transfer time.
+// Moves staged SoA pinned buffers onto the device, charging transfer time
+// and bytes for the TRUE array sizes. Pinned-pool allocations are 64-byte
+// aligned, so PinnedBuffer::size() over-reports the wire size; the device
+// allocations use the logical sizes so the kernels' checked accessors get
+// tight bounds.
 Status UploadInput(SimDevice* device, const gpusim::Reservation& reservation,
                    const StagedInput& staged, const GroupByPlan& plan,
-                   DeviceInput* input, SimTime* transfer_time) {
-  input->rows = staged.rows;
+                   DeviceInput* input, SimTime* transfer_time,
+                   uint64_t* bytes_in) {
+  const uint64_t rows = staged.rows;
+  input->rows = rows;
   input->wide_key = staged.wide_key;
 
-  auto upload = [&](const gpusim::PinnedBuffer& src,
+  auto upload = [&](const gpusim::PinnedBuffer& src, uint64_t bytes,
                     DeviceBuffer* dst) -> Status {
     BLUSIM_ASSIGN_OR_RETURN(*dst,
-                            device->memory().Alloc(reservation, src.size()));
-    *transfer_time += device->CopyToDevice(src.data(), dst, src.size(),
+                            device->memory().Alloc(reservation, bytes));
+    *transfer_time += device->CopyToDevice(src.data(), dst, bytes,
                                            /*pinned=*/true);
+    *bytes_in += bytes;
     return Status::OK();
   };
 
-  BLUSIM_RETURN_NOT_OK(upload(staged.keys, &input->keys));
-  BLUSIM_RETURN_NOT_OK(upload(staged.row_ids, &input->row_ids));
+  BLUSIM_RETURN_NOT_OK(upload(
+      staged.keys,
+      rows * (staged.wide_key ? sizeof(WideKey) : sizeof(uint64_t)),
+      &input->keys));
+  BLUSIM_RETURN_NOT_OK(
+      upload(staged.row_ids, rows * sizeof(uint32_t), &input->row_ids));
   input->slots.resize(plan.slots().size());
   for (size_t s = 0; s < plan.slots().size(); ++s) {
+    const AggSlot& slot = plan.slots()[s];
     if (staged.payloads[s].valid()) {
-      BLUSIM_RETURN_NOT_OK(
-          upload(staged.payloads[s], &input->slots[s].values));
+      const uint64_t width =
+          slot.acc_type == DataType::kDecimal128 ? 16 : 8;
+      BLUSIM_RETURN_NOT_OK(upload(staged.payloads[s], rows * width,
+                                  &input->slots[s].values));
     }
     if (staged.validity[s].valid()) {
       BLUSIM_RETURN_NOT_OK(
-          upload(staged.validity[s], &input->slots[s].validity));
+          upload(staged.validity[s], rows, &input->slots[s].validity));
     }
   }
   return Status::OK();
+}
+
+// Fused path: one allocation, one transfer, exactly the record stream.
+Status UploadFused(SimDevice* device, const gpusim::Reservation& reservation,
+                   const StagedInput& staged, FusedDeviceInput* fused,
+                   SimTime* transfer_time, uint64_t* bytes_in) {
+  fused->rows = staged.rows;
+  fused->layout = staged.record_layout;
+  BLUSIM_ASSIGN_OR_RETURN(
+      fused->records,
+      device->memory().Alloc(reservation, staged.transfer_bytes));
+  *transfer_time += device->CopyToDevice(staged.records.data(),
+                                         &fused->records,
+                                         staged.transfer_bytes,
+                                         /*pinned=*/true);
+  *bytes_in += staged.transfer_bytes;
+  return Status::OK();
+}
+
+// Bytes per scanned row the fused staging sweep touches for its predicate
+// evaluation (the stage_filter columns; 8 as a floor for the key load).
+int StageScanBytesPerRow(const GroupByPlan& plan) {
+  int bytes = 0;
+  for (const runtime::Predicate& p : plan.stage_filter()) {
+    const int w = columnar::DataTypeWidth(
+        plan.table().column(static_cast<size_t>(p.column)).type());
+    bytes += w == 0 ? 16 : w;  // strings: compare cost stand-in
+  }
+  return std::max(bytes, 8);
 }
 
 // Scans the device hash table (after readback) into GroupEntry records.
@@ -144,8 +165,9 @@ Status RunKernel(SimDevice* device, GroupByKernelKind kind,
 
 // Stable kernel names live next to the cost model so the monitor, the
 // metrics registry and the trace exporters all agree on them.
-const char* KernelName(GroupByKernelKind kind) {
-  return gpusim::GroupByKernelKindName(kind);
+const char* KernelName(GroupByKernelKind kind, bool fused) {
+  return fused ? gpusim::GroupByKernelKindFusedName(kind)
+               : gpusim::GroupByKernelKindName(kind);
 }
 
 }  // namespace
@@ -153,7 +175,66 @@ const char* KernelName(GroupByKernelKind kind) {
 uint64_t GpuGroupBy::DeviceBytesNeeded(const GroupByPlan& plan, uint64_t rows,
                                        uint64_t capacity) {
   const HashTableLayout layout(plan);
-  return InputBytes(plan, rows) + layout.TableBytes(capacity);
+  return UnfusedStagedBytes(plan, rows) + layout.TableBytes(capacity);
+}
+
+uint64_t GpuGroupBy::FusedDeviceBytesNeeded(const GroupByPlan& plan,
+                                            uint64_t rows, uint64_t capacity) {
+  auto record_layout = FusedRecordLayout::Make(plan);
+  if (!record_layout.ok()) return DeviceBytesNeeded(plan, rows, capacity);
+  const HashTableLayout layout(plan);
+  return rows * static_cast<uint64_t>(record_layout.value().record_bytes) +
+         layout.TableBytes(capacity);
+}
+
+StageMode GpuGroupBy::ChooseStageMode(const GroupByPlan& plan,
+                                      const gpusim::CostModel& cost,
+                                      const GpuGroupByOptions& options,
+                                      uint64_t input_rows, int dop) {
+  if (!options.allow_fusion || plan.wide_key()) return StageMode::kSoA;
+  auto record_layout = FusedRecordLayout::Make(plan);
+  if (!record_layout.ok()) return StageMode::kSoA;
+
+  const uint64_t scanned = std::max<uint64_t>(input_rows, 1);
+  uint64_t staged_rows = options.estimated_rows > 0
+                             ? std::min(options.estimated_rows, scanned)
+                             : scanned;
+  staged_rows = std::max<uint64_t>(staged_rows, 1);
+  const int scan_bpr = StageScanBytesPerRow(plan);
+
+  GroupByKernelParams kp;
+  kp.rows = staged_rows;
+  kp.groups = std::max<uint64_t>(1, options.estimated_groups);
+  kp.num_aggregates = static_cast<int>(plan.slots().size());
+  kp.key_bytes = plan.key_bytes();
+  kp.payload_bytes = plan.payload_bytes_per_row();
+  for (const AggSlot& s : plan.slots()) {
+    if (s.lock_required) kp.lock_typed_payload = true;
+  }
+
+  // Fused pipeline: one host sweep, the compact record transfer, the fused
+  // kernel.
+  const uint64_t fused_bytes =
+      staged_rows * static_cast<uint64_t>(record_layout.value().record_bytes);
+  GroupByKernelParams fused_kp = kp;
+  fused_kp.record_bytes = record_layout.value().record_bytes;
+  const SimTime fused_total =
+      cost.HostFusedStageTime(scanned, scan_bpr, staged_rows, fused_bytes,
+                              dop) +
+      cost.TransferTime(fused_bytes, /*pinned=*/true) +
+      cost.FusedScanAggregateTime(GroupByKernelKind::kRegular, fused_kp);
+
+  // SoA pipeline: the predicate scan runs upstream (FilterScan), then key
+  // gen + MEMCPY over the survivors, the SoA transfer, the SoA kernel.
+  const uint64_t soa_bytes = UnfusedStagedBytes(plan, staged_rows);
+  const SimTime soa_total =
+      cost.HostScanTime(scanned, scan_bpr, dop) +
+      cost.HostKeyGenTime(staged_rows, dop) + cost.HostMemcpyTime(soa_bytes) +
+      cost.TransferTime(soa_bytes, /*pinned=*/true) +
+      cost.GroupByKernelTime(GroupByKernelKind::kRegular, kp);
+
+  return fused_total <= soa_total ? StageMode::kFusedRecords
+                                  : StageMode::kSoA;
 }
 
 Result<GroupByOutput> GpuGroupBy::Execute(
@@ -189,26 +270,42 @@ Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
     ~JobGuard() { d->JobFinished(); }
   } job_guard{device};
 
-  // --- Stage into pinned memory (MEMCPY evaluator) ---
+  // --- Stage into pinned memory (MEMCPY evaluator / fused sweep) ---
+  const int dop = thread_pool ? thread_pool->num_threads() : 1;
+  const uint64_t input_rows =
+      selection ? selection->size() : plan.table().num_rows();
+  const StageMode mode =
+      ChooseStageMode(plan, cost, options, input_rows, dop);
   BLUSIM_ASSIGN_OR_RETURN(
       StagedInput staged,
-      StageForDevice(plan, pinned_pool, thread_pool, selection));
+      StageForDevice(plan, pinned_pool, thread_pool, selection, mode));
   const uint64_t rows = staged.rows;
+  stats->fused = staged.fused;
+  stats->rows_scanned = staged.rows_scanned;
+  stats->rows_staged = rows;
+  stats->kmv_estimate = staged.kmv_estimate;
+  if (staged.fused) {
+    stats->stage_time = cost.HostFusedStageTime(
+        staged.rows_scanned, StageScanBytesPerRow(plan), rows,
+        staged.transfer_bytes, dop);
+    stats->bytes_avoided = UnfusedStagedBytes(plan, rows) -
+                           staged.transfer_bytes;
+  } else {
+    stats->stage_time = cost.HostKeyGenTime(rows, dop) +
+                        cost.HostMemcpyTime(staged.transfer_bytes);
+  }
   if (rows == 0) {
     return RawOutput{};
   }
-  const int dop = thread_pool ? thread_pool->num_threads() : 1;
-  stats->stage_time = cost.HostKeyGenTime(rows, dop) +
-                      cost.HostMemcpyTime(staged.total_bytes());
-  stats->kmv_estimate = staged.kmv_estimate;
 
   const HashTableLayout layout(plan);
   uint64_t capacity = ChooseCapacity(staged.kmv_estimate);
 
   for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
     // --- Reserve all device memory up front (section 2.1.1) ---
-    const uint64_t need =
-        InputBytes(plan, rows) + layout.TableBytes(capacity);
+    const uint64_t input_bytes =
+        staged.fused ? staged.transfer_bytes : UnfusedStagedBytes(plan, rows);
+    const uint64_t need = input_bytes + layout.TableBytes(capacity);
     auto reservation_result = device->memory().Reserve(need);
     if (!reservation_result.ok()) {
       return reservation_result.status();
@@ -218,10 +315,21 @@ Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
 
     // --- Transfer input (only costed once; retries reuse the input) ---
     DeviceInput input;
+    FusedDeviceInput fused_input;
     SimTime transfer_in = 0;
-    BLUSIM_RETURN_NOT_OK(UploadInput(device, reservation, staged, plan,
-                                     &input, &transfer_in));
-    if (attempt == 0) stats->transfer_in = transfer_in;
+    uint64_t bytes_in = 0;
+    if (staged.fused) {
+      BLUSIM_RETURN_NOT_OK(UploadFused(device, reservation, staged,
+                                       &fused_input, &transfer_in,
+                                       &bytes_in));
+    } else {
+      BLUSIM_RETURN_NOT_OK(UploadInput(device, reservation, staged, plan,
+                                       &input, &transfer_in, &bytes_in));
+    }
+    if (attempt == 0) {
+      stats->transfer_in = transfer_in;
+      stats->bytes_in = bytes_in;
+    }
 
     // --- Allocate + mask-init the hash table ---
     BLUSIM_ASSIGN_OR_RETURN(
@@ -252,8 +360,16 @@ Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
     kp.num_aggregates = metadata.num_aggregates;
     kp.key_bytes = plan.key_bytes();
     kp.payload_bytes = plan.payload_bytes_per_row();
+    kp.record_bytes = staged.fused ? staged.record_layout.record_bytes : 0;
     kp.wide_key = plan.wide_key();
     kp.lock_typed_payload = metadata.lock_typed_payload;
+
+    // Fused runs cost through the fused kernel model and report under the
+    // fused kernel names.
+    auto model_kernel_time = [&](GroupByKernelKind k) {
+      return staged.fused ? cost.FusedScanAggregateTime(k, kp)
+                          : cost.GroupByKernelTime(k, kp);
+    };
 
     std::vector<GroupByKernelKind> candidates = moderator->CandidateKernels(
         metadata, layout, device->usable_shared_mem());
@@ -267,7 +383,11 @@ Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
     GroupByKernelArgs args;
     args.plan = &plan;
     args.layout = &layout;
-    args.input = &input;
+    if (staged.fused) {
+      args.fused = &fused_input;
+    } else {
+      args.input = &input;
+    }
     args.table = table.data();
     args.capacity = capacity;
     args.overflow = &overflow;
@@ -294,8 +414,8 @@ Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
         rival_args.table = rival_table.data();
         rival_args.overflow = &rival_overflow;
 
-        const SimTime t_chosen = cost.GroupByKernelTime(chosen, kp);
-        const SimTime t_rival = cost.GroupByKernelTime(rival, kp);
+        const SimTime t_chosen = model_kernel_time(chosen);
+        const SimTime t_rival = model_kernel_time(rival);
         BLUSIM_RETURN_NOT_OK(RunKernel(device, chosen, args));
         BLUSIM_RETURN_NOT_OK(RunKernel(device, rival, rival_args));
         stats->raced = true;
@@ -313,20 +433,21 @@ Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
           moderator->RecordFeedback(metadata, chosen, t_chosen);
           stats->kernel_time += t_chosen;
         }
-        device->AccountKernel(KernelName(chosen), stats->kernel_time);
+        device->AccountKernel(KernelName(chosen, staged.fused),
+                              stats->kernel_time);
       } else {
         // Not enough memory for a second table: plain single-kernel run.
-        const SimTime t = cost.GroupByKernelTime(chosen, kp);
+        const SimTime t = model_kernel_time(chosen);
         BLUSIM_RETURN_NOT_OK(RunKernel(device, chosen, args));
         stats->kernel_time += t;
-        device->AccountKernel(KernelName(chosen), t);
+        device->AccountKernel(KernelName(chosen, staged.fused), t);
         moderator->RecordFeedback(metadata, chosen, t);
       }
     } else {
-      const SimTime t = cost.GroupByKernelTime(chosen, kp);
+      const SimTime t = model_kernel_time(chosen);
       BLUSIM_RETURN_NOT_OK(RunKernel(device, chosen, args));
       stats->kernel_time += t;
-      device->AccountKernel(KernelName(chosen), t);
+      device->AccountKernel(KernelName(chosen, staged.fused), t);
       moderator->RecordFeedback(metadata, chosen, t);
     }
     stats->kernel_used = chosen;
@@ -348,9 +469,19 @@ Result<GpuGroupBy::RawOutput> GpuGroupBy::ExecuteToGroups(
     std::vector<char> host_table(layout.TableBytes(capacity));
     stats->transfer_out = device->CopyFromDevice(
         table, host_table.data(), host_table.size(), /*pinned=*/true);
+    stats->bytes_out = host_table.size();
 
     RawOutput out;
     out.groups = ScanTable(plan, layout, host_table.data(), capacity);
+    if (staged.fused) {
+      // Fused kernels store the staged record index as the representative
+      // row (row ids never cross the bus); map back to input row ids.
+      for (GroupEntry& g : out.groups) {
+        if (g.rep_row < staged.host_row_ids.size()) {
+          g.rep_row = staged.host_row_ids[g.rep_row];
+        }
+      }
+    }
     out.kmv_estimate = staged.kmv_estimate;
     out.input_rows = rows;
     return out;

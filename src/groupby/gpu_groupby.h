@@ -9,6 +9,7 @@
 #include "gpusim/pinned_pool.h"
 #include "gpusim/sim_device.h"
 #include "groupby/moderator.h"
+#include "groupby/staging.h"
 #include "runtime/cpu_groupby.h"
 #include "runtime/group_result.h"
 #include "runtime/groupby_plan.h"
@@ -26,10 +27,19 @@ struct GpuGroupByStats {
   SimTime transfer_out = 0;    // PCIe device -> host (result readback)
   gpusim::GroupByKernelKind kernel_used =
       gpusim::GroupByKernelKind::kRegular;
+  bool fused = false;          // fused record staging + fused kernel run
   int retries = 0;             // table-growth retries (estimate too low)
   uint64_t table_capacity = 0;
   uint64_t kmv_estimate = 0;
   uint64_t device_bytes_reserved = 0;
+  uint64_t rows_scanned = 0;   // rows the staging sweep examined
+  uint64_t rows_staged = 0;    // rows shipped to the device
+  // Bytes-moved accounting (true wire sizes, not aligned allocations).
+  uint64_t bytes_in = 0;       // host -> device input bytes
+  uint64_t bytes_out = 0;      // device -> host readback bytes
+  // Staged bytes the fused layout avoided shipping for the same survivor
+  // set (SoA staging of rows_staged rows minus the fused record stream).
+  uint64_t bytes_avoided = 0;
   bool raced = false;          // multiple kernels were raced
   SimTime loser_time = 0;      // modeled time of the cancelled kernel
 
@@ -45,6 +55,15 @@ struct GpuGroupByOptions {
   // Race the top-2 candidate kernels when device memory allows
   // (section 4.2: stop the others as soon as one finishes).
   bool enable_racing = false;
+  // Data-path fusion: permit staging the input as interleaved records and
+  // running the fused scan->aggregate kernels. The per-query decision is
+  // cost-based (ChooseStageMode); this only gates eligibility
+  // (EngineConfig::enable_fusion / --no-fusion).
+  bool allow_fusion = true;
+  // Optimizer estimates feeding the fused-vs-SoA cost comparison. 0 means
+  // unknown (assume every scanned row is staged / groups from KMV later).
+  uint64_t estimated_rows = 0;
+  uint64_t estimated_groups = 0;
 };
 
 // Executes a group-by/aggregation on the simulated GPU: stages input into
@@ -82,6 +101,21 @@ class GpuGroupBy {
   // that each kernel invocation call needs in advance").
   static uint64_t DeviceBytesNeeded(const runtime::GroupByPlan& plan,
                                     uint64_t rows, uint64_t capacity);
+
+  // Fused-staging variant: the compact record stream plus the table. Falls
+  // back to DeviceBytesNeeded when the plan is not fusable.
+  static uint64_t FusedDeviceBytesNeeded(const runtime::GroupByPlan& plan,
+                                         uint64_t rows, uint64_t capacity);
+
+  // Cost-based fused-vs-SoA staging decision for one query, comparing the
+  // modeled stage + transfer + kernel pipelines (the kernel term uses the
+  // regular kernel as the representative; the moderator still picks the
+  // actual kernel later). Returns kSoA whenever fusion is disabled or the
+  // plan has no fused layout (wide keys).
+  static StageMode ChooseStageMode(const runtime::GroupByPlan& plan,
+                                   const gpusim::CostModel& cost,
+                                   const GpuGroupByOptions& options,
+                                   uint64_t input_rows, int dop);
 };
 
 }  // namespace blusim::groupby

@@ -65,6 +65,92 @@ SlotValue LoadSlotValue(const AggSlot& slot,
   return v;
 }
 
+// Checked unaligned read from the fused record stream. Byte-packed records
+// have no natural alignment, so this cannot go through at<T>'s typed
+// indexing; the bounds check still reports to the device checker before
+// returning a zero value.
+template <typename T>
+T FusedRead(const gpusim::DeviceBuffer& buf, uint64_t off) {
+  if (off + sizeof(T) > buf.size()) {
+    (void)buf.at<uint8_t>(buf.size());  // report OOB to the checker
+    return T{};
+  }
+  T v;
+  std::memcpy(&v, buf.data() + off, sizeof(T));
+  return v;
+}
+
+// The staged value of record i for one slot, read from the fused record
+// stream. Values are stored at the INPUT column width (the savings over the
+// SoA arrays) and widened to the accumulator type here.
+SlotValue LoadFusedSlotValue(const AggSlot& slot, const FusedDeviceInput& fused,
+                             size_t s, uint64_t i) {
+  const FusedRecordLayout& rl = fused.layout;
+  const uint64_t rec = i * static_cast<uint64_t>(rl.record_bytes);
+  SlotValue v;
+  const int tag_bit = rl.tag_bits[s];
+  if (tag_bit >= 0) {
+    const uint8_t byte = FusedRead<uint8_t>(
+        fused.records,
+        rec + static_cast<uint64_t>(rl.tag_offset) +
+            static_cast<uint64_t>(tag_bit / 8));
+    v.valid = ((byte >> (tag_bit % 8)) & 1) != 0;
+  }
+  if (rl.value_offsets[s] < 0) return v;  // COUNT: validity bit only
+  const uint64_t off = rec + static_cast<uint64_t>(rl.value_offsets[s]);
+  switch (slot.input_type) {
+    case DataType::kInt32:
+    case DataType::kDate:
+      v.i64 = FusedRead<int32_t>(fused.records, off);
+      break;
+    case DataType::kInt64:
+      v.i64 = FusedRead<int64_t>(fused.records, off);
+      break;
+    case DataType::kFloat64:
+      v.f64 = FusedRead<double>(fused.records, off);
+      break;
+    case DataType::kDecimal128:
+      v.dec = FusedRead<Decimal128>(fused.records, off);
+      break;
+    case DataType::kString:
+      break;  // string aggregates are rejected at plan time
+  }
+  return v;
+}
+
+// ---------- layout-agnostic row access ----------
+
+uint64_t KernelRows(const GroupByKernelArgs& args) {
+  return args.fused ? args.fused->rows : args.input->rows;
+}
+
+uint64_t LoadRowKey(const GroupByKernelArgs& args, uint64_t i) {
+  if (args.fused) {
+    const FusedRecordLayout& rl = args.fused->layout;
+    const uint64_t off = i * static_cast<uint64_t>(rl.record_bytes);
+    // PackKey masks every component, so a 4-byte record key widens back to
+    // the exact 64-bit packed key.
+    if (rl.key_bytes == 4) {
+      return FusedRead<uint32_t>(args.fused->records, off);
+    }
+    return FusedRead<uint64_t>(args.fused->records, off);
+  }
+  return args.input->keys.at<uint64_t>(i);
+}
+
+uint32_t LoadRowRep(const GroupByKernelArgs& args, uint64_t i) {
+  // Fused records ship no row ids: the staged record index is the
+  // representative and the host remaps it via host_row_ids after readback.
+  if (args.fused) return static_cast<uint32_t>(i);
+  return args.input->row_ids.at<uint32_t>(i);
+}
+
+SlotValue LoadRowSlot(const GroupByKernelArgs& args, size_t s, uint64_t i) {
+  const AggSlot& slot = args.plan->slots()[s];
+  if (args.fused) return LoadFusedSlotValue(slot, *args.fused, s, i);
+  return LoadSlotValue(slot, args.input->slots[s], i);
+}
+
 // ---------- probing ----------
 
 // Finds or claims the hash-table entry for `key` via linear probing with
@@ -224,7 +310,7 @@ void AggregateRowAtomic(const GroupByKernelArgs& args, char* entry,
   const HashTableLayout& layout = *args.layout;
   for (size_t s = 0; s < slots.size(); ++s) {
     const AggSlot& slot = slots[s];
-    const SlotValue v = LoadSlotValue(slot, args.input->slots[s], i);
+    const SlotValue v = LoadRowSlot(args, s, i);
     char* slot_ptr = entry + layout.slot_offset(s);
     if (slot.lock_required) {
       uint32_t* lock =
@@ -239,25 +325,14 @@ void AggregateRowAtomic(const GroupByKernelArgs& args, char* entry,
 }
 
 char* FindOrInsert(const GroupByKernelArgs& args, uint64_t i) {
-  const uint32_t row_id = args.input->row_ids.at<uint32_t>(i);
-  if (args.input->wide_key) {
+  if (args.input != nullptr && args.input->wide_key) {
+    const uint32_t row_id = args.input->row_ids.at<uint32_t>(i);
     const WideKey& key = args.input->keys.at<WideKey>(i);
     return FindOrInsertWide(args.table, *args.layout, args.capacity, key,
                             row_id);
   }
-  const uint64_t key = args.input->keys.at<uint64_t>(i);
-  return FindOrInsertNarrow(args.table, *args.layout, args.capacity, key,
-                            row_id);
-}
-
-LaunchConfig MakeGridConfig(const gpusim::DeviceSpec& spec, uint64_t rows) {
-  LaunchConfig config;
-  config.block_dim = 256;
-  const uint64_t blocks_needed = CeilDiv(rows, config.block_dim);
-  const uint64_t max_blocks = static_cast<uint64_t>(spec.num_smx) * 16;
-  config.grid_dim = static_cast<uint32_t>(
-      std::clamp<uint64_t>(blocks_needed, 1, max_blocks));
-  return config;
+  return FindOrInsertNarrow(args.table, *args.layout, args.capacity,
+                            LoadRowKey(args, i), LoadRowRep(args, i));
 }
 
 }  // namespace
@@ -269,7 +344,7 @@ Status InitHashTable(gpusim::SimDevice* device, const HashTableLayout& layout,
   // (section 4.3.1 / table 1).
   const std::vector<char> mask = layout.BuildMask(plan);
   const uint64_t entry_bytes = static_cast<uint64_t>(layout.entry_bytes());
-  LaunchConfig config = MakeGridConfig(device->spec(), capacity);
+  LaunchConfig config = gpusim::MakeGridStrideConfig(device->spec(), capacity);
   return device->launcher().Launch(config, [&](const KernelCtx& ctx) {
     for (uint64_t e = ctx.global_thread(); e < capacity;
          e += ctx.total_threads()) {
@@ -280,8 +355,8 @@ Status InitHashTable(gpusim::SimDevice* device, const HashTableLayout& layout,
 
 Status RunKernelRegular(gpusim::SimDevice* device,
                         const GroupByKernelArgs& args) {
-  const uint64_t rows = args.input->rows;
-  LaunchConfig config = MakeGridConfig(device->spec(), rows);
+  const uint64_t rows = KernelRows(args);
+  LaunchConfig config = gpusim::MakeGridStrideConfig(device->spec(), rows);
   return device->launcher().Launch(config, [&](const KernelCtx& ctx) {
     for (uint64_t i = ctx.global_thread(); i < rows;
          i += ctx.total_threads()) {
@@ -297,10 +372,10 @@ Status RunKernelRegular(gpusim::SimDevice* device,
 
 Status RunKernelRowLock(gpusim::SimDevice* device,
                         const GroupByKernelArgs& args) {
-  const uint64_t rows = args.input->rows;
+  const uint64_t rows = KernelRows(args);
   const auto& slots = args.plan->slots();
   const HashTableLayout& layout = *args.layout;
-  LaunchConfig config = MakeGridConfig(device->spec(), rows);
+  LaunchConfig config = gpusim::MakeGridStrideConfig(device->spec(), rows);
   return device->launcher().Launch(config, [&](const KernelCtx& ctx) {
     for (uint64_t i = ctx.global_thread(); i < rows;
          i += ctx.total_threads()) {
@@ -316,7 +391,7 @@ Status RunKernelRowLock(gpusim::SimDevice* device,
           reinterpret_cast<uint32_t*>(entry + layout.lock_offset());
       DeviceSpinLock::Lock(lock);
       for (size_t s = 0; s < slots.size(); ++s) {
-        const SlotValue v = LoadSlotValue(slots[s], args.input->slots[s], i);
+        const SlotValue v = LoadRowSlot(args, s, i);
         UpdateSlotPlain(slots[s], entry + layout.slot_offset(s), v);
       }
       DeviceSpinLock::Unlock(lock);
@@ -334,7 +409,7 @@ uint64_t SharedTableCapacity(const HashTableLayout& layout,
 
 Status RunKernelSharedMem(gpusim::SimDevice* device,
                           const GroupByKernelArgs& args) {
-  if (args.input->wide_key) {
+  if (args.input != nullptr && args.input->wide_key) {
     // The shared-memory kernel targets few-group queries with narrow keys;
     // the moderator never routes wide keys here.
     return Status::InvalidArgument("kernel 2 requires a <=64-bit key");
@@ -347,7 +422,7 @@ Status RunKernelSharedMem(gpusim::SimDevice* device,
   if (shared_cap == 0) {
     return Status::InvalidArgument("hash entry too large for shared memory");
   }
-  const uint64_t rows = args.input->rows;
+  const uint64_t rows = KernelRows(args);
   const uint64_t entry_bytes = static_cast<uint64_t>(layout.entry_bytes());
   const std::vector<char> mask = layout.BuildMask(*args.plan);
   const auto& slots = args.plan->slots();
@@ -385,8 +460,8 @@ Status RunKernelSharedMem(gpusim::SimDevice* device,
   auto group_phase = [&](const KernelCtx& ctx) {
     const auto [begin, end] = block_range(ctx.block_idx);
     for (uint64_t i = begin + ctx.thread_idx; i < end; i += ctx.block_dim) {
-      const uint32_t row_id = args.input->row_ids.at<uint32_t>(i);
-      const uint64_t key = args.input->keys.at<uint64_t>(i);
+      const uint32_t row_id = LoadRowRep(args, i);
+      const uint64_t key = LoadRowKey(args, i);
       // Probe the shared table (plain ops; see memory-model note).
       char* entry = nullptr;
       uint64_t pos = ModHash(key, shared_cap);
@@ -417,7 +492,7 @@ Status RunKernelSharedMem(gpusim::SimDevice* device,
         continue;
       }
       for (size_t s = 0; s < slots.size(); ++s) {
-        const SlotValue v = LoadSlotValue(slots[s], args.input->slots[s], i);
+        const SlotValue v = LoadRowSlot(args, s, i);
         UpdateSlotPlain(slots[s], entry + layout.slot_offset(s), v);
       }
     }

@@ -26,11 +26,26 @@ struct DeviceInput {
   std::vector<SlotArrays> slots;
 };
 
-// Arguments shared by all three group-by kernels.
+// Device-resident fused group-by input (data-path fusion): one interleaved
+// record stream mirroring StagedInput::records after the host->device
+// transfer. Records carry no row ids -- the kernels store the record index
+// as the representative row and the host remaps it via
+// StagedInput::host_row_ids after readback.
+struct FusedDeviceInput {
+  uint64_t rows = 0;
+  FusedRecordLayout layout;
+  gpusim::DeviceBuffer records;  // layout.record_bytes * rows
+};
+
+// Arguments shared by all three group-by kernels. Exactly one of `input`
+// (SoA arrays) and `fused` (interleaved record stream) is set; all three
+// kernels accept either form, fusing scan, key load and aggregation into a
+// single pass over the staged records when `fused` is set.
 struct GroupByKernelArgs {
   const runtime::GroupByPlan* plan = nullptr;
   const HashTableLayout* layout = nullptr;
   const DeviceInput* input = nullptr;
+  const FusedDeviceInput* fused = nullptr;
   char* table = nullptr;       // device hash table (mask-initialized)
   uint64_t capacity = 0;       // power of two
   // Incremented when a probe wraps the whole table (table full). A nonzero

@@ -49,6 +49,48 @@ std::vector<char> HashTableLayout::BuildMask(const GroupByPlan& plan) const {
   return mask;
 }
 
+Result<FusedRecordLayout> FusedRecordLayout::Make(const GroupByPlan& plan) {
+  if (plan.wide_key()) {
+    return Status::NotSupported(
+        "fused staging requires a <=64-bit packed key");
+  }
+  FusedRecordLayout layout;
+  layout.key_bytes = plan.key_bits() <= 32 ? 4 : 8;
+  layout.tag_offset = layout.key_bytes;
+
+  const auto& slots = plan.slots();
+  layout.value_offsets.assign(slots.size(), -1);
+  layout.value_bytes.assign(slots.size(), 0);
+  layout.tag_bits.assign(slots.size(), -1);
+
+  int nullable = 0;
+  for (size_t s = 0; s < slots.size(); ++s) {
+    const AggSlot& slot = slots[s];
+    if (slot.input_column < 0) continue;  // COUNT(*): nothing shipped
+    const columnar::Column& col =
+        plan.table().column(static_cast<size_t>(slot.input_column));
+    if (col.has_nulls()) layout.tag_bits[s] = nullable++;
+  }
+  layout.tag_bytes = static_cast<int>(CeilDiv(
+      static_cast<uint64_t>(nullable), UINT64_C(8)));
+
+  int offset = layout.tag_offset + layout.tag_bytes;
+  for (size_t s = 0; s < slots.size(); ++s) {
+    const AggSlot& slot = slots[s];
+    // COUNT slots need only the validity bit; values ship at the input
+    // column's width (the kernel widens to the accumulator type), which is
+    // where most of the per-row byte savings over the unfused SoA staging
+    // (8/16-byte accumulator-width arrays + row ids) comes from.
+    if (slot.input_column < 0 || slot.fn == runtime::AggFn::kCount) continue;
+    const int w = columnar::DataTypeWidth(slot.input_type);
+    layout.value_offsets[s] = offset;
+    layout.value_bytes[s] = w == 0 ? 8 : w;
+    offset += layout.value_bytes[s];
+  }
+  layout.record_bytes = offset;
+  return layout;
+}
+
 uint64_t ChooseCapacity(uint64_t estimated_groups) {
   // Shared with the CPU flat aggregation table so the T1/T2/T3 routing
   // compares like-for-like table builds on both sides.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "runtime/groupby_plan.h"
 
 namespace blusim::groupby {
@@ -58,6 +59,39 @@ class HashTableLayout {
   std::vector<int> slot_offsets_;
   int entry_bytes_ = 0;
   int padding_bytes_ = 0;
+};
+
+// Byte layout of one fused staged record. The fused staging sweep (data-
+// path fusion: predicate eval + CCAT + validity expansion folded into the
+// MEMCPY copy) writes one compact interleaved record per *surviving* row
+// instead of the SoA arrays the unfused path stages:
+//
+//   [ packed key: 4 bytes when key_bits <= 32, else 8 ]
+//   [ validity tag: ceil(nullable_slots / 8) bytes (omitted if none) ]
+//   [ slot values at INPUT width: 4 (int32/date), 8 (int64/f64),
+//     16 (dec128); COUNT slots ship no value ]
+//
+// No row-id travels on the wire: the fused kernels store the staged record
+// index as the hash entry's representative row and the host remaps it
+// through StagedInput::host_row_ids after readback. Records are byte-
+// packed (no alignment padding); the simulated kernels read fields with
+// memcpy, which is what a coalesced byte-stream load amounts to here.
+// Only narrow (<= 64-bit) keys are supported -- wide-key queries keep the
+// unfused path.
+struct FusedRecordLayout {
+  int key_bytes = 8;        // 4 or 8
+  int tag_offset = 0;       // == key_bytes
+  int tag_bytes = 0;        // validity-bit bytes (0 = no nullable slot)
+  int record_bytes = 0;     // total stride of one staged record
+  // Per plan slot: byte offset of the value within the record (-1 when the
+  // slot ships no value), its width, and its validity bit index within the
+  // tag (-1 when the input column has no NULLs).
+  std::vector<int> value_offsets;
+  std::vector<int> value_bytes;
+  std::vector<int> tag_bits;
+
+  // Derives the layout from a plan. Fails with NotSupported for wide keys.
+  static Result<FusedRecordLayout> Make(const runtime::GroupByPlan& plan);
 };
 
 // Chooses the device hash-table capacity for an estimated group count:

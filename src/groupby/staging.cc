@@ -1,39 +1,53 @@
 #include "groupby/staging.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
 #include "common/annotations.h"
+#include "common/hash.h"
 #include "common/kmv.h"
-#include "groupby/layout.h"
 #include "runtime/evaluators.h"
+#include "runtime/operators.h"
 
 namespace blusim::groupby {
 
+using columnar::Column;
 using columnar::DataType;
 using runtime::AggSlot;
 using runtime::GroupByPlan;
 using runtime::Stride;
 using runtime::WideKey;
 
-uint64_t StagedInput::total_bytes() const {
-  uint64_t total = keys.size() + row_ids.size();
-  for (const auto& p : payloads) total += p.size();
-  for (const auto& v : validity) total += v.size();
-  return total;
+namespace {
+
+constexpr uint64_t kMorselRows = 65536;
+
+// Width of one slot's unfused SoA value-array element (accumulator width).
+uint64_t SoAValueWidth(const AggSlot& slot) {
+  return slot.acc_type == DataType::kDecimal128 ? 16 : 8;
 }
 
-Result<StagedInput> StageForDevice(const GroupByPlan& plan,
-                                   gpusim::PinnedHostPool* pinned_pool,
-                                   runtime::ThreadPool* pool,
-                                   const std::vector<uint32_t>* selection) {
+// KMV merge and first-error tracking shared by the morsel workers.
+struct SharedStageState {
+  common::Mutex mu;
+  KmvSketch kmv GUARDED_BY(mu) = KmvSketch(256);
+  Status first_error GUARDED_BY(mu);
+};
+
+Result<StagedInput> StageSoA(const GroupByPlan& plan,
+                             gpusim::PinnedHostPool* pinned_pool,
+                             runtime::ThreadPool* pool,
+                             const std::vector<uint32_t>* selection) {
   const uint64_t n =
       selection ? selection->size() : plan.table().num_rows();
   const auto& slots = plan.slots();
 
   StagedInput staged;
   staged.rows = n;
+  staged.rows_scanned = n;
   staged.wide_key = plan.wide_key();
+  staged.transfer_bytes = UnfusedStagedBytes(plan, n);
 
   // Allocate all pinned buffers up front so a pool failure costs nothing.
   const uint64_t key_bytes =
@@ -48,12 +62,10 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
     if (slot.input_column < 0) continue;  // COUNT(*): nothing staged
     // COUNT(col) ships only validity; other slots ship the value array.
     if (slot.fn != runtime::AggFn::kCount) {
-      const uint64_t width =
-          slot.acc_type == DataType::kDecimal128 ? 16 : 8;
       BLUSIM_ASSIGN_OR_RETURN(staged.payloads[s],
-                              pinned_pool->Alloc(n * width));
+                              pinned_pool->Alloc(n * SoAValueWidth(slot)));
     }
-    const columnar::Column& col =
+    const Column& col =
         plan.table().column(static_cast<size_t>(slot.input_column));
     if (col.has_nulls()) {
       BLUSIM_ASSIGN_OR_RETURN(staged.validity[s], pinned_pool->Alloc(n));
@@ -61,16 +73,10 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
   }
 
   // Parallel chain + MEMCPY into the staged buffers at morsel offsets.
-  constexpr uint64_t kMorselRows = 65536;
   const uint64_t num_morsels = runtime::NumMorsels(n, kMorselRows);
   runtime::GroupByChain chain(&plan);
 
-  // KMV merge and first-error tracking shared by the morsel workers.
-  struct SharedStageState {
-    common::Mutex mu;
-    KmvSketch kmv GUARDED_BY(mu) = KmvSketch(256);
-    Status first_error GUARDED_BY(mu);
-  } shared;
+  SharedStageState shared;
   std::atomic<bool> key_sentinel_hit{false};
 
   auto process = [&](uint64_t m) {
@@ -168,6 +174,210 @@ Result<StagedInput> StageForDevice(const GroupByPlan& plan,
   }
 
   return staged;
+}
+
+// One slot's source for the fused record write, resolved once before the
+// parallel sweep so the per-row loop touches the columns directly.
+struct FusedFieldSpec {
+  const Column* column = nullptr;
+  DataType input_type = DataType::kInt64;
+  int value_offset = -1;  // -1: validity bit only (COUNT) or nothing
+  int tag_bit = -1;       // -1: input column has no NULLs
+};
+
+Result<StagedInput> StageFusedRecords(const GroupByPlan& plan,
+                                      gpusim::PinnedHostPool* pinned_pool,
+                                      runtime::ThreadPool* pool,
+                                      const std::vector<uint32_t>* selection) {
+  BLUSIM_ASSIGN_OR_RETURN(FusedRecordLayout layout,
+                          FusedRecordLayout::Make(plan));
+  const columnar::Table& table = plan.table();
+  const std::vector<runtime::Predicate>& filter = plan.stage_filter();
+  BLUSIM_RETURN_NOT_OK(runtime::ValidatePredicates(table, filter));
+  const uint64_t n = selection ? selection->size() : table.num_rows();
+  const uint64_t stride_bytes = static_cast<uint64_t>(layout.record_bytes);
+
+  StagedInput staged;
+  staged.fused = true;
+  staged.wide_key = false;
+  staged.rows_scanned = n;
+  staged.record_layout = layout;
+
+  // The survivor count is unknown until the sweep runs, so the pinned
+  // buffer is sized for the worst case (every row passes); only the
+  // populated prefix is ever transferred (transfer_bytes).
+  BLUSIM_ASSIGN_OR_RETURN(
+      staged.records,
+      pinned_pool->Alloc(std::max<uint64_t>(n, 1) * stride_bytes));
+  staged.host_row_ids.resize(n);
+
+  const auto& slots = plan.slots();
+  std::vector<FusedFieldSpec> fields(slots.size());
+  for (size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s].input_column < 0) continue;
+    fields[s].column =
+        &table.column(static_cast<size_t>(slots[s].input_column));
+    fields[s].input_type = slots[s].input_type;
+    fields[s].value_offset = layout.value_offsets[s];
+    fields[s].tag_bit = layout.tag_bits[s];
+  }
+
+  const uint64_t num_morsels = runtime::NumMorsels(n, kMorselRows);
+  SharedStageState shared;
+  std::atomic<bool> key_sentinel_hit{false};
+  // Compaction cursor: each morsel claims a contiguous record range for
+  // its survivors. Claim order is racy, so staged-record order is
+  // nondeterministic across runs -- harmless for grouping, which is
+  // order-insensitive; the representative row a group reports may differ
+  // between runs exactly as it already does between device threads.
+  std::atomic<uint64_t> cursor{0};
+
+  auto process = [&](uint64_t m) {
+    const runtime::MorselRange range = runtime::GetMorsel(n, kMorselRows, m);
+    std::vector<char> scratch(range.size() * stride_bytes);
+    std::vector<uint32_t> ids;
+    ids.reserve(range.size());
+    KmvSketch kmv(256);
+    uint64_t count = 0;
+    uint64_t sentinel_seen = 0;
+
+    for (uint64_t pos = range.begin; pos < range.end; ++pos) {
+      const uint32_t row =
+          selection ? (*selection)[pos] : static_cast<uint32_t>(pos);
+      // Fused filter: failing rows are never keyed, hashed or staged.
+      if (!filter.empty() &&
+          !runtime::RowMatchesPredicates(table, filter, row)) {
+        continue;
+      }
+      const uint64_t key = plan.PackKey(row);
+      // A 4-byte key (key_bits <= 32) can never equal the 64-bit all-Fs
+      // sentinel; only full-width keys need the check.
+      sentinel_seen |=
+          static_cast<uint64_t>(layout.key_bytes == 8 && key == kEmptyKey64);
+      // Same hash the HASH evaluator feeds its sketch, so fused and
+      // unfused staging report identical group estimates for identical
+      // survivor sets.
+      kmv.AddHash(Mix64(key));
+
+      char* rec = scratch.data() + count * stride_bytes;
+      if (layout.key_bytes == 4) {
+        const uint32_t k32 = static_cast<uint32_t>(key);
+        std::memcpy(rec, &k32, 4);
+      } else {
+        std::memcpy(rec, &key, 8);
+      }
+      uint32_t tag = 0;
+      for (size_t s = 0; s < fields.size(); ++s) {
+        const FusedFieldSpec& f = fields[s];
+        if (f.column == nullptr) continue;
+        if (f.tag_bit >= 0 && !f.column->IsNull(row)) {
+          tag |= 1u << f.tag_bit;
+        }
+        if (f.value_offset < 0) continue;
+        char* dst = rec + f.value_offset;
+        // NULL rows still copy the placeholder value; the kernel masks
+        // them via the validity tag, mirroring the SoA arrays.
+        switch (f.input_type) {
+          case DataType::kInt32:
+          case DataType::kDate:
+            std::memcpy(dst, &f.column->int32_data()[row], 4);
+            break;
+          case DataType::kInt64:
+            std::memcpy(dst, &f.column->int64_data()[row], 8);
+            break;
+          case DataType::kFloat64:
+            std::memcpy(dst, &f.column->float64_data()[row], 8);
+            break;
+          case DataType::kDecimal128:
+            std::memcpy(dst, &f.column->decimal_data()[row], 16);
+            break;
+          case DataType::kString:
+            break;  // string aggregates are rejected at plan time
+        }
+      }
+      if (layout.tag_bytes > 0) {
+        std::memcpy(rec + layout.tag_offset, &tag,
+                    static_cast<size_t>(layout.tag_bytes));
+      }
+      ids.push_back(row);
+      ++count;
+    }
+
+    if (sentinel_seen != 0) {
+      key_sentinel_hit.store(true, std::memory_order_relaxed);
+    }
+    if (count > 0) {
+      const uint64_t base = cursor.fetch_add(count, std::memory_order_relaxed);
+      std::memcpy(staged.records.data() + base * stride_bytes, scratch.data(),
+                  count * stride_bytes);
+      std::memcpy(staged.host_row_ids.data() + base, ids.data(),
+                  count * sizeof(uint32_t));
+    }
+    common::MutexLock lock(&shared.mu);
+    shared.kmv.Merge(kmv);
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_morsels, process);
+  } else {
+    for (uint64_t m = 0; m < num_morsels; ++m) process(m);
+  }
+
+  staged.rows = cursor.load();
+  staged.host_row_ids.resize(staged.rows);
+  staged.transfer_bytes = staged.rows * stride_bytes;
+  {
+    common::MutexLock lock(&shared.mu);
+    staged.kmv_estimate = shared.kmv.Estimate();
+  }
+
+  if (key_sentinel_hit.load()) {
+    return Status::NotSupported(
+        "a packed grouping key equals the empty-entry sentinel (all Fs); "
+        "query falls back to the CPU chain");
+  }
+
+  return staged;
+}
+
+}  // namespace
+
+uint64_t StagedInput::pinned_bytes() const {
+  uint64_t total = keys.size() + row_ids.size() + records.size();
+  for (const auto& p : payloads) total += p.size();
+  for (const auto& v : validity) total += v.size();
+  return total;
+}
+
+uint64_t UnfusedStagedBytes(const GroupByPlan& plan, uint64_t rows) {
+  uint64_t bytes =
+      rows * (plan.wide_key() ? sizeof(WideKey) : sizeof(uint64_t));
+  bytes += rows * sizeof(uint32_t);  // row ids
+  for (const AggSlot& slot : plan.slots()) {
+    if (slot.input_column < 0) continue;
+    if (slot.fn != runtime::AggFn::kCount) {
+      bytes += rows * SoAValueWidth(slot);
+    }
+    const Column& col =
+        plan.table().column(static_cast<size_t>(slot.input_column));
+    if (col.has_nulls()) bytes += rows;
+  }
+  return bytes;
+}
+
+Result<StagedInput> StageForDevice(const GroupByPlan& plan,
+                                   gpusim::PinnedHostPool* pinned_pool,
+                                   runtime::ThreadPool* pool,
+                                   const std::vector<uint32_t>* selection,
+                                   StageMode mode) {
+  // A deferred predicate can only be evaluated by the fused sweep; the SoA
+  // MEMCPY chain expects its filter to have run upstream (FilterScan), so a
+  // plan carrying a stage filter always takes the fused path regardless of
+  // the cost-based mode choice.
+  if (mode == StageMode::kFusedRecords || !plan.stage_filter().empty()) {
+    return StageFusedRecords(plan, pinned_pool, pool, selection);
+  }
+  return StageSoA(plan, pinned_pool, pool, selection);
 }
 
 }  // namespace blusim::groupby

@@ -41,6 +41,7 @@ struct Args {
   uint64_t rows = 300000;
   uint64_t device_mem_mb = 16;
   bool explain = true;
+  bool fusion = true;
 };
 
 void Usage(const char* prog) {
@@ -48,7 +49,7 @@ void Usage(const char* prog) {
       stderr,
       "usage: %s [--trace-out PATH] [--metrics-out PATH] [--json-out PATH]\n"
       "          [--streams N] [--reps N] [--rows N] [--device-mem-mb N]\n"
-      "          [--no-explain]\n",
+      "          [--no-explain] [--no-fusion]\n",
       prog);
 }
 
@@ -81,6 +82,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->device_mem_mb = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--no-explain") {
       args->explain = false;
+    } else if (flag == "--no-fusion") {
+      args->fusion = false;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -120,6 +123,7 @@ int main(int argc, char** argv) {
   config.device_spec =
       config.device_spec.WithMemory(args.device_mem_mb << 20);
   config.pinned_pool_bytes = 64ULL << 20;
+  config.enable_fusion = args.fusion;
   auto engine = harness::MakeEngine(*db, config);
 
   // Mixed workload: figure 8's GPU-heavy group-by/sort pair plus a few

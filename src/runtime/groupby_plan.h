@@ -9,6 +9,7 @@
 #include "columnar/table.h"
 #include "common/status.h"
 #include "runtime/agg.h"
+#include "runtime/operators.h"
 
 namespace blusim::runtime {
 
@@ -84,6 +85,16 @@ class GroupByPlan {
   // slots' input value widths), for transfer costing.
   int payload_bytes_per_row() const;
 
+  // Scan predicates carried into the staging sweep (data-path fusion):
+  // when non-empty, the fused StageForDevice evaluates them during the
+  // pinned-buffer copy and never stages failing rows. The unfused path
+  // ignores them (the engine runs FilterScan up front instead). Column
+  // indices must be pre-validated (ValidatePredicates).
+  void set_stage_filter(std::vector<Predicate> filter) {
+    stage_filter_ = std::move(filter);
+  }
+  const std::vector<Predicate>& stage_filter() const { return stage_filter_; }
+
   // --- Row-level key extraction (used by evaluators and tests) ---
   // Packs row `row`'s grouping key; valid only when !wide_key().
   uint64_t PackKey(size_t row) const;
@@ -97,6 +108,7 @@ class GroupByPlan {
   int key_bits_ = 0;
   int wide_key_bytes_ = 0;
   std::vector<int> component_bits_;
+  std::vector<Predicate> stage_filter_;
   std::vector<std::vector<int32_t>> string_codes_;
   std::vector<AggSlot> slots_;
   std::vector<OutputAgg> outputs_;

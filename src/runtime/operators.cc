@@ -48,15 +48,31 @@ bool EvalPredicate(const Predicate& p, const Column& col, uint32_t row) {
 
 }  // namespace
 
-Result<std::vector<uint32_t>> FilterScan(
-    const Table& table, const std::vector<Predicate>& predicates,
-    ThreadPool* pool) {
+bool RowMatchesPredicates(const Table& table,
+                          const std::vector<Predicate>& predicates,
+                          uint32_t row) {
+  for (const Predicate& p : predicates) {
+    const Column& col = table.column(static_cast<size_t>(p.column));
+    if (!EvalPredicate(p, col, row)) return false;
+  }
+  return true;
+}
+
+Status ValidatePredicates(const Table& table,
+                          const std::vector<Predicate>& predicates) {
   for (const Predicate& p : predicates) {
     if (p.column < 0 || static_cast<size_t>(p.column) >= table.num_columns()) {
       return Status::InvalidArgument("predicate on bad column " +
                                      std::to_string(p.column));
     }
   }
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> FilterScan(
+    const Table& table, const std::vector<Predicate>& predicates,
+    ThreadPool* pool) {
+  BLUSIM_RETURN_NOT_OK(ValidatePredicates(table, predicates));
   const uint64_t total = table.num_rows();
   const uint64_t num_morsels = NumMorsels(total, kMorselRows);
   std::vector<std::vector<uint32_t>> partials(num_morsels);
@@ -65,15 +81,9 @@ Result<std::vector<uint32_t>> FilterScan(
     const MorselRange r = GetMorsel(total, kMorselRows, m);
     std::vector<uint32_t>& out = partials[m];
     for (uint64_t row = r.begin; row < r.end; ++row) {
-      bool pass = true;
-      for (const Predicate& p : predicates) {
-        const Column& col = table.column(static_cast<size_t>(p.column));
-        if (!EvalPredicate(p, col, static_cast<uint32_t>(row))) {
-          pass = false;
-          break;
-        }
+      if (RowMatchesPredicates(table, predicates, static_cast<uint32_t>(row))) {
+        out.push_back(static_cast<uint32_t>(row));
       }
-      if (pass) out.push_back(static_cast<uint32_t>(row));
     }
   };
 

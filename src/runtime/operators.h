@@ -38,6 +38,18 @@ Result<std::vector<uint32_t>> FilterScan(
     const columnar::Table& table, const std::vector<Predicate>& predicates,
     ThreadPool* pool);
 
+// Row-at-a-time predicate conjunction, shared by FilterScan and the fused
+// staging sweep (which evaluates the filter during the pinned-buffer copy
+// instead of materializing a selection vector first). Column indices must
+// be valid -- see ValidatePredicates.
+bool RowMatchesPredicates(const columnar::Table& table,
+                          const std::vector<Predicate>& predicates,
+                          uint32_t row);
+
+// Checks every predicate's column index against the table's schema.
+Status ValidatePredicates(const columnar::Table& table,
+                          const std::vector<Predicate>& predicates);
+
 // Equi-join spec: fact.fk_column == dim.pk_column. The probe side is the
 // fact table (optionally pre-filtered via `fact_selection`), the build side
 // the dimension table (optionally pre-filtered via `dim_selection`).

@@ -265,7 +265,7 @@ TEST_F(GpuGroupByTest, KernelReportsOverflowOnFullTable) {
   const HashTableLayout layout(plan.value());
   const uint64_t capacity = 64;  // far fewer than 1000 groups
   auto reservation = device_.memory().Reserve(
-      layout.TableBytes(capacity) + staged->total_bytes());
+      layout.TableBytes(capacity) + staged->pinned_bytes());
   ASSERT_TRUE(reservation.ok());
 
   DeviceInput input;

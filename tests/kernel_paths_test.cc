@@ -63,7 +63,7 @@ TEST_F(KernelPathsTest, Kernel2SpillsToGlobalWhenSharedTableOverflows) {
   const HashTableLayout layout(plan.value());
   const uint64_t capacity = ChooseCapacity(groups);
   auto reservation = device_.memory().Reserve(
-      staged->total_bytes() + layout.TableBytes(capacity));
+      staged->pinned_bytes() + layout.TableBytes(capacity));
   ASSERT_TRUE(reservation.ok());
 
   DeviceInput input;
