@@ -9,6 +9,7 @@
 // BLUSIM_SERVE_REPS (default 1), BLUSIM_SERVE_MAX_CONCURRENT (default 3),
 // BLUSIM_SERVE_QUEUE (default 16), plus bench_common's BLUSIM_SCALE_ROWS.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -55,7 +56,20 @@ struct SweepPoint {
   int64_t wall_us = 0;
   double queries_per_sec = 0;
   double mean_sim_elapsed_ms = 0;
+  // Tail latency (ms): wall-clock submit-to-return and admission wait.
+  double e2e_p50_ms = 0, e2e_p95_ms = 0, e2e_p99_ms = 0;
+  double wait_p50_ms = 0, wait_p95_ms = 0, wait_p99_ms = 0;
 };
+
+// Nearest-rank percentile over an unsorted sample (sorts a copy).
+double PercentileMs(std::vector<int64_t> us, double q) {
+  if (us.empty()) return 0;
+  std::sort(us.begin(), us.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(us.size()) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > us.size()) rank = us.size();
+  return static_cast<double>(us[rank - 1]) / 1000.0;
+}
 
 }  // namespace
 
@@ -111,22 +125,42 @@ int main() {
                   static_cast<double>(run->wall_us)
             : 0;
     SimTime sim_total = 0;
-    for (const auto& r : run->results) sim_total += r.elapsed;
+    std::vector<int64_t> e2e_us, wait_us;
+    e2e_us.reserve(run->results.size());
+    wait_us.reserve(run->results.size());
+    for (const auto& r : run->results) {
+      sim_total += r.elapsed;
+      e2e_us.push_back(r.wall_e2e_us);
+      wait_us.push_back(static_cast<int64_t>(r.admission_wait_us));
+    }
     p.mean_sim_elapsed_ms =
         p.completed > 0
             ? static_cast<double>(sim_total) / 1000.0 /
                   static_cast<double>(p.completed)
             : 0;
+    p.e2e_p50_ms = PercentileMs(e2e_us, 0.50);
+    p.e2e_p95_ms = PercentileMs(e2e_us, 0.95);
+    p.e2e_p99_ms = PercentileMs(e2e_us, 0.99);
+    p.wait_p50_ms = PercentileMs(wait_us, 0.50);
+    p.wait_p95_ms = PercentileMs(wait_us, 0.95);
+    p.wait_p99_ms = PercentileMs(wait_us, 0.99);
     points.push_back(p);
   }
 
   harness::ReportTable table({"Streams", "Completed", "Shed", "Degraded",
-                              "Wall q/s", "Mean sim (ms)"});
+                              "Wall q/s", "Mean sim (ms)", "E2E p50/p95/p99",
+                              "Wait p50/p95/p99"});
   for (const SweepPoint& p : points) {
     table.AddRow({std::to_string(p.streams), std::to_string(p.completed),
                   std::to_string(p.shed), std::to_string(p.degraded),
                   harness::FormatDouble(p.queries_per_sec),
-                  harness::FormatDouble(p.mean_sim_elapsed_ms)});
+                  harness::FormatDouble(p.mean_sim_elapsed_ms),
+                  harness::FormatDouble(p.e2e_p50_ms) + "/" +
+                      harness::FormatDouble(p.e2e_p95_ms) + "/" +
+                      harness::FormatDouble(p.e2e_p99_ms),
+                  harness::FormatDouble(p.wait_p50_ms) + "/" +
+                      harness::FormatDouble(p.wait_p95_ms) + "/" +
+                      harness::FormatDouble(p.wait_p99_ms)});
   }
   table.Print();
   std::printf(
@@ -155,13 +189,20 @@ int main() {
         f,
         "    {\"streams\": %d, \"submitted\": %llu, \"completed\": %llu,\n"
         "     \"shed\": %llu, \"degraded\": %llu, \"wall_us\": %lld,\n"
-        "     \"queries_per_sec\": %.2f, \"mean_sim_elapsed_ms\": %.2f}%s\n",
+        "     \"queries_per_sec\": %.2f, \"mean_sim_elapsed_ms\": %.2f,\n"
+        "     \"e2e_p50_ms\": %.2f, \"e2e_p95_ms\": %.2f, "
+        "\"e2e_p99_ms\": %.2f,\n"
+        "     \"admission_wait_p50_ms\": %.2f, "
+        "\"admission_wait_p95_ms\": %.2f, "
+        "\"admission_wait_p99_ms\": %.2f}%s\n",
         p.streams, static_cast<unsigned long long>(p.submitted),
         static_cast<unsigned long long>(p.completed),
         static_cast<unsigned long long>(p.shed),
         static_cast<unsigned long long>(p.degraded),
         static_cast<long long>(p.wall_us), p.queries_per_sec,
-        p.mean_sim_elapsed_ms, i + 1 < points.size() ? "," : "");
+        p.mean_sim_elapsed_ms, p.e2e_p50_ms, p.e2e_p95_ms, p.e2e_p99_ms,
+        p.wait_p50_ms, p.wait_p95_ms, p.wait_p99_ms,
+        i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

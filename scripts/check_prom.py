@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition.
+
+Used by CI to smoke-test the runner's live monitor endpoint:
+
+    check_prom.py --url http://127.0.0.1:9464/metrics --retries 60 \
+        --require blusim_queries_total --require blusim_latency_window_p99_us
+
+or against a file written by `runner --metrics-out`:
+
+    check_prom.py --file metrics.prom --require blusim_serve_admitted_total
+
+Checks performed:
+  - every non-comment line matches the sample-line grammar
+  - `# TYPE` precedes the samples of its family, families are contiguous
+  - histogram `_bucket` series are cumulative (monotone non-decreasing in
+    `le` order) and end with an `+Inf` bucket
+  - histogram `_count` equals the `+Inf` bucket; `_sum` is present
+  - every `--require`d family is present with at least one sample
+
+Exits non-zero with a message per failure. Standard library only.
+"""
+
+import argparse
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?:\s+[-+]?[0-9]+)?\s*$"
+)
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$'
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name, types):
+    """Family a sample line belongs to. Histogram suffixes fold into the
+    declared histogram family; a standalone gauge that merely ends in
+    `_count` (e.g. blusim_latency_window_count) is its own family."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and types.get(base) in ("histogram", "summary"):
+            return base
+    return name
+
+
+def parse_labels(raw):
+    """Split a label body on top-level commas, respecting quotes."""
+    labels = {}
+    if not raw:
+        return labels
+    parts, depth, cur = [], False, ""
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c == '"' and (i == 0 or raw[i - 1] != "\\"):
+            depth = not depth
+        if c == "," and not depth:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += c
+        i += 1
+    if cur.strip():
+        parts.append(cur)
+    for part in parts:
+        part = part.strip()
+        if not LABEL_RE.match(part):
+            raise ValueError(f"bad label pair: {part!r}")
+        key, _, value = part.partition("=")
+        labels[key] = value[1:-1]
+    return labels
+
+
+def check(text, required):
+    errors = []
+    types = {}          # family -> declared type
+    samples = {}        # family -> [(name, labels, value)]
+    family_order = []   # first-seen order of sample families
+    seen_closed = set() # families whose sample run has ended
+
+    current = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            family = parts[2]
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        family = base_family(name, types)
+        try:
+            labels = parse_labels(m.group("labels"))
+        except ValueError as e:
+            errors.append(f"line {lineno}: {e}")
+            continue
+        if family not in types:
+            errors.append(
+                f"line {lineno}: sample {name} has no preceding # TYPE")
+        if family != current:
+            if family in seen_closed:
+                errors.append(
+                    f"line {lineno}: family {family} is not contiguous")
+            if current is not None:
+                seen_closed.add(current)
+            current = family
+            if family not in samples:
+                family_order.append(family)
+        samples.setdefault(family, []).append(
+            (name, labels, float(m.group("value"))))
+
+    # Histogram invariants.
+    for family, ftype in types.items():
+        if ftype != "histogram" or family not in samples:
+            continue
+        # Group by the label set minus `le`.
+        series = {}
+        sums = {}
+        counts = {}
+        for name, labels, value in samples[family]:
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            if name == family + "_bucket":
+                series.setdefault(key, []).append(
+                    (labels.get("le", ""), value))
+            elif name == family + "_sum":
+                sums[key] = value
+            elif name == family + "_count":
+                counts[key] = value
+        for key, buckets in series.items():
+            def le_key(item):
+                return float("inf") if item[0] in ("+Inf", "Inf") \
+                    else float(item[0])
+            ordered = sorted(buckets, key=le_key)
+            values = [v for _, v in ordered]
+            if any(b > a for a, b in zip(values[1:], values)):
+                errors.append(
+                    f"{family}{dict(key)}: buckets not cumulative")
+            if not ordered or ordered[-1][0] not in ("+Inf", "Inf"):
+                errors.append(f"{family}{dict(key)}: missing +Inf bucket")
+            elif key in counts and counts[key] != ordered[-1][1]:
+                errors.append(
+                    f"{family}{dict(key)}: _count {counts[key]} != +Inf "
+                    f"bucket {ordered[-1][1]}")
+            if key not in sums:
+                errors.append(f"{family}{dict(key)}: missing _sum")
+            if key not in counts:
+                errors.append(f"{family}{dict(key)}: missing _count")
+
+    for family in required:
+        if family not in samples or not samples[family]:
+            errors.append(f"required family absent: {family}")
+
+    return errors, len(samples)
+
+
+def fetch(url, retries, delay):
+    last = None
+    for _ in range(max(1, retries)):
+        try:
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                return resp.read().decode("utf-8", "replace")
+        except (urllib.error.URLError, OSError, TimeoutError) as e:
+            last = e
+            time.sleep(delay)
+    raise SystemExit(f"cannot fetch {url} after {retries} attempts: {last}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--url", help="scrape this endpoint")
+    src.add_argument("--file", help="read exposition from this file")
+    ap.add_argument("--retries", type=int, default=1,
+                    help="connection attempts for --url (1s apart)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="FAMILY",
+                    help="fail unless this metric family is present")
+    args = ap.parse_args()
+
+    if args.url:
+        text = fetch(args.url, args.retries, delay=1.0)
+    else:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    errors, nfamilies = check(text, args.require)
+    if errors:
+        for e in errors:
+            print(f"check_prom: FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"check_prom: OK ({nfamilies} families, "
+          f"{len(args.require)} required present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -745,8 +745,10 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query,
     trace.Annotate("degraded", "true");
   }
   metrics_
-      .GetHistogram("blusim_query_elapsed_us", {},
-                    "Serial elapsed time per query (simulated microseconds)")
+      .GetHistogram("blusim_query_elapsed_us",
+                    {{"class", QueryShapeName(query)}},
+                    "Serial elapsed time per query (simulated microseconds), "
+                    "by query shape class")
       ->Observe(static_cast<uint64_t>(profile.total_elapsed));
   profile.trace = trace.Finish();
 

@@ -47,6 +47,17 @@ struct QuerySpec {
   uint64_t limit = 0;
 };
 
+// Observability class of a query, derived from its shape: the serving
+// layer's SLO windows and the engine's cumulative latency histogram key on
+// the same value so the two views agree. Join-bearing queries dominate
+// their cost regardless of the group-by behind them, hence the order.
+inline const char* QueryShapeName(const QuerySpec& query) {
+  if (!query.joins.empty()) return "join";
+  if (query.groupby.has_value()) return "groupby";
+  if (!query.order_by.empty()) return "sort";
+  return "simple";
+}
+
 }  // namespace blusim::core
 
 #endif  // BLUSIM_CORE_QUERY_H_

@@ -18,6 +18,10 @@ struct QueryRunResult {
   SimTime elapsed = 0;  // simulated microseconds (averaged over reps)
   core::QueryProfile profile;  // profile of the last repetition
   bool gpu_used = false;
+  // Served runs only (RunServedStreams): wall-clock submit-to-return time
+  // and the simulated admission-queue wait charged into the profile.
+  int64_t wall_e2e_us = 0;
+  SimTime admission_wait_us = 0;
 };
 
 struct SerialRunOptions {

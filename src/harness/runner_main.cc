@@ -6,22 +6,34 @@
 //   runner --trace-out t.json --metrics-out m.prom [--json-out m.json]
 //          [--streams 4] [--reps 2] [--rows 300000] [--device-mem-mb 16]
 //
+// Serving mode (--serve) routes the same streams through the admission-
+// controlled QueryService instead of raw engine threads, which turns on the
+// serving observability layer: SLO windows, the query flight recorder
+// (--flight-out, --sample-every) and the live monitor endpoint
+// (--monitor-port; /metrics, /flight, /snapshot). --monitor-hold-ms keeps
+// the process alive after the run so scrapers can read the final state.
+//
 // The trace file loads directly into Perfetto / chrome://tracing; the
 // metrics file is Prometheus text exposition format.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/explain.h"
 #include "harness/monitor_report.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "harness/serve_driver.h"
 #include "obs/export_chrome.h"
 #include "obs/export_json.h"
 #include "obs/export_prometheus.h"
+#include "obs/monitor_server.h"
+#include "serve/query_service.h"
 #include "workload/data_gen.h"
 #include "workload/queries.h"
 
@@ -33,6 +45,7 @@ struct Args {
   std::string trace_out;
   std::string metrics_out;
   std::string json_out;
+  std::string flight_out;
   int streams = 4;
   int reps = 2;
   // Defaults picked so the heavy group-by (~13 MB job) fits the device
@@ -42,6 +55,10 @@ struct Args {
   uint64_t device_mem_mb = 16;
   bool explain = true;
   bool fusion = true;
+  bool serve = false;
+  int monitor_port = -1;     // >= 0 starts the monitor (0 = ephemeral)
+  int64_t monitor_hold_ms = 0;
+  uint64_t sample_every = 8;
 };
 
 void Usage(const char* prog) {
@@ -49,7 +66,12 @@ void Usage(const char* prog) {
       stderr,
       "usage: %s [--trace-out PATH] [--metrics-out PATH] [--json-out PATH]\n"
       "          [--streams N] [--reps N] [--rows N] [--device-mem-mb N]\n"
-      "          [--no-explain] [--no-fusion]\n",
+      "          [--no-explain] [--no-fusion]\n"
+      "          [--serve] [--monitor-port N] [--monitor-hold-ms N]\n"
+      "          [--flight-out PATH] [--sample-every N]\n"
+      "\n"
+      "--monitor-port implies --serve. Monitor paths: /metrics (Prometheus\n"
+      "text), /flight (anomalous queries, JSON), /snapshot (metrics JSON).\n",
       prog);
 }
 
@@ -68,6 +90,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!next(&args->metrics_out)) return false;
     } else if (flag == "--json-out") {
       if (!next(&args->json_out)) return false;
+    } else if (flag == "--flight-out") {
+      if (!next(&args->flight_out)) return false;
     } else if (flag == "--streams") {
       if (!next(&value)) return false;
       args->streams = std::atoi(value.c_str());
@@ -84,6 +108,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->explain = false;
     } else if (flag == "--no-fusion") {
       args->fusion = false;
+    } else if (flag == "--serve") {
+      args->serve = true;
+    } else if (flag == "--monitor-port") {
+      if (!next(&value)) return false;
+      args->monitor_port = std::atoi(value.c_str());
+      args->serve = true;
+    } else if (flag == "--monitor-hold-ms") {
+      if (!next(&value)) return false;
+      args->monitor_hold_ms = std::atoll(value.c_str());
+    } else if (flag == "--sample-every") {
+      if (!next(&value)) return false;
+      args->sample_every = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -92,6 +128,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   }
   return true;
+}
+
+bool WriteStringToFile(const std::string& body, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = (written == body.size()) && (std::fclose(f) == 0);
+  if (!ok && written != body.size()) std::fclose(f);
+  return ok;
 }
 
 }  // namespace
@@ -136,28 +181,102 @@ int main(int argc, char** argv) {
     queries.push_back(simple[i]);
   }
 
-  harness::ConcurrentRunOptions run_options;
-  run_options.streams = args.streams;
-  run_options.reps = args.reps;
-  auto results =
-      harness::RunConcurrentStreams(engine.get(), queries, run_options);
-  if (!results.ok()) {
-    std::fprintf(stderr, "run failed: %s\n",
-                 results.status().message().c_str());
-    return 1;
+  std::unique_ptr<serve::QueryService> service;
+  std::unique_ptr<obs::MonitorServer> monitor;
+  if (args.serve) {
+    serve::ServiceOptions sopts;
+    sopts.flight.sample_every = args.sample_every;
+    service = std::make_unique<serve::QueryService>(engine.get(), sopts);
+  }
+  if (args.monitor_port >= 0) {
+    obs::MonitorOptions mopts;
+    mopts.port = args.monitor_port;
+    monitor = std::make_unique<obs::MonitorServer>(mopts);
+    monitor->AttachMetrics(&engine->metrics());
+    serve::QueryService* svc = service.get();
+    core::Engine* eng = engine.get();
+    monitor->AddHandler("/metrics", [svc, eng](std::string* content_type) {
+      *content_type = "text/plain; version=0.0.4";
+      harness::SyncDeviceMetrics(eng);
+      return obs::RenderPrometheusText(svc->CollectSamples());
+    });
+    monitor->AddHandler("/flight", [svc](std::string* content_type) {
+      *content_type = "application/json";
+      return svc->flight_recorder().RenderJson(/*anomalies_only=*/true);
+    });
+    monitor->AddHandler("/snapshot", [svc, eng](std::string* content_type) {
+      *content_type = "application/json";
+      harness::SyncDeviceMetrics(eng);
+      return obs::RenderMetricsJson(svc->CollectSamples());
+    });
+    // Started BEFORE the run: the point of a live monitor is watching the
+    // run while it happens, not a post-mortem.
+    Status started = monitor->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "monitor start failed: %s\n",
+                   started.message().c_str());
+      return 1;
+    }
+    std::printf("monitor listening on http://%s:%d (paths: /metrics "
+                "/flight /snapshot)\n",
+                mopts.bind_address.c_str(), monitor->port());
+    std::fflush(stdout);
   }
 
-  std::printf("%zu query executions (%d streams x %d reps x %zu queries)\n",
-              results->size(), run_options.streams, run_options.reps,
-              queries.size());
+  std::vector<harness::QueryRunResult> results;
+  if (args.serve) {
+    harness::ServedRunOptions run_options;
+    run_options.streams = args.streams;
+    run_options.reps = args.reps;
+    auto served =
+        harness::RunServedStreams(service.get(), queries, run_options);
+    if (!served.ok()) {
+      std::fprintf(stderr, "serve run failed: %s\n",
+                   served.status().message().c_str());
+      return 1;
+    }
+    results = std::move(served->results);
+    const serve::ServiceStats stats = service->stats();
+    std::printf(
+        "%zu served queries (%d streams x %d reps x %zu queries): "
+        "%llu submitted, %llu shed, %llu degraded, %llu failed, "
+        "wall %.1f ms\n",
+        results.size(), run_options.streams, run_options.reps,
+        queries.size(), static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.degraded),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<double>(served->wall_us) / 1000.0);
+    const obs::FlightRecorder& flight = service->flight_recorder();
+    std::printf("flight recorder: %zu records (%zu pinned, ~%zu KiB, "
+                "%llu evictions)\n",
+                flight.size(), flight.pinned_count(),
+                flight.approx_bytes() >> 10,
+                static_cast<unsigned long long>(flight.evictions()));
+  } else {
+    harness::ConcurrentRunOptions run_options;
+    run_options.streams = args.streams;
+    run_options.reps = args.reps;
+    auto concurrent =
+        harness::RunConcurrentStreams(engine.get(), queries, run_options);
+    if (!concurrent.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   concurrent.status().message().c_str());
+      return 1;
+    }
+    results = std::move(*concurrent);
+    std::printf("%zu query executions (%d streams x %d reps x %zu queries)\n",
+                results.size(), run_options.streams, run_options.reps,
+                queries.size());
+  }
   int gpu_runs = 0;
-  for (const auto& r : *results) gpu_runs += r.gpu_used ? 1 : 0;
+  for (const auto& r : results) gpu_runs += r.gpu_used ? 1 : 0;
   std::printf("GPU used in %d executions\n", gpu_runs);
 
-  if (args.explain) {
+  if (args.explain && !results.empty()) {
     // One EXPLAIN ANALYZE sample: the first GPU execution (else the first).
-    const harness::QueryRunResult* sample = &results->front();
-    for (const auto& r : *results) {
+    const harness::QueryRunResult* sample = &results.front();
+    for (const auto& r : results) {
       if (r.gpu_used) {
         sample = &r;
         break;
@@ -179,8 +298,8 @@ int main(int argc, char** argv) {
 
   if (!args.trace_out.empty()) {
     std::vector<const obs::QueryTrace*> traces;
-    traces.reserve(results->size());
-    for (const auto& r : *results) traces.push_back(&r.profile.trace);
+    traces.reserve(results.size());
+    for (const auto& r : results) traces.push_back(&r.profile.trace);
     if (!obs::WriteChromeTrace(traces, args.trace_out)) {
       std::fprintf(stderr, "cannot write %s\n", args.trace_out.c_str());
       return 1;
@@ -191,7 +310,15 @@ int main(int argc, char** argv) {
 
   harness::SyncDeviceMetrics(engine.get());
   if (!args.metrics_out.empty()) {
-    if (!obs::WritePrometheusText(engine->metrics(), args.metrics_out)) {
+    // Serving mode merges the SLO window gauges into the snapshot -- the
+    // same body the /metrics endpoint serves.
+    const bool ok =
+        args.serve
+            ? WriteStringToFile(
+                  obs::RenderPrometheusText(service->CollectSamples()),
+                  args.metrics_out)
+            : obs::WritePrometheusText(engine->metrics(), args.metrics_out);
+    if (!ok) {
       std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
       return 1;
     }
@@ -200,11 +327,37 @@ int main(int argc, char** argv) {
                 args.metrics_out.c_str());
   }
   if (!args.json_out.empty()) {
-    if (!obs::WriteMetricsJson(engine->metrics(), args.json_out)) {
+    const bool ok =
+        args.serve
+            ? WriteStringToFile(
+                  obs::RenderMetricsJson(service->CollectSamples()),
+                  args.json_out)
+            : obs::WriteMetricsJson(engine->metrics(), args.json_out);
+    if (!ok) {
       std::fprintf(stderr, "cannot write %s\n", args.json_out.c_str());
       return 1;
     }
     std::printf("JSON metrics -> %s\n", args.json_out.c_str());
   }
+  if (!args.flight_out.empty()) {
+    if (service == nullptr) {
+      std::fprintf(stderr, "--flight-out requires --serve\n");
+      return 2;
+    }
+    if (!service->flight_recorder().DumpChromeTrace(args.flight_out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.flight_out.c_str());
+      return 1;
+    }
+    std::printf("Flight recorder trace -> %s\n", args.flight_out.c_str());
+  }
+
+  if (monitor != nullptr && args.monitor_hold_ms > 0) {
+    std::printf("holding for %lld ms for scrapers (ctrl-c to stop)\n",
+                static_cast<long long>(args.monitor_hold_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(args.monitor_hold_ms));
+  }
+  if (monitor != nullptr) monitor->Stop();
   return 0;
 }

@@ -21,7 +21,10 @@ Result<ServedRunResult> RunServedStreams(
     Status first_error GUARDED_BY(mu);
   } state;
 
-  auto stream_fn = [&]() {
+  auto stream_fn = [&](int stream_index) {
+    // Each stream submits under its own tenant label so the SLO windows
+    // and the flight recorder can attribute load per client.
+    const std::string tenant = "stream-" + std::to_string(stream_index);
     for (int rep = 0; rep < reps; ++rep) {
       for (const workload::WorkloadQuery& wq : queries) {
         {
@@ -29,7 +32,12 @@ Result<ServedRunResult> RunServedStreams(
           if (!state.first_error.ok()) return;
           ++state.run.submitted;
         }
-        auto qr = service->Submit(wq.spec);
+        const auto submit_start = std::chrono::steady_clock::now();
+        auto qr = service->Submit(wq.spec, tenant);
+        const int64_t wall_e2e_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - submit_start)
+                .count();
         common::MutexLock lock(&state.mu);
         if (!qr.ok()) {
           if (qr.status().code() == StatusCode::kOverloaded) {
@@ -51,6 +59,13 @@ Result<ServedRunResult> RunServedStreams(
         r.qclass = wq.qclass;
         r.elapsed = qr->profile.total_elapsed;
         r.gpu_used = qr->profile.gpu_used;
+        r.wall_e2e_us = wall_e2e_us;
+        for (const core::PhaseRecord& phase : qr->profile.phases) {
+          if (phase.label == "admission-wait") {
+            r.admission_wait_us = phase.cpu_work;
+            break;
+          }
+        }
         r.profile = std::move(qr->profile);
         state.run.results.push_back(std::move(r));
       }
@@ -60,8 +75,8 @@ Result<ServedRunResult> RunServedStreams(
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(streams - 1));
-  for (int s = 1; s < streams; ++s) threads.emplace_back(stream_fn);
-  stream_fn();
+  for (int s = 1; s < streams; ++s) threads.emplace_back(stream_fn, s);
+  stream_fn(0);
   for (std::thread& t : threads) t.join();
   const auto end = std::chrono::steady_clock::now();
 

@@ -1,0 +1,216 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/export_chrome.h"
+
+namespace blusim::obs {
+
+namespace {
+
+size_t StringBytes(const std::string& s) { return s.capacity() + 1; }
+
+}  // namespace
+
+size_t FlightRecord::ApproxBytes() const {
+  size_t bytes = sizeof(FlightRecord);
+  bytes += StringBytes(query_name) + StringBytes(qclass) +
+           StringBytes(mode) + StringBytes(tenant) + StringBytes(anomaly);
+  bytes += StringBytes(trace.query_name);
+  for (const TraceSpan& span : trace.spans) {
+    bytes += sizeof(TraceSpan) + StringBytes(span.name) +
+             StringBytes(span.category);
+    for (const auto& [k, v] : span.args) {
+      bytes += StringBytes(k) + StringBytes(v);
+    }
+  }
+  for (const auto& [k, v] : trace.annotations) {
+    bytes += StringBytes(k) + StringBytes(v);
+  }
+  return bytes;
+}
+
+const char* FlightOutcomeName(FlightRecord::Outcome outcome) {
+  switch (outcome) {
+    case FlightRecord::Outcome::kOk: return "ok";
+    case FlightRecord::Outcome::kDegraded: return "degraded";
+    case FlightRecord::Outcome::kShed: return "shed";
+    case FlightRecord::Outcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options) {
+  options_.capacity = std::max<size_t>(1, options_.capacity);
+  options_.pinned_capacity =
+      std::min(options_.pinned_capacity, options_.capacity);
+  options_.max_bytes = std::max<size_t>(4096, options_.max_bytes);
+}
+
+void FlightRecorder::AttachMetrics(MetricsRegistry* metrics) {
+  recorded_total_ = metrics->GetCounter(
+      "blusim_flight_records_total", {{"kind", "sampled"}},
+      "Flight-recorder entries stored, by kind");
+  recorded_anomaly_total_ = metrics->GetCounter(
+      "blusim_flight_records_total", {{"kind", "anomaly"}},
+      "Flight-recorder entries stored, by kind");
+  sampled_in_total_ = metrics->GetCounter(
+      "blusim_flight_sampling_total", {{"decision", "trace"}},
+      "Healthy-query sampling decisions (trace every Nth)");
+  sampled_out_total_ = metrics->GetCounter(
+      "blusim_flight_sampling_total", {{"decision", "skip"}},
+      "Healthy-query sampling decisions (trace every Nth)");
+  evictions_unpinned_total_ = metrics->GetCounter(
+      "blusim_flight_evictions_total", {{"pinned", "false"}},
+      "Records rotated out of the flight recorder");
+  evictions_pinned_total_ = metrics->GetCounter(
+      "blusim_flight_evictions_total", {{"pinned", "true"}},
+      "Records rotated out of the flight recorder");
+  buffer_records_ = metrics->GetGauge(
+      "blusim_flight_buffer_records", {},
+      "Records currently retained by the flight recorder");
+  buffer_pinned_ = metrics->GetGauge(
+      "blusim_flight_buffer_pinned", {},
+      "Pinned (anomalous) records currently retained");
+  buffer_bytes_ = metrics->GetGauge(
+      "blusim_flight_buffer_bytes", {},
+      "Approximate heap bytes held by retained flight records");
+}
+
+bool FlightRecorder::ShouldSample() {
+  if (options_.sample_every == 0) {
+    if (sampled_out_total_ != nullptr) sampled_out_total_->Add(1);
+    return false;
+  }
+  const uint64_t tick = sample_tick_.fetch_add(1, std::memory_order_relaxed);
+  const bool take = tick % options_.sample_every == 0;
+  if (take) {
+    if (sampled_in_total_ != nullptr) sampled_in_total_->Add(1);
+  } else {
+    if (sampled_out_total_ != nullptr) sampled_out_total_->Add(1);
+  }
+  return take;
+}
+
+void FlightRecorder::SyncGaugesLocked() {
+  if (buffer_records_ == nullptr) return;
+  buffer_records_->Set(static_cast<int64_t>(records_.size()));
+  buffer_pinned_->Set(static_cast<int64_t>(pinned_));
+  buffer_bytes_->Set(static_cast<int64_t>(bytes_));
+}
+
+void FlightRecorder::EvictLocked() {
+  while (records_.size() > options_.capacity ||
+         bytes_ > options_.max_bytes) {
+    // Victim: the oldest unpinned record; the oldest pinned one only when
+    // nothing unpinned remains or the pinned set itself is over its cap
+    // (memory bound beats pinning).
+    auto victim = records_.end();
+    if (pinned_ <= options_.pinned_capacity) {
+      victim = std::find_if(records_.begin(), records_.end(),
+                            [](const FlightRecord& r) { return !r.pinned; });
+    }
+    if (victim == records_.end()) victim = records_.begin();
+    if (victim->pinned) {
+      --pinned_;
+      if (evictions_pinned_total_ != nullptr) {
+        evictions_pinned_total_->Add(1);
+      }
+    } else if (evictions_unpinned_total_ != nullptr) {
+      evictions_unpinned_total_->Add(1);
+    }
+    bytes_ -= std::min(bytes_, victim->ApproxBytes());
+    records_.erase(victim);
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  record.pinned = !record.anomaly.empty();
+  const size_t bytes = record.ApproxBytes();
+  if (record.pinned) {
+    if (recorded_anomaly_total_ != nullptr) recorded_anomaly_total_->Add(1);
+  } else if (recorded_total_ != nullptr) {
+    recorded_total_->Add(1);
+  }
+  common::MutexLock lock(&mu_);
+  if (record.pinned) ++pinned_;
+  bytes_ += bytes;
+  records_.push_back(std::move(record));
+  EvictLocked();
+  SyncGaugesLocked();
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  common::MutexLock lock(&mu_);
+  return {records_.begin(), records_.end()};
+}
+
+std::vector<FlightRecord> FlightRecorder::Anomalies() const {
+  common::MutexLock lock(&mu_);
+  std::vector<FlightRecord> out;
+  for (const FlightRecord& r : records_) {
+    if (r.pinned) out.push_back(r);
+  }
+  return out;
+}
+
+size_t FlightRecorder::size() const {
+  common::MutexLock lock(&mu_);
+  return records_.size();
+}
+
+size_t FlightRecorder::pinned_count() const {
+  common::MutexLock lock(&mu_);
+  return pinned_;
+}
+
+size_t FlightRecorder::approx_bytes() const {
+  common::MutexLock lock(&mu_);
+  return bytes_;
+}
+
+std::string FlightRecorder::RenderJson(bool anomalies_only) const {
+  const std::vector<FlightRecord> records =
+      anomalies_only ? Anomalies() : Snapshot();
+  std::ostringstream os;
+  os << "{\"records\":[";
+  bool first = true;
+  for (const FlightRecord& r : records) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"seq\":" << r.seq << ",\"query\":\""
+       << JsonEscape(r.query_name) << "\",\"class\":\""
+       << JsonEscape(r.qclass) << "\",\"mode\":\"" << JsonEscape(r.mode)
+       << "\",\"tenant\":\"" << JsonEscape(r.tenant) << "\",\"outcome\":\""
+       << FlightOutcomeName(r.outcome) << "\",\"anomaly\":\""
+       << JsonEscape(r.anomaly) << "\",\"pinned\":"
+       << (r.pinned ? "true" : "false")
+       << ",\"sim_elapsed_us\":" << r.sim_elapsed_us
+       << ",\"admission_wait_us\":" << r.admission_wait_us
+       << ",\"wall_ts_us\":" << r.wall_ts_us
+       << ",\"spans\":" << r.trace.spans.size() << ",\"annotations\":{";
+    bool afirst = true;
+    for (const auto& [k, v] : r.trace.annotations) {
+      if (!afirst) os << ",";
+      afirst = false;
+      os << "\"" << JsonEscape(k) << "\":\"" << JsonEscape(v) << "\"";
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool FlightRecorder::DumpChromeTrace(const std::string& path) const {
+  const std::vector<FlightRecord> records = Snapshot();
+  std::vector<const QueryTrace*> traces;
+  traces.reserve(records.size());
+  for (const FlightRecord& r : records) traces.push_back(&r.trace);
+  return WriteChromeTrace(traces, path);
+}
+
+}  // namespace blusim::obs

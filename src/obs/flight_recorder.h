@@ -1,0 +1,134 @@
+#ifndef BLUSIM_OBS_FLIGHT_RECORDER_H_
+#define BLUSIM_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace blusim::obs {
+
+// One entry in the flight recorder: a query's full trace plus the serving
+// outcome. Anomalous entries (degraded / shed / failed / tail-latency
+// outliers) are pinned: eviction prefers unpinned entries, so "what did
+// that slow query actually do?" stays answerable long after healthy
+// traffic has rotated through the ring.
+struct FlightRecord {
+  enum class Outcome : uint8_t { kOk = 0, kDegraded, kShed, kFailed };
+
+  uint64_t seq = 0;  // recorder-assigned, monotonically increasing
+  std::string query_name;
+  std::string qclass;   // groupby | sort | join | simple
+  std::string mode;     // cpu | gpu | degraded ("" for shed/failed)
+  std::string tenant;
+  Outcome outcome = Outcome::kOk;
+  // Why the record is pinned: "degraded", "shed", "failed",
+  // "tail_outlier"; empty for sampled healthy traffic.
+  std::string anomaly;
+  uint64_t sim_elapsed_us = 0;
+  uint64_t admission_wait_us = 0;
+  int64_t wall_ts_us = 0;  // recording wall time (steady clock)
+  bool pinned = false;
+  QueryTrace trace;
+
+  // Heap footprint estimate used for the recorder's byte bound.
+  size_t ApproxBytes() const;
+};
+
+const char* FlightOutcomeName(FlightRecord::Outcome outcome);
+
+struct FlightRecorderOptions {
+  // Hard bound on retained records.
+  size_t capacity = 256;
+  // Pinned records protected from rotation. Must be <= capacity; above
+  // this many pinned entries the oldest pinned one rotates out too, so
+  // memory stays bounded even under an anomaly storm.
+  size_t pinned_capacity = 128;
+  // Approximate byte bound on retained traces (strings + spans).
+  size_t max_bytes = 8ULL << 20;
+  // Healthy-query trace sampling: record every Nth non-anomalous query
+  // (1 = all, 0 = none). Anomalies are always recorded.
+  uint64_t sample_every = 8;
+};
+
+// Bounded ring of recent query flights. Writers call ShouldSample() for
+// healthy traffic and Record() with the outcome; readers snapshot or
+// render without blocking writers for long. Self-instrumented: the
+// recorder's own memory, sampling decisions and evictions are counted in
+// the registry passed to AttachMetrics (observability of the
+// observability layer).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Registers the recorder's self-metrics (blusim_flight_*).
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  // Healthy-path sampling decision: true for every sample_every-th call.
+  // Counts both verdicts (blusim_flight_sampling_total{decision}).
+  bool ShouldSample();
+
+  // Stores the record (pinning it when `anomaly` is non-empty) and
+  // evicts past the capacity/byte bounds: oldest unpinned first, oldest
+  // pinned only when the pinned set itself exceeds pinned_capacity or no
+  // unpinned entry remains to evict.
+  void Record(FlightRecord record) EXCLUDES(mu_);
+
+  // Copies of the retained records, oldest first.
+  std::vector<FlightRecord> Snapshot() const EXCLUDES(mu_);
+  // Pinned (anomalous) records only, oldest first.
+  std::vector<FlightRecord> Anomalies() const EXCLUDES(mu_);
+
+  size_t size() const EXCLUDES(mu_);
+  size_t pinned_count() const EXCLUDES(mu_);
+  size_t approx_bytes() const EXCLUDES(mu_);
+  uint64_t evictions() const { return evicted_.load(std::memory_order_relaxed); }
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+  // JSON array of record summaries (anomalies_only for the /flight
+  // endpoint): seq, query, class/mode/tenant, outcome, anomaly, latencies
+  // and the trace's annotations. Traces' spans are summarized by count;
+  // the full span timeline exports via DumpChromeTrace.
+  std::string RenderJson(bool anomalies_only) const EXCLUDES(mu_);
+
+  // Writes every retained trace as one Chrome trace-event file (the
+  // runner's --flight-out). Returns false on I/O failure.
+  bool DumpChromeTrace(const std::string& path) const EXCLUDES(mu_);
+
+ private:
+  void EvictLocked() REQUIRES(mu_);
+  void SyncGaugesLocked() REQUIRES(mu_);
+
+  FlightRecorderOptions options_;
+  mutable common::Mutex mu_;
+  std::deque<FlightRecord> records_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  size_t pinned_ GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> sample_tick_{0};
+  std::atomic<uint64_t> evicted_{0};
+
+  // Self-metrics (null until AttachMetrics).
+  Counter* recorded_total_ = nullptr;
+  Counter* recorded_anomaly_total_ = nullptr;
+  Counter* sampled_in_total_ = nullptr;
+  Counter* sampled_out_total_ = nullptr;
+  Counter* evictions_unpinned_total_ = nullptr;
+  Counter* evictions_pinned_total_ = nullptr;
+  Gauge* buffer_records_ = nullptr;
+  Gauge* buffer_pinned_ = nullptr;
+  Gauge* buffer_bytes_ = nullptr;
+};
+
+}  // namespace blusim::obs
+
+#endif  // BLUSIM_OBS_FLIGHT_RECORDER_H_

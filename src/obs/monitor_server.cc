@@ -1,0 +1,192 @@
+#include "obs/monitor_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace blusim::obs {
+
+namespace {
+
+// A scrape request fits well under this; anything longer is not ours.
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK";
+    case 404: return "HTTP/1.1 404 Not Found";
+    case 405: return "HTTP/1.1 405 Method Not Allowed";
+    default: return "HTTP/1.1 400 Bad Request";
+  }
+}
+
+void WriteResponse(int fd, int code, const std::string& content_type,
+                   const std::string& body) {
+  std::string response = StatusLine(code);
+  response += "\r\nContent-Type: " + content_type +
+              "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n";
+  response += body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (n <= 0) return;  // peer went away; nothing to clean up
+    sent += static_cast<size_t>(n);
+  }
+}
+
+// Reads until the header terminator (we ignore bodies: GET only).
+bool ReadRequest(int fd, std::string* request) {
+  char buf[1024];
+  while (request->size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return !request->empty();
+    request->append(buf, static_cast<size_t>(n));
+    if (request->find("\r\n\r\n") != std::string::npos) return true;
+    if (request->find("\n\n") != std::string::npos) return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+MonitorServer::MonitorServer(MonitorOptions options)
+    : options_(std::move(options)) {}
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+void MonitorServer::AddHandler(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+void MonitorServer::AttachMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+}
+
+Status MonitorServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("monitor server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind " + options_.bind_address + ":" +
+                            std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  BLUSIM_LOG(Info) << "[monitor] serving on http://" << options_.bind_address
+                   << ":" << port_;
+  return Status::OK();
+}
+
+void MonitorServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock accept(): shutdown then close the listening socket.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MonitorServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket is gone
+    }
+    // Slow or stuck clients must not wedge the monitor thread.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MonitorServer::HandleConnection(int fd) {
+  std::string request;
+  if (!ReadRequest(fd, &request)) return;
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) {
+    WriteResponse(fd, 400, "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = request.substr(0, method_end);
+  const size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) {
+    WriteResponse(fd, 400, "text/plain", "bad request\n");
+    return;
+  }
+  std::string path = request.substr(method_end + 1, path_end - method_end - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("blusim_monitor_requests_total", {{"path", path}},
+                     "Monitor endpoint requests served, by path")
+        ->Add(1);
+  }
+  if (method != "GET") {
+    WriteResponse(fd, 405, "text/plain", "GET only\n");
+    return;
+  }
+  auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    std::string index = "not found; available paths:\n";
+    for (const auto& [p, h] : handlers_) index += "  " + p + "\n";
+    WriteResponse(fd, 404, "text/plain", index);
+    return;
+  }
+  std::string content_type = "text/plain; charset=utf-8";
+  const std::string body = it->second(&content_type);
+  WriteResponse(fd, 200, content_type, body);
+}
+
+}  // namespace blusim::obs

@@ -1,0 +1,77 @@
+#ifndef BLUSIM_OBS_MONITOR_SERVER_H_
+#define BLUSIM_OBS_MONITOR_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace blusim::obs {
+
+struct MonitorOptions {
+  // Loopback by default: the monitor is an operator tool, not a public
+  // surface.
+  std::string bind_address = "127.0.0.1";
+  // 0 = pick an ephemeral port (read it back via port()).
+  int port = 0;
+};
+
+// Minimal in-process HTTP/1.1 monitor endpoint, the in-process analog of
+// the paper's embedded GPU monitor (§2.3): external tools cannot see
+// inside the database process, so the process serves its own telemetry.
+// GET-only, one connection at a time, Connection: close -- deliberately
+// the smallest thing a Prometheus scraper and a curl can talk to.
+//
+// Handlers are registered per path before Start() and must be
+// thread-safe: they run on the server's accept thread while queries
+// execute. Unknown paths return 404; handler payloads return 200 with the
+// handler's content type.
+class MonitorServer {
+ public:
+  // Returns the response body; sets *content_type (pre-seeded with
+  // text/plain).
+  using Handler = std::function<std::string(std::string* content_type)>;
+
+  explicit MonitorServer(MonitorOptions options = {});
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  // Register before Start(); `path` must begin with '/'.
+  void AddHandler(const std::string& path, Handler handler);
+
+  // Counts requests per path in `metrics` (blusim_monitor_*). Optional.
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  // Binds, listens and spawns the accept thread. InvalidArgument /
+  // Internal on socket errors (address in use, bad bind address).
+  Status Start();
+
+  // Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (after Start); useful with port 0.
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  MonitorOptions options_;
+  std::map<std::string, Handler> handlers_;
+  MetricsRegistry* metrics_ = nullptr;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace blusim::obs
+
+#endif  // BLUSIM_OBS_MONITOR_SERVER_H_

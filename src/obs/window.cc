@@ -1,0 +1,285 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace blusim::obs {
+
+TimeSource DefaultTimeSource() {
+  return [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+}
+
+uint64_t WindowSnapshot::QuantileUpperBound(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank on the bucket CDF: the first bucket whose cumulative
+  // count reaches ceil(q * count).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.999999));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    cumulative += buckets[static_cast<size_t>(b)];
+    if (cumulative >= rank) return Histogram::BucketBound(b);
+  }
+  // +Inf bucket: report one doubling past the last finite bound as the
+  // resolution ceiling.
+  return Histogram::BucketBound(Histogram::kNumBuckets - 1) * 2;
+}
+
+WindowedHistogram::WindowedHistogram(WindowOptions options)
+    : options_(options) {
+  options_.slices = std::max(1, options_.slices);
+  options_.window_us =
+      std::max<int64_t>(options_.slices, options_.window_us);
+  slices_.resize(static_cast<size_t>(options_.slices));
+}
+
+void WindowedHistogram::ObserveAt(uint64_t value_us, int64_t now_us) {
+  const int64_t epoch = now_us / SliceLen();
+  common::MutexLock lock(&mu_);
+  Slice& s = slices_[static_cast<size_t>(
+      epoch % static_cast<int64_t>(slices_.size()))];
+  if (s.epoch != epoch) {
+    // The ring wrapped: this position's previous slice aged out of the
+    // window. Reset in place.
+    s = Slice{};
+    s.epoch = epoch;
+  }
+  int bucket = 0;
+  while (bucket < Histogram::kNumBuckets &&
+         value_us > Histogram::BucketBound(bucket)) {
+    ++bucket;
+  }
+  ++s.buckets[bucket];
+  ++s.count;
+  s.sum += value_us;
+}
+
+WindowSnapshot WindowedHistogram::Snapshot(int64_t now_us) const {
+  WindowSnapshot out;
+  out.buckets.assign(Histogram::kNumBuckets + 1, 0);
+  const int64_t newest = now_us / SliceLen();
+  const int64_t oldest = newest - static_cast<int64_t>(slices_.size()) + 1;
+  common::MutexLock lock(&mu_);
+  for (const Slice& s : slices_) {
+    if (s.epoch < oldest || s.epoch > newest) continue;  // expired slice
+    for (int b = 0; b <= Histogram::kNumBuckets; ++b) {
+      out.buckets[static_cast<size_t>(b)] += s.buckets[b];
+    }
+    out.count += s.count;
+    out.sum += s.sum;
+  }
+  return out;
+}
+
+namespace {
+
+std::string SeriesKey(std::string_view a, std::string_view b,
+                      std::string_view c) {
+  std::string key(a);
+  key += '\x1f';
+  key += b;
+  key += '\x1f';
+  key += c;
+  return key;
+}
+
+MetricSample GaugeSample(std::string name, LabelSet labels, int64_t value,
+                         std::string help) {
+  MetricSample s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.help = std::move(help);
+  s.type = MetricType::kGauge;
+  s.value = value;
+  return s;
+}
+
+MetricSample CounterSample(std::string name, LabelSet labels, uint64_t value,
+                           std::string help) {
+  MetricSample s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.help = std::move(help);
+  s.type = MetricType::kCounter;
+  s.value = static_cast<int64_t>(value);
+  return s;
+}
+
+}  // namespace
+
+SloTracker::SloTracker(SloOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock ? options_.clock : DefaultTimeSource()) {}
+
+uint64_t SloTracker::TargetFor(std::string_view qclass) const {
+  for (const auto& [cls, target] : options_.class_targets) {
+    if (cls == qclass) return target;
+  }
+  return options_.default_target_us;
+}
+
+SloTracker::Series* SloTracker::FindOrCreateSeries(std::string_view qclass,
+                                                   std::string_view mode,
+                                                   std::string_view tenant) {
+  const std::string key = SeriesKey(qclass, mode, tenant);
+  common::MutexLock lock(&mu_);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    auto series = std::make_unique<Series>(options_.window);
+    series->qclass = std::string(qclass);
+    series->mode = std::string(mode);
+    series->tenant = std::string(tenant);
+    it = series_.emplace(key, std::move(series)).first;
+  }
+  return it->second.get();
+}
+
+void SloTracker::Record(std::string_view qclass, std::string_view mode,
+                        std::string_view tenant, uint64_t elapsed_us) {
+  Series* s = FindOrCreateSeries(qclass, mode, tenant);
+  const int64_t now = clock_();
+  s->latency.ObserveAt(elapsed_us, now);
+  if (elapsed_us > TargetFor(qclass)) {
+    s->breaches.ObserveAt(0, now);
+    s->breach_total.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s->ok_total.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SloTracker::RecordShed(std::string_view qclass,
+                            std::string_view tenant) {
+  const std::string key = SeriesKey(qclass, "", tenant);
+  ShedSeries* s;
+  {
+    common::MutexLock lock(&mu_);
+    auto it = sheds_.find(key);
+    if (it == sheds_.end()) {
+      auto shed = std::make_unique<ShedSeries>(options_.window);
+      shed->qclass = std::string(qclass);
+      shed->tenant = std::string(tenant);
+      it = sheds_.emplace(key, std::move(shed)).first;
+    }
+    s = it->second.get();
+  }
+  s->sheds.ObserveAt(0, clock_());
+  s->shed_total.fetch_add(1, std::memory_order_relaxed);
+}
+
+WindowSnapshot SloTracker::Window(std::string_view qclass,
+                                  std::string_view mode,
+                                  std::string_view tenant) const {
+  const std::string key = SeriesKey(qclass, mode, tenant);
+  const Series* s = nullptr;
+  {
+    common::MutexLock lock(&mu_);
+    auto it = series_.find(key);
+    if (it != series_.end()) s = it->second.get();
+  }
+  if (s == nullptr) {
+    WindowSnapshot empty;
+    empty.buckets.assign(Histogram::kNumBuckets + 1, 0);
+    return empty;
+  }
+  return s->latency.Snapshot(clock_());
+}
+
+uint64_t SloTracker::WindowQuantileUs(std::string_view qclass,
+                                      std::string_view mode,
+                                      std::string_view tenant,
+                                      double q) const {
+  return Window(qclass, mode, tenant).QuantileUpperBound(q);
+}
+
+std::vector<MetricSample> SloTracker::Collect() const {
+  const int64_t now = clock_();
+  std::vector<MetricSample> out;
+  std::vector<const Series*> series;
+  std::vector<const ShedSeries*> sheds;
+  {
+    common::MutexLock lock(&mu_);
+    series.reserve(series_.size());
+    for (const auto& [key, s] : series_) series.push_back(s.get());
+    sheds.reserve(sheds_.size());
+    for (const auto& [key, s] : sheds_) sheds.push_back(s.get());
+  }
+
+  std::vector<std::string> classes_seen;
+  for (const Series* s : series) {
+    const LabelSet labels = {
+        {"class", s->qclass}, {"mode", s->mode}, {"tenant", s->tenant}};
+    const WindowSnapshot lat = s->latency.Snapshot(now);
+    const WindowSnapshot breach = s->breaches.Snapshot(now);
+    out.push_back(GaugeSample(
+        "blusim_latency_window_p50_us", labels,
+        static_cast<int64_t>(lat.QuantileUpperBound(0.50)),
+        "Sliding-window p50 end-to-end latency (bucket upper bound, us)"));
+    out.push_back(GaugeSample(
+        "blusim_latency_window_p95_us", labels,
+        static_cast<int64_t>(lat.QuantileUpperBound(0.95)),
+        "Sliding-window p95 end-to-end latency (bucket upper bound, us)"));
+    out.push_back(GaugeSample(
+        "blusim_latency_window_p99_us", labels,
+        static_cast<int64_t>(lat.QuantileUpperBound(0.99)),
+        "Sliding-window p99 end-to-end latency (bucket upper bound, us)"));
+    out.push_back(GaugeSample(
+        "blusim_latency_window_count", labels,
+        static_cast<int64_t>(lat.count),
+        "Completed queries inside the sliding window"));
+    out.push_back(CounterSample(
+        "blusim_slo_ok_total", labels,
+        s->ok_total.load(std::memory_order_relaxed),
+        "Completions within the class latency target"));
+    out.push_back(CounterSample(
+        "blusim_slo_breach_total", labels,
+        s->breach_total.load(std::memory_order_relaxed),
+        "Completions above the class latency target"));
+    out.push_back(GaugeSample(
+        "blusim_slo_window_breach", labels,
+        static_cast<int64_t>(breach.count),
+        "SLO breaches inside the sliding window"));
+    const int64_t burn =
+        lat.count == 0
+            ? 0
+            : static_cast<int64_t>(breach.count * 1000 / lat.count);
+    out.push_back(GaugeSample(
+        "blusim_slo_burn_permille", labels, burn,
+        "Windowed SLO burn rate: breaches per 1000 completions"));
+    if (std::find(classes_seen.begin(), classes_seen.end(), s->qclass) ==
+        classes_seen.end()) {
+      classes_seen.push_back(s->qclass);
+      out.push_back(GaugeSample(
+          "blusim_slo_target_us", {{"class", s->qclass}},
+          static_cast<int64_t>(TargetFor(s->qclass)),
+          "Latency SLO target per query class (microseconds)"));
+    }
+  }
+  for (const ShedSeries* s : sheds) {
+    const LabelSet labels = {{"class", s->qclass}, {"tenant", s->tenant}};
+    out.push_back(CounterSample(
+        "blusim_slo_shed_total", labels,
+        s->shed_total.load(std::memory_order_relaxed),
+        "Submissions shed by admission control (SLO burn, no latency)"));
+    out.push_back(GaugeSample(
+        "blusim_slo_window_shed", labels,
+        static_cast<int64_t>(s->sheds.Snapshot(now).count),
+        "Sheds inside the sliding window"));
+  }
+  SortMetricSamples(&out);
+  return out;
+}
+
+void SortMetricSamples(std::vector<MetricSample>* samples) {
+  std::sort(samples->begin(), samples->end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+}
+
+}  // namespace blusim::obs

@@ -1,0 +1,183 @@
+#ifndef BLUSIM_OBS_WINDOW_H_
+#define BLUSIM_OBS_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "obs/metrics.h"
+
+namespace blusim::obs {
+
+// Wall-clock source in microseconds. Injectable so the window tests can
+// drive time by hand; the default reads std::chrono::steady_clock.
+using TimeSource = std::function<int64_t()>;
+
+TimeSource DefaultTimeSource();
+
+struct WindowOptions {
+  // Length of the sliding window and the number of ring slices it is
+  // chopped into. A finer slicing tracks the true sliding window more
+  // closely; expiry granularity is window_us / slices.
+  int64_t window_us = 10'000'000;
+  int slices = 10;
+};
+
+// Merged view of the observations still inside the window. Buckets use
+// the same power-of-two bounds as the cumulative obs::Histogram, so a
+// window quantile and an offline-histogram quantile land in the same
+// bucket for the same data.
+struct WindowSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  // kNumBuckets finite buckets plus the +Inf slot (non-cumulative).
+  std::vector<uint64_t> buckets;
+
+  // Upper bound (microseconds) of the bucket holding quantile `q` in
+  // (0, 1]: the histogram-resolution answer to "p99". Returns 0 for an
+  // empty window; observations beyond the last finite bucket report
+  // 2 * the last finite bound as their ceiling.
+  uint64_t QuantileUpperBound(double q) const;
+
+  double MeanUs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// Sliding-time-window latency histogram: a ring of time slices, each a
+// fixed power-of-two-bucket histogram. Observing stamps the current
+// slice; slices older than the window are lazily reset when their ring
+// position comes around again or when a snapshot skips them. Thread-safe;
+// the `concurrency` suite hammers it from many writers under TSan.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(WindowOptions options = {});
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void ObserveAt(uint64_t value_us, int64_t now_us) EXCLUDES(mu_);
+
+  // Merges the slices still inside [now - window, now].
+  WindowSnapshot Snapshot(int64_t now_us) const EXCLUDES(mu_);
+
+  const WindowOptions& options() const { return options_; }
+
+ private:
+  struct Slice {
+    int64_t epoch = -1;  // slice index since t=0; -1 = never written
+    uint64_t buckets[Histogram::kNumBuckets + 1] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+
+  int64_t SliceLen() const {
+    return options_.window_us / options_.slices;
+  }
+
+  WindowOptions options_;
+  mutable common::Mutex mu_;
+  std::vector<Slice> slices_ GUARDED_BY(mu_);
+};
+
+// SLO configuration for the tracker below.
+struct SloOptions {
+  WindowOptions window;
+  // Latency target (microseconds) applied to classes without an explicit
+  // entry in class_targets. A completion above target is an SLO breach.
+  uint64_t default_target_us = 100'000;
+  std::vector<std::pair<std::string, uint64_t>> class_targets;
+  // Null = DefaultTimeSource().
+  TimeSource clock;
+};
+
+// Keyed rolling-window SLO accounting for the serving layer. Series are
+// keyed by (query class, execution mode, tenant):
+//   class  = groupby | sort | join | simple   (query shape)
+//   mode   = cpu | gpu | degraded             (how it actually ran)
+//   tenant = submitting stream/tenant ("" when the caller has none)
+// Each series carries a windowed latency histogram (p50/p95/p99 over the
+// window), cumulative ok/breach counters, and a windowed breach count for
+// burn-rate math. Sheds are tracked per (class, tenant) -- a shed query
+// burns the SLO without ever producing a latency.
+//
+// Collect() exports everything as blusim_slo_* and blusim_latency_window_*
+// sample families, merged into the registry snapshot by the exporters.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = {});
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  // A completed query: elapsed is the end-to-end latency in microseconds
+  // (simulated, matching blusim_query_elapsed_us).
+  void Record(std::string_view qclass, std::string_view mode,
+              std::string_view tenant, uint64_t elapsed_us) EXCLUDES(mu_);
+
+  // A shed submission: counts toward SLO burn with no latency sample.
+  void RecordShed(std::string_view qclass, std::string_view tenant)
+      EXCLUDES(mu_);
+
+  uint64_t TargetFor(std::string_view qclass) const;
+
+  // Live window for one series (zeroes when the series does not exist).
+  WindowSnapshot Window(std::string_view qclass, std::string_view mode,
+                        std::string_view tenant) const EXCLUDES(mu_);
+  uint64_t WindowQuantileUs(std::string_view qclass, std::string_view mode,
+                            std::string_view tenant, double q) const
+      EXCLUDES(mu_);
+
+  // Point-in-time samples for the exporters (sorted by name, labels):
+  //   blusim_latency_window_{p50,p95,p99}_us / _count   gauges
+  //   blusim_slo_target_us                              gauge per class
+  //   blusim_slo_{ok,breach,shed}_total                 counters
+  //   blusim_slo_window_{breach,shed}                   gauges
+  //   blusim_slo_burn_permille                          gauge
+  std::vector<MetricSample> Collect() const EXCLUDES(mu_);
+
+  int64_t now_us() const { return clock_(); }
+
+ private:
+  struct Series {
+    std::string qclass, mode, tenant;
+    WindowedHistogram latency;
+    WindowedHistogram breaches;  // count-only: breach timestamps
+    std::atomic<uint64_t> ok_total{0};
+    std::atomic<uint64_t> breach_total{0};
+    explicit Series(const WindowOptions& w) : latency(w), breaches(w) {}
+  };
+  struct ShedSeries {
+    std::string qclass, tenant;
+    WindowedHistogram sheds;  // count-only: shed timestamps
+    std::atomic<uint64_t> shed_total{0};
+    explicit ShedSeries(const WindowOptions& w) : sheds(w) {}
+  };
+
+  Series* FindOrCreateSeries(std::string_view qclass, std::string_view mode,
+                             std::string_view tenant) EXCLUDES(mu_);
+
+  SloOptions options_;
+  TimeSource clock_;
+  mutable common::Mutex mu_;
+  // Stable addresses: Record holds series pointers outside the map lock.
+  std::map<std::string, std::unique_ptr<Series>> series_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ShedSeries>> sheds_ GUARDED_BY(mu_);
+};
+
+// Sorts samples the way MetricsRegistry::Snapshot() does, so merged
+// sample vectors (registry + SloTracker) keep families contiguous for the
+// text exporters.
+void SortMetricSamples(std::vector<MetricSample>* samples);
+
+}  // namespace blusim::obs
+
+#endif  // BLUSIM_OBS_WINDOW_H_

@@ -5,8 +5,18 @@
 
 namespace blusim::serve {
 
+namespace {
+
+int64_t WallNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 QueryService::QueryService(core::Engine* engine, ServiceOptions options)
-    : engine_(engine), options_(options) {
+    : engine_(engine), options_(std::move(options)) {
   options_.max_concurrent = std::max(1, options_.max_concurrent);
   const core::EngineConfig& config = engine_->config();
   const uint64_t slots = static_cast<uint64_t>(options_.max_concurrent);
@@ -41,6 +51,10 @@ QueryService::QueryService(core::Engine* engine, ServiceOptions options)
                       exec_opts_.device_budget_bytes, /*pinned=*/true));
   }
 
+  slo_ = std::make_unique<obs::SloTracker>(options_.slo);
+  flight_ = std::make_unique<obs::FlightRecorder>(options_.flight);
+  flight_->AttachMetrics(&engine_->metrics());
+
   obs::MetricsRegistry& metrics = engine_->metrics();
   admitted_total_ = metrics.GetCounter(
       "blusim_serve_admitted_total", {},
@@ -60,8 +74,62 @@ QueryService::QueryService(core::Engine* engine, ServiceOptions options)
       "Wall-clock admission-queue wait per admitted query (microseconds)");
 }
 
-Result<core::QueryResult> QueryService::Submit(const core::QuerySpec& query) {
+void QueryService::CountOutcome(const char* qclass, const char* outcome) {
+  engine_->metrics()
+      .GetCounter("blusim_serve_queries_total",
+                  {{"class", qclass}, {"outcome", outcome}},
+                  "Served submissions by terminal outcome (completed / "
+                  "degraded / shed / failed) and query shape class")
+      ->Add(1);
+}
+
+std::vector<obs::MetricSample> QueryService::CollectSamples() const {
+  std::vector<obs::MetricSample> samples = engine_->metrics().Snapshot();
+  std::vector<obs::MetricSample> windows = slo_->Collect();
+  samples.insert(samples.end(), std::make_move_iterator(windows.begin()),
+                 std::make_move_iterator(windows.end()));
+  obs::SortMetricSamples(&samples);
+  return samples;
+}
+
+Result<core::QueryResult> QueryService::Submit(const core::QuerySpec& query,
+                                               const std::string& tenant) {
   const auto enqueued = std::chrono::steady_clock::now();
+  const char* qclass = core::QueryShapeName(query);
+
+  // Records a submission that never executed (shed / timed-out): the
+  // flight recorder still captures it -- with a synthetic trace carrying
+  // the admission state -- because "why was my query rejected?" is
+  // exactly the question the recorder exists to answer.
+  auto record_shed = [&](const char* reason, size_t queued, int active) {
+    slo_->RecordShed(qclass, tenant);
+    CountOutcome(qclass, "shed");
+    obs::TraceBuilder tb(query.name);
+    tb.Annotate("outcome", "shed");
+    tb.Annotate("shed_reason", reason);
+    tb.Annotate("queue_depth", std::to_string(queued));
+    tb.Annotate("active", std::to_string(active));
+    obs::FlightRecord rec;
+    rec.query_name = query.name;
+    rec.qclass = qclass;
+    rec.tenant = tenant;
+    rec.outcome = obs::FlightRecord::Outcome::kShed;
+    rec.anomaly = "shed";
+    rec.admission_wait_us = static_cast<uint64_t>(std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - enqueued)
+               .count()));
+    rec.wall_ts_us = WallNowUs();
+    rec.trace = tb.Finish();
+    flight_->Record(std::move(rec));
+  };
+
+  // Shed verdict carried out of the lock scope: the flight/SLO recording
+  // below must not run under the admission mutex.
+  const char* shed_reason = nullptr;
+  std::string shed_message;
+  size_t shed_queued = 0;
+  int shed_active = 0;
   {
     common::MutexLock lock(&mu_);
     ++stats_.submitted;
@@ -71,57 +139,71 @@ Result<core::QueryResult> QueryService::Submit(const core::QuerySpec& query) {
       // client sees the overload instead of an ever-growing backlog.
       ++stats_.shed;
       shed_total_->Add(1);
-      return Status::Overloaded(
-          "admission queue full (" + std::to_string(queue_.size()) +
-          " queued, " + std::to_string(active_) + " active)");
-    }
-    const uint64_t ticket = next_ticket_++;
-    queue_.push_back(ticket);
-    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
-
-    // FIFO admission: wait until this ticket is at the head of the line
-    // and an execution slot is free. Explicit wait loop for the
-    // thread-safety analysis (see runtime/thread_pool.cc).
-    bool timed_out = false;
-    while (!(queue_.front() == ticket &&
-             active_ < options_.max_concurrent)) {
-      if (options_.admission_timeout_us > 0) {
-        const auto deadline =
-            enqueued + std::chrono::microseconds(options_.admission_timeout_us);
-        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-            !(queue_.front() == ticket &&
-              active_ < options_.max_concurrent)) {
-          timed_out = true;
-          break;
-        }
-      } else {
-        cv_.wait(lock);
-      }
-    }
-    if (timed_out) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (*it == ticket) {
-          queue_.erase(it);
-          break;
-        }
-      }
+      shed_reason = "queue_full";
+      shed_queued = queue_.size();
+      shed_active = active_;
+      shed_message = "admission queue full (" + std::to_string(shed_queued) +
+                     " queued, " + std::to_string(shed_active) + " active)";
+    } else {
+      const uint64_t ticket = next_ticket_++;
+      queue_.push_back(ticket);
       queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
-      ++stats_.shed;
-      shed_total_->Add(1);
-      // The head may have changed; wake the remaining waiters to re-check.
-      cv_.notify_all();
-      return Status::Overloaded("admission wait exceeded " +
-                                std::to_string(options_.admission_timeout_us) +
-                                "us");
+
+      // FIFO admission: wait until this ticket is at the head of the line
+      // and an execution slot is free. Explicit wait loop for the
+      // thread-safety analysis (see runtime/thread_pool.cc).
+      bool timed_out = false;
+      while (!(queue_.front() == ticket &&
+               active_ < options_.max_concurrent)) {
+        if (options_.admission_timeout_us > 0) {
+          const auto deadline =
+              enqueued +
+              std::chrono::microseconds(options_.admission_timeout_us);
+          if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+              !(queue_.front() == ticket &&
+                active_ < options_.max_concurrent)) {
+            timed_out = true;
+            break;
+          }
+        } else {
+          cv_.wait(lock);
+        }
+      }
+      if (timed_out) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (*it == ticket) {
+            queue_.erase(it);
+            break;
+          }
+        }
+        queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+        ++stats_.shed;
+        shed_total_->Add(1);
+        // The head may have changed; wake the remaining waiters to
+        // re-check.
+        cv_.notify_all();
+        shed_reason = "admission_timeout";
+        shed_queued = queue_.size();
+        shed_active = active_;
+        shed_message =
+            "admission wait exceeded " +
+            std::to_string(options_.admission_timeout_us) + "us";
+      } else {
+        queue_.pop_front();
+        queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+        ++active_;
+        active_gauge_->Set(active_);
+        ++stats_.admitted;
+        // The next ticket is head now and may also have a free slot: wake
+        // the line so admission is not serialized behind query
+        // completions.
+        cv_.notify_all();
+      }
     }
-    queue_.pop_front();
-    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
-    ++active_;
-    active_gauge_->Set(active_);
-    ++stats_.admitted;
-    // The next ticket is head now and may also have a free slot: wake the
-    // line so admission is not serialized behind query completions.
-    cv_.notify_all();
+  }
+  if (shed_reason != nullptr) {
+    record_shed(shed_reason, shed_queued, shed_active);
+    return Status::Overloaded(shed_message);
   }
   admitted_total_->Add(1);
 
@@ -147,8 +229,66 @@ Result<core::QueryResult> QueryService::Submit(const core::QuerySpec& query) {
         ++stats_.degraded;
         degraded_total_->Add(1);
       }
+    } else {
+      ++stats_.failed;
     }
     cv_.notify_all();
+  }
+
+  if (!result.ok()) {
+    // Admitted but errored: always pinned into the recorder, with the
+    // error in place of a trace (Execute returns no profile on failure).
+    CountOutcome(qclass, "failed");
+    obs::TraceBuilder tb(query.name);
+    tb.Annotate("outcome", "failed");
+    tb.Annotate("error", result.status().ToString());
+    obs::FlightRecord rec;
+    rec.query_name = query.name;
+    rec.qclass = qclass;
+    rec.tenant = tenant;
+    rec.outcome = obs::FlightRecord::Outcome::kFailed;
+    rec.anomaly = "failed";
+    rec.admission_wait_us = static_cast<uint64_t>(opts.admission_wait);
+    rec.wall_ts_us = WallNowUs();
+    rec.trace = tb.Finish();
+    flight_->Record(std::move(rec));
+    return result;
+  }
+
+  const core::QueryProfile& profile = result->profile;
+  const bool degraded = profile.degraded;
+  const char* mode =
+      degraded ? "degraded" : (profile.gpu_used ? "gpu" : "cpu");
+  const uint64_t elapsed = static_cast<uint64_t>(profile.total_elapsed);
+
+  // Tail-outlier check against the live window BEFORE this completion is
+  // folded in (its own sample must not mask it).
+  const obs::WindowSnapshot window = slo_->Window(qclass, mode, tenant);
+  const bool outlier =
+      window.count >= options_.tail_outlier_min_window &&
+      static_cast<double>(elapsed) >
+          options_.tail_outlier_factor *
+              static_cast<double>(window.QuantileUpperBound(0.99));
+  slo_->Record(qclass, mode, tenant, elapsed);
+  CountOutcome(qclass, "completed");
+  if (degraded) CountOutcome(qclass, "degraded");
+
+  const char* anomaly =
+      degraded ? "degraded" : (outlier ? "tail_outlier" : "");
+  if (anomaly[0] != '\0' || flight_->ShouldSample()) {
+    obs::FlightRecord rec;
+    rec.query_name = query.name;
+    rec.qclass = qclass;
+    rec.mode = mode;
+    rec.tenant = tenant;
+    rec.outcome = degraded ? obs::FlightRecord::Outcome::kDegraded
+                           : obs::FlightRecord::Outcome::kOk;
+    rec.anomaly = anomaly;
+    rec.sim_elapsed_us = elapsed;
+    rec.admission_wait_us = static_cast<uint64_t>(opts.admission_wait);
+    rec.wall_ts_us = WallNowUs();
+    rec.trace = profile.trace;  // the full span timeline, copied
+    flight_->Record(std::move(rec));
   }
   return result;
 }

@@ -4,9 +4,14 @@
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/annotations.h"
 #include "core/engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/window.h"
 
 namespace blusim::serve {
 
@@ -39,6 +44,19 @@ struct ServiceOptions {
   // backoff with jitter on top of it (concurrent streams denied together
   // must not re-poll in lockstep) and installs the deadline above.
   sched::WaitOptions wait;
+
+  // Serving-side observability (docs/observability.md, "Live
+  // monitoring"): SLO windows per (class, mode, tenant) and the query
+  // flight recorder. flight.sample_every controls healthy-query trace
+  // sampling; anomalies (degraded / shed / failed / tail outliers) are
+  // always recorded and pinned.
+  obs::SloOptions slo;
+  obs::FlightRecorderOptions flight;
+  // A completion this many times slower than the live window's p99
+  // bucket bound is recorded as a "tail_outlier" anomaly (requires at
+  // least tail_outlier_min_window completions in the window).
+  double tail_outlier_factor = 1.0;
+  uint64_t tail_outlier_min_window = 32;
 };
 
 // Point-in-time serving counters (mirrored in the engine's metrics
@@ -49,6 +67,7 @@ struct ServiceStats {
   uint64_t shed = 0;       // rejected: queue full or admission timeout
   uint64_t completed = 0;
   uint64_t degraded = 0;   // completed, but a GPU phase re-routed to CPU
+  uint64_t failed = 0;     // admitted but returned a non-overload error
   int active = 0;
   size_t queued = 0;
 };
@@ -58,6 +77,11 @@ struct ServiceStats {
 // deadline-bounded GPU placement with CPU degradation. Submit never fails
 // for resource reasons once admitted -- a query that cannot get the GPU in
 // time completes on the CPU instead of erroring.
+//
+// Every outcome feeds the serving observability layer: end-to-end
+// latencies land in per-(class, mode, tenant) sliding windows
+// (obs::SloTracker), anomalous queries are pinned into the flight
+// recorder with their full trace, and healthy traffic is trace-sampled.
 class QueryService {
  public:
   QueryService(core::Engine* engine, ServiceOptions options);
@@ -68,10 +92,27 @@ class QueryService {
   // Blocks until admitted (FIFO order), executes, and returns the result.
   // kOverloaded when the admission queue is full or the queue wait
   // exceeded admission_timeout_us; any other error is the query's own.
+  // `tenant` labels the submitting stream/tenant in the SLO windows and
+  // the flight recorder ("" = unattributed).
+  Result<core::QueryResult> Submit(const core::QuerySpec& query,
+                                   const std::string& tenant) EXCLUDES(mu_);
   Result<core::QueryResult> Submit(const core::QuerySpec& query)
-      EXCLUDES(mu_);
+      EXCLUDES(mu_) {
+    return Submit(query, std::string());
+  }
 
   ServiceStats stats() const EXCLUDES(mu_);
+
+  // Serving-side observability surfaces.
+  obs::SloTracker& slo() { return *slo_; }
+  const obs::SloTracker& slo() const { return *slo_; }
+  obs::FlightRecorder& flight_recorder() { return *flight_; }
+  const obs::FlightRecorder& flight_recorder() const { return *flight_; }
+
+  // Engine registry snapshot merged with the SLO window samples
+  // (blusim_slo_*, blusim_latency_window_*), sorted for the exporters --
+  // what /metrics and /snapshot serve.
+  std::vector<obs::MetricSample> CollectSamples() const;
 
   // The effective per-query limits after fair-share derivation.
   uint64_t device_budget_bytes() const { return exec_opts_.device_budget_bytes; }
@@ -79,11 +120,18 @@ class QueryService {
   SimTime gpu_deadline() const { return exec_opts_.wait.deadline; }
 
  private:
+  // Counts a terminal outcome under blusim_serve_queries_total and stores
+  // the flight record (shed/failed build a synthetic trace).
+  void CountOutcome(const char* qclass, const char* outcome);
+
   core::Engine* engine_;
   ServiceOptions options_;
   // Budgets + wait policy shared by every admitted query (admission_wait
   // is stamped per query).
   core::ExecOptions exec_opts_;
+
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
 
   mutable common::Mutex mu_;
   std::condition_variable_any cv_;

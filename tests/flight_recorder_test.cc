@@ -1,0 +1,253 @@
+// FlightRecorder: bounded retention, pinned-anomaly survival, sampling
+// cadence and multi-writer safety (runs under TSan via -L concurrency).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace blusim::obs {
+namespace {
+
+FlightRecord MakeRecord(const std::string& name, const std::string& anomaly) {
+  FlightRecord r;
+  r.query_name = name;
+  r.qclass = "groupby";
+  r.mode = anomaly == "degraded" ? "degraded" : "gpu";
+  r.tenant = "t0";
+  r.anomaly = anomaly;
+  r.outcome = anomaly == "degraded" ? FlightRecord::Outcome::kDegraded
+                                    : FlightRecord::Outcome::kOk;
+  r.sim_elapsed_us = 42;
+  return r;
+}
+
+TEST(FlightRecorderTest, SequencesAreMonotonic) {
+  FlightRecorder rec;
+  rec.Record(MakeRecord("a", ""));
+  rec.Record(MakeRecord("b", ""));
+  const auto snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_LT(snap[0].seq, snap[1].seq);
+}
+
+TEST(FlightRecorderTest, EvictsOldestUnpinnedFirst) {
+  FlightRecorderOptions opts;
+  opts.capacity = 4;
+  opts.pinned_capacity = 4;
+  FlightRecorder rec(opts);
+  rec.Record(MakeRecord("healthy-0", ""));
+  rec.Record(MakeRecord("anomalous", "degraded"));
+  rec.Record(MakeRecord("healthy-1", ""));
+  rec.Record(MakeRecord("healthy-2", ""));
+  rec.Record(MakeRecord("healthy-3", ""));  // over capacity
+
+  const auto snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // healthy-0 (oldest unpinned) is gone; the anomaly survived even though
+  // it is older than every remaining healthy record.
+  for (const auto& r : snap) EXPECT_NE(r.query_name, "healthy-0");
+  EXPECT_EQ(snap[0].query_name, "anomalous");
+  EXPECT_TRUE(snap[0].pinned);
+  EXPECT_EQ(rec.evictions(), 1u);
+}
+
+TEST(FlightRecorderTest, AnomaliesSurviveFullRotation) {
+  FlightRecorderOptions opts;
+  opts.capacity = 8;
+  opts.pinned_capacity = 4;
+  FlightRecorder rec(opts);
+  rec.Record(MakeRecord("bad", "degraded"));
+  for (int i = 0; i < 100; ++i) {
+    rec.Record(MakeRecord("healthy-" + std::to_string(i), ""));
+  }
+  const auto anomalies = rec.Anomalies();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].query_name, "bad");
+  EXPECT_EQ(rec.size(), opts.capacity);
+}
+
+TEST(FlightRecorderTest, PinnedSetIsBoundedToo) {
+  // An anomaly storm must not grow memory without bound: past
+  // pinned_capacity the oldest pinned record rotates out as well.
+  FlightRecorderOptions opts;
+  opts.capacity = 6;
+  opts.pinned_capacity = 3;
+  FlightRecorder rec(opts);
+  for (int i = 0; i < 20; ++i) {
+    rec.Record(MakeRecord("anomaly-" + std::to_string(i), "degraded"));
+  }
+  EXPECT_EQ(rec.size(), opts.capacity);
+  EXPECT_EQ(rec.pinned_count(), opts.capacity);
+  const auto snap = rec.Snapshot();
+  EXPECT_EQ(snap.front().query_name, "anomaly-14");
+  EXPECT_EQ(snap.back().query_name, "anomaly-19");
+}
+
+TEST(FlightRecorderTest, ByteBoundEvictsEvenUnderCapacity) {
+  FlightRecorderOptions opts;
+  opts.capacity = 1000;
+  opts.max_bytes = 4096;  // floor value; a few fat records exceed it
+  FlightRecorder rec(opts);
+  for (int i = 0; i < 50; ++i) {
+    FlightRecord r = MakeRecord("fat-" + std::to_string(i), "");
+    r.trace.annotations.emplace_back("payload", std::string(512, 'x'));
+    rec.Record(std::move(r));
+  }
+  EXPECT_LE(rec.approx_bytes(), opts.max_bytes);
+  EXPECT_LT(rec.size(), 50u);
+  EXPECT_GT(rec.evictions(), 0u);
+}
+
+TEST(FlightRecorderTest, SamplingCadenceIsEveryNth) {
+  FlightRecorderOptions opts;
+  opts.sample_every = 4;
+  FlightRecorder rec(opts);
+  int taken = 0;
+  for (int i = 0; i < 40; ++i) taken += rec.ShouldSample() ? 1 : 0;
+  EXPECT_EQ(taken, 10);
+
+  FlightRecorderOptions none;
+  none.sample_every = 0;
+  FlightRecorder rec_none(none);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(rec_none.ShouldSample());
+}
+
+TEST(FlightRecorderTest, SelfMetricsTrackBufferAndDecisions) {
+  MetricsRegistry metrics;
+  FlightRecorderOptions opts;
+  opts.capacity = 4;
+  opts.pinned_capacity = 4;
+  opts.sample_every = 2;
+  FlightRecorder rec(opts);
+  rec.AttachMetrics(&metrics);
+
+  (void)rec.ShouldSample();  // trace
+  (void)rec.ShouldSample();  // skip
+  rec.Record(MakeRecord("a", ""));
+  rec.Record(MakeRecord("b", "degraded"));
+  for (int i = 0; i < 5; ++i) rec.Record(MakeRecord("c", ""));
+
+  int64_t sampled = -1, anomaly = -1, traced = -1, skipped = -1,
+          buf_records = -1, buf_pinned = -1, buf_bytes = -1, evicted = -1;
+  for (const MetricSample& s : metrics.Snapshot()) {
+    auto has = [&s](const char* k, const char* v) {
+      for (const auto& [lk, lv] : s.labels) {
+        if (lk == k && lv == v) return true;
+      }
+      return false;
+    };
+    if (s.name == "blusim_flight_records_total" && has("kind", "sampled")) {
+      sampled = s.value;
+    } else if (s.name == "blusim_flight_records_total" &&
+               has("kind", "anomaly")) {
+      anomaly = s.value;
+    } else if (s.name == "blusim_flight_sampling_total" &&
+               has("decision", "trace")) {
+      traced = s.value;
+    } else if (s.name == "blusim_flight_sampling_total" &&
+               has("decision", "skip")) {
+      skipped = s.value;
+    } else if (s.name == "blusim_flight_buffer_records") {
+      buf_records = s.value;
+    } else if (s.name == "blusim_flight_buffer_pinned") {
+      buf_pinned = s.value;
+    } else if (s.name == "blusim_flight_buffer_bytes") {
+      buf_bytes = s.value;
+    } else if (s.name == "blusim_flight_evictions_total" &&
+               has("pinned", "false")) {
+      evicted = s.value;
+    }
+  }
+  EXPECT_EQ(sampled, 6);
+  EXPECT_EQ(anomaly, 1);
+  EXPECT_EQ(traced, 1);
+  EXPECT_EQ(skipped, 1);
+  EXPECT_EQ(buf_records, 4);
+  EXPECT_EQ(buf_pinned, 1);
+  EXPECT_GT(buf_bytes, 0);
+  EXPECT_EQ(evicted, 3);
+}
+
+TEST(FlightRecorderTest, RenderJsonFiltersAnomalies) {
+  FlightRecorder rec;
+  rec.Record(MakeRecord("healthy", ""));
+  FlightRecord bad = MakeRecord("slowpoke", "tail_outlier");
+  bad.trace.annotations.emplace_back("note", "p99 x3");
+  rec.Record(std::move(bad));
+
+  const std::string all = rec.RenderJson(/*anomalies_only=*/false);
+  const std::string anomalies = rec.RenderJson(/*anomalies_only=*/true);
+  EXPECT_NE(all.find("\"healthy\""), std::string::npos);
+  EXPECT_NE(all.find("\"slowpoke\""), std::string::npos);
+  EXPECT_EQ(anomalies.find("\"healthy\""), std::string::npos);
+  EXPECT_NE(anomalies.find("\"slowpoke\""), std::string::npos);
+  EXPECT_NE(anomalies.find("\"anomaly\":\"tail_outlier\""),
+            std::string::npos);
+  EXPECT_NE(anomalies.find("\"note\":\"p99 x3\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpChromeTraceWritesAFile) {
+  FlightRecorder rec;
+  rec.Record(MakeRecord("q1", ""));
+  const std::string path = ::testing::TempDir() + "flight_dump.json";
+  ASSERT_TRUE(rec.DumpChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersStayBoundedAndKeepAnomalies) {
+  MetricsRegistry metrics;
+  FlightRecorderOptions opts;
+  opts.capacity = 64;
+  opts.pinned_capacity = 48;
+  opts.sample_every = 1;
+  FlightRecorder rec(opts);
+  rec.AttachMetrics(&metrics);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 1000;
+  constexpr int kAnomalyEvery = 100;  // 10 anomalies per writer, 40 total
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)rec.Snapshot();
+      (void)rec.Anomalies();
+      (void)rec.RenderJson(true);
+      EXPECT_LE(rec.size(), opts.capacity);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const bool anomalous = i % kAnomalyEvery == 0;
+        (void)rec.ShouldSample();
+        rec.Record(MakeRecord(
+            "w" + std::to_string(w) + "-" + std::to_string(i),
+            anomalous ? "degraded" : ""));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_LE(rec.size(), opts.capacity);
+  EXPECT_LE(rec.approx_bytes(), opts.max_bytes);
+  // 40 anomalies total, pinned cap 48: every one must still be resident.
+  EXPECT_EQ(rec.Anomalies().size(),
+            static_cast<size_t>(kWriters) * (kPerWriter / kAnomalyEvery));
+}
+
+}  // namespace
+}  // namespace blusim::obs

@@ -1,0 +1,172 @@
+// MonitorServer: ephemeral-port startup, HTTP semantics (200/404/405,
+// content types, Content-Length) via a raw loopback socket client.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/monitor_server.h"
+
+namespace blusim::obs {
+namespace {
+
+// Sends one raw HTTP request to 127.0.0.1:port and returns the full
+// response (headers + body). Empty string on connection failure.
+std::string RawRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+TEST(MonitorServerTest, StartsOnEphemeralPortAndServesHandler) {
+  MonitorServer server;
+  server.AddHandler("/metrics", [](std::string* content_type) {
+    *content_type = "text/plain; version=0.0.4";
+    return std::string("# HELP blusim_up 1\n");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = Get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("# HELP blusim_up 1"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(MonitorServerTest, UnknownPathIs404WithIndex) {
+  MonitorServer server;
+  server.AddHandler("/metrics", [](std::string*) { return std::string("m"); });
+  server.AddHandler("/flight", [](std::string*) { return std::string("f"); });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  // The 404 body lists the registered paths.
+  EXPECT_NE(response.find("/metrics"), std::string::npos);
+  EXPECT_NE(response.find("/flight"), std::string::npos);
+}
+
+TEST(MonitorServerTest, NonGetIs405) {
+  MonitorServer server;
+  server.AddHandler("/metrics", [](std::string*) { return std::string("m"); });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequest(
+      server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed"),
+            std::string::npos);
+}
+
+TEST(MonitorServerTest, QueryStringIsStripped) {
+  MonitorServer server;
+  server.AddHandler("/snapshot", [](std::string* content_type) {
+    *content_type = "application/json";
+    return std::string("{\"ok\":true}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/snapshot?pretty=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("{\"ok\":true}"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+}
+
+TEST(MonitorServerTest, ContentLengthMatchesBody) {
+  const std::string body = "0123456789";
+  MonitorServer server;
+  server.AddHandler("/b", [body](std::string*) { return body; });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/b");
+  EXPECT_NE(response.find("Content-Length: 10"), std::string::npos);
+  const size_t sep = response.find("\r\n\r\n");
+  ASSERT_NE(sep, std::string::npos);
+  EXPECT_EQ(response.substr(sep + 4), body);
+}
+
+TEST(MonitorServerTest, CountsRequestsPerPath) {
+  MetricsRegistry metrics;
+  MonitorServer server;
+  server.AttachMetrics(&metrics);
+  server.AddHandler("/metrics", [](std::string*) { return std::string("m"); });
+  ASSERT_TRUE(server.Start().ok());
+  (void)Get(server.port(), "/metrics");
+  (void)Get(server.port(), "/metrics");
+  (void)Get(server.port(), "/other");
+  server.Stop();
+
+  int64_t metrics_hits = 0, other_hits = 0;
+  for (const MetricSample& s : metrics.Snapshot()) {
+    if (s.name != "blusim_monitor_requests_total") continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "path" && v == "/metrics") metrics_hits = s.value;
+      if (k == "path" && v == "/other") other_hits = s.value;
+    }
+  }
+  EXPECT_EQ(metrics_hits, 2);
+  EXPECT_EQ(other_hits, 1);
+}
+
+TEST(MonitorServerTest, StopIsIdempotentAndRestartable) {
+  MonitorServer a;
+  a.AddHandler("/x", [](std::string*) { return std::string("x"); });
+  ASSERT_TRUE(a.Start().ok());
+  EXPECT_FALSE(a.Start().ok());  // double start refused
+  a.Stop();
+  a.Stop();  // idempotent
+  // A second server can immediately bind a fresh ephemeral port.
+  MonitorServer b;
+  b.AddHandler("/x", [](std::string*) { return std::string("x"); });
+  ASSERT_TRUE(b.Start().ok());
+  EXPECT_NE(Get(b.port(), "/x").find("200 OK"), std::string::npos);
+}
+
+TEST(MonitorServerTest, BadBindAddressFailsCleanly) {
+  MonitorOptions opts;
+  opts.bind_address = "not-an-address";
+  MonitorServer bad{opts};
+  EXPECT_FALSE(bad.Start().ok());
+  EXPECT_FALSE(bad.running());
+}
+
+}  // namespace
+}  // namespace blusim::obs

@@ -15,7 +15,11 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/query.h"
 #include "harness/runner.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
 #include "serve/query_service.h"
 #include "workload/data_gen.h"
 
@@ -321,6 +325,132 @@ TEST_F(ServeStressTest, FullQueueShedsWithOverloaded) {
   EXPECT_TRUE(saw_shed);
   EXPECT_GE(service.stats().shed, 1u);
   ExpectDeviceStateClean(gpu_);
+}
+
+// The flight recorder's core guarantee: EVERY anomalous submission -- shed
+// by admission or degraded to the CPU -- is captured and pinned, with a
+// trace, while the recorder's memory stays bounded.
+TEST_F(ServeStressTest, FlightRecorderCapturesEveryAnomalousQuery) {
+  serve::ServiceOptions sopts;
+  sopts.max_concurrent = 1;
+  sopts.max_queue_depth = 0;          // collisions shed immediately
+  sopts.device_budget_bytes = 1024;   // every GPU route degrades
+  // Tail outliers off: this test counts anomalies exactly as shed+degraded.
+  sopts.tail_outlier_min_window = ~0ULL;
+  serve::QueryService service(gpu_, sopts);
+  const auto queries = Queries();
+
+  const int kStreams = 4;
+  const int kReps = 2;
+  auto stream_fn = [&](int s) {
+    const std::string tenant = "stream-" + std::to_string(s);
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const QuerySpec& q : queries) {
+        auto r = service.Submit(q, tenant);
+        if (!r.ok()) {
+          EXPECT_EQ(r.status().code(), StatusCode::kOverloaded)
+              << r.status().ToString();
+          continue;
+        }
+        ExpectMatchesReference(q.name, *r->table);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kStreams; ++s) threads.emplace_back(stream_fn, s);
+  for (std::thread& t : threads) t.join();
+
+  const serve::ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.failed, 0u);
+  ASSERT_GT(stats.degraded, 0u) << "budget starvation must degrade";
+
+  // 100% anomaly capture: one pinned record per shed and per degraded
+  // completion, none lost to rotation.
+  const obs::FlightRecorder& flight = service.flight_recorder();
+  const std::vector<obs::FlightRecord> anomalies = flight.Anomalies();
+  EXPECT_EQ(anomalies.size(), stats.shed + stats.degraded);
+  uint64_t shed_records = 0, degraded_records = 0;
+  for (const obs::FlightRecord& r : anomalies) {
+    EXPECT_TRUE(r.pinned);
+    if (r.outcome == obs::FlightRecord::Outcome::kShed) {
+      ++shed_records;
+      // Shed queries never execute; the synthetic trace must still say
+      // why they were rejected.
+      EXPECT_NE(r.trace.FindAnnotation("shed_reason"), nullptr);
+    } else if (r.outcome == obs::FlightRecord::Outcome::kDegraded) {
+      ++degraded_records;
+      // Degraded queries ran: their record carries the full span
+      // timeline, not a summary.
+      EXPECT_FALSE(r.trace.spans.empty()) << r.query_name;
+      EXPECT_GT(r.sim_elapsed_us, 0u) << r.query_name;
+    }
+  }
+  EXPECT_EQ(shed_records, stats.shed);
+  EXPECT_EQ(degraded_records, stats.degraded);
+  EXPECT_LE(flight.approx_bytes(), flight.options().max_bytes);
+
+  // The outcome counter agrees with the service stats per terminal state.
+  uint64_t counted_shed = 0, counted_degraded = 0;
+  for (const obs::MetricSample& s : service.CollectSamples()) {
+    if (s.name != "blusim_serve_queries_total") continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k != "outcome") continue;
+      if (v == "shed") counted_shed += static_cast<uint64_t>(s.value);
+      if (v == "degraded") {
+        counted_degraded += static_cast<uint64_t>(s.value);
+      }
+    }
+  }
+  EXPECT_EQ(counted_shed, stats.shed);
+  EXPECT_EQ(counted_degraded, stats.degraded);
+  ExpectDeviceStateClean(gpu_);
+}
+
+// The /metrics acceptance bar: a window percentile and an offline
+// histogram over the same completions land in the same power-of-two
+// bucket (the window exports the bucket's upper bound).
+TEST_F(ServeStressTest, WindowPercentilesMatchOfflineHistogram) {
+  serve::ServiceOptions sopts;
+  sopts.max_concurrent = 4;
+  // Wide window: the whole run (even under TSan) must stay inside it so
+  // no completion ages out before the comparison.
+  sopts.slo.window.window_us = 600'000'000;
+  serve::QueryService service(cpu_, sopts);  // CPU engine: mode is "cpu"
+
+  std::map<std::string, obs::Histogram> offline;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const QuerySpec& q : Queries()) {
+      auto r = service.Submit(q, "bench");
+      ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+      offline[core::QueryShapeName(q)].Observe(
+          static_cast<uint64_t>(r->profile.total_elapsed));
+    }
+  }
+
+  for (const auto& [qclass, hist] : offline) {
+    const obs::WindowSnapshot window =
+        service.slo().Window(qclass, "cpu", "bench");
+    ASSERT_EQ(window.count, hist.Count()) << qclass;
+    for (const double q : {0.50, 0.95, 0.99}) {
+      // Offline nearest-rank over the cumulative histogram's buckets.
+      const uint64_t rank = std::max<uint64_t>(
+          1, static_cast<uint64_t>(
+                 q * static_cast<double>(hist.Count()) + 0.999999));
+      uint64_t cumulative = 0;
+      uint64_t expected =
+          obs::Histogram::BucketBound(obs::Histogram::kNumBuckets - 1) * 2;
+      for (int b = 0; b < obs::Histogram::kNumBuckets; ++b) {
+        cumulative += hist.BucketCount(b);
+        if (cumulative >= rank) {
+          expected = obs::Histogram::BucketBound(b);
+          break;
+        }
+      }
+      EXPECT_EQ(service.slo().WindowQuantileUs(qclass, "cpu", "bench", q),
+                expected)
+          << qclass << " p" << q * 100;
+    }
+  }
 }
 
 }  // namespace
