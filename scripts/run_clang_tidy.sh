@@ -7,8 +7,8 @@
 #
 # The build dir must have been configured with
 # -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default CMakeLists.txt sets it).
-# Exits nonzero if clang-tidy reports any warning, so CI can gate on it;
-# the CI job itself is marked non-blocking while checks are tuned.
+# Exits nonzero if clang-tidy reports any warning; the CI clang-tidy job
+# gates on it (blocking).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -12,6 +12,8 @@
 
 #include <mutex>
 
+#include "common/lockdep.h"
+
 #if defined(__clang__) && (!defined(SWIG))
 #define BLUSIM_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -67,18 +69,56 @@ namespace blusim::common {
 // GUARDED_BY(mu_) and the clang analysis enforces the discipline. Lock with
 // MutexLock below; call Lock()/Unlock() directly only in split acquire /
 // release paths (annotate those functions ACQUIRE/RELEASE).
+//
+// Long-lived mutexes declare a name and the rank band of their subsystem
+// (common/lockdep.h); in BLUSIM_LOCKDEP builds every acquisition is
+// checked against the thread's held-lock stack (rank walk-down) and the
+// global acquisition-order graph (cycle detection), so a lock-order
+// inversion is reported the first time both edges are ever seen rather
+// than when a racy schedule interleaves them. Without BLUSIM_LOCKDEP the
+// name and rank are discarded and Lock()/Unlock() compile to the bare
+// std::mutex calls.
 class CAPABILITY("mutex") Mutex {
  public:
+#if BLUSIM_LOCKDEP
   Mutex() = default;
+  explicit Mutex(const char* name, LockRank rank = LockRank::kUnranked)
+      : name_(name), rank_(rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    lockdep::OnAcquire(this, name_, rank_, /*trylock=*/false);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lockdep::OnRelease(this);
+  }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) lockdep::OnAcquire(this, name_, rank_, /*trylock=*/true);
+    return acquired;
+  }
+
+ private:
+  std::mutex mu_;
+  const char* name_ = "anonymous";
+  LockRank rank_ = LockRank::kUnranked;
+#else
+  Mutex() = default;
+  explicit Mutex(const char* /*name*/,
+                 LockRank /*rank*/ = LockRank::kUnranked) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
   std::mutex mu_;
+#endif  // BLUSIM_LOCKDEP
 };
 
 // RAII lock for Mutex (std::lock_guard analogue the analysis understands).

@@ -30,7 +30,13 @@ enum class StatusCode : uint8_t {
 
 // Lightweight error-propagation type (no C++ exceptions cross API
 // boundaries). Modeled on absl::Status / arrow::Status.
-class Status {
+//
+// [[nodiscard]]: silently dropping a Status hides exactly the recoverable
+// device failures the engine is built around, so every producer must be
+// checked, propagated (BLUSIM_RETURN_NOT_OK) or explicitly discarded with
+// IgnoreError("reason"). CI builds with BLUSIM_WERROR=ON, making a
+// dropped Status a build error (docs/static_analysis.md).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -90,6 +96,12 @@ class Status {
 
   std::string ToString() const;
 
+  // Deliberate drop. The argument is the documentation: every call site
+  // states *why* ignoring this error is correct ("shutdown path, socket
+  // already gone"). Grep-able, and the only sanctioned way to silence
+  // the [[nodiscard]] warning.
+  void IgnoreError(const char* reason) const { (void)reason; }
+
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;
   }
@@ -99,9 +111,10 @@ class Status {
   std::string message_;
 };
 
-// Result<T>: a value or an error Status.
+// Result<T>: a value or an error Status. [[nodiscard]] for the same
+// reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : repr_(std::move(value)) {}        // NOLINT
@@ -117,6 +130,9 @@ class Result {
   T& value() & { return std::get<T>(repr_); }
   const T& value() const& { return std::get<T>(repr_); }
   T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  // Deliberate drop of value *and* error; see Status::IgnoreError.
+  void IgnoreError(const char* reason) const { (void)reason; }
 
   T& operator*() & { return value(); }
   const T& operator*() const& { return value(); }

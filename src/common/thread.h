@@ -1,0 +1,55 @@
+#ifndef BLUSIM_COMMON_THREAD_H_
+#define BLUSIM_COMMON_THREAD_H_
+
+// The one place the engine is allowed to touch std::thread.
+//
+// scripts/blusim_lint.py (check C) bans raw std::thread everywhere else so
+// that every thread the process spawns goes through a single auditable
+// chokepoint: thread-owning components (the runtime pool, the monitor
+// server's accept loop, harness stream drivers, simulated device lanes)
+// hold a common::Thread instead. The wrapper is deliberately thin --
+// identical join semantics, no detach (a detached thread cannot be joined
+// at shutdown and would outlive the engine's defect reporting).
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace blusim::common {
+
+class Thread {
+ public:
+  Thread() = default;
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : thread_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  // Like std::thread, a joinable Thread must be joined before
+  // destruction; std::terminate otherwise. No detach() on purpose.
+  ~Thread() = default;
+
+  bool joinable() const { return thread_.joinable(); }
+  void join() { thread_.join(); }
+
+  static unsigned hardware_concurrency() {
+    return std::thread::hardware_concurrency();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+// Joins every thread in `threads` (the common fan-out/fan-in shape of the
+// harness stream drivers and simulated device lanes).
+inline void JoinAll(std::vector<Thread>* threads) {
+  for (Thread& t : *threads) t.join();
+}
+
+}  // namespace blusim::common
+
+#endif  // BLUSIM_COMMON_THREAD_H_

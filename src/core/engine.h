@@ -191,7 +191,8 @@ class Engine {
   groupby::GpuModerator moderator_;
   std::atomic<uint64_t> next_query_id_{1};
 
-  mutable common::Mutex tables_mu_;
+  mutable common::Mutex tables_mu_{"core.Engine.tables_mu",
+                                   common::LockRank::kCore};
   std::map<std::string, std::shared_ptr<columnar::Table>> tables_
       GUARDED_BY(tables_mu_);
 };

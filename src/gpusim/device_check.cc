@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/lockdep.h"
 #include "common/logging.h"
 #include "common/task_tag.h"
 
@@ -60,12 +61,22 @@ const char* DeviceIssueKindName(DeviceIssueKind kind) {
     case DeviceIssueKind::kUseAfterFree: return "use-after-free";
     case DeviceIssueKind::kDoubleFree: return "double-free";
     case DeviceIssueKind::kLeak: return "leak";
+    case DeviceIssueKind::kLockRankViolation: return "lock-rank violation";
+    case DeviceIssueKind::kLockOrderInversion: return "lock-order inversion";
   }
   return "unknown";
 }
 
 std::string DeviceIssue::ToString() const {
   std::ostringstream os;
+  if (kind == DeviceIssueKind::kLockRankViolation ||
+      kind == DeviceIssueKind::kLockOrderInversion) {
+    os << "[device-check] " << DeviceIssueKindName(kind) << ": " << detail;
+    for (const std::string& frame : alloc_backtrace) {
+      os << "\n    " << frame;
+    }
+    return os.str();
+  }
   os << "[device-check] " << DeviceIssueKindName(kind) << ": alloc #"
      << alloc_id << " (" << bytes << " bytes, " << pool << ")";
   if (query_id != 0) {
@@ -282,8 +293,39 @@ void DeviceChecker::EndQuery(uint64_t query_id) {
 }
 
 std::vector<DeviceIssue> DeviceChecker::FinalReport() {
-  if (!enabled_) return {};
+  // Lockdep findings are drained even when the allocation checker is off:
+  // lockdep has its own gate (BLUSIM_LOCKDEP) and its reports must not
+  // vanish just because device checking was disabled.
+  std::vector<DeviceIssue> lock_issues;
+  for (common::LockdepReport& report : common::lockdep::DrainReports()) {
+    DeviceIssue issue;
+    issue.kind = report.kind == common::LockdepReport::Kind::kRankViolation
+                     ? DeviceIssueKind::kLockRankViolation
+                     : DeviceIssueKind::kLockOrderInversion;
+    issue.pool = "lockdep";
+    {
+      std::ostringstream os;
+      os << "acquiring '" << report.acquired_name << "' (rank "
+         << common::LockRankName(report.acquired_rank)
+         << ") while holding '" << report.held_name << "' (rank "
+         << common::LockRankName(report.held_rank) << ")";
+      if (!report.cycle.empty()) {
+        os << "; cycle:";
+        for (size_t i = 0; i < report.cycle.size(); ++i) {
+          os << (i == 0 ? " " : " -> ") << report.cycle[i];
+        }
+      }
+      issue.detail = os.str();
+    }
+    issue.alloc_backtrace = std::move(report.acquire_backtrace);
+    lock_issues.push_back(std::move(issue));
+  }
+
   common::MutexLock lock(&mu_);
+  for (DeviceIssue& issue : lock_issues) {
+    issues_.push_back(std::move(issue));
+  }
+  if (!enabled_) return issues_;
   ScanQuarantineLocked();
   for (auto& [id, record] : allocations_) {
     if (record.freed || record.leak_reported) continue;

@@ -20,6 +20,10 @@ enum class DeviceIssueKind : uint8_t {
   kDoubleFree,        // DeviceBuffer::Free() called twice
   kLeak,              // allocation still live when its query (or the
                       // engine) shut down
+  // Lockdep findings (common/lockdep.h) drained into the shutdown
+  // report, so a lock-order bug surfaces exactly like a memory bug.
+  kLockRankViolation, // lock acquired above a held lock's rank band
+  kLockOrderInversion,// acquisition closed a cycle in the order graph
 };
 
 const char* DeviceIssueKindName(DeviceIssueKind kind);
@@ -175,7 +179,8 @@ class DeviceChecker {
   void ScanQuarantineLocked() REQUIRES(mu_);
 
   const bool enabled_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"gpusim.DeviceChecker.mu",
+                            common::LockRank::kGpusim};
   uint64_t next_id_ GUARDED_BY(mu_) = 1;
   uint64_t quarantine_bytes_ GUARDED_BY(mu_) = 0;
   std::map<uint64_t, AllocRecord> allocations_ GUARDED_BY(mu_);

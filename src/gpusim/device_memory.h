@@ -170,7 +170,8 @@ class DeviceMemoryManager {
 
   const uint64_t capacity_;
   DeviceChecker* checker_ = nullptr;  // set once before use
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"gpusim.DeviceMemoryManager.mu",
+                            common::LockRank::kGpusim};
   uint64_t reserved_total_ GUARDED_BY(mu_) = 0;
   uint64_t peak_reserved_ GUARDED_BY(mu_) = 0;
   uint64_t reservation_failures_ GUARDED_BY(mu_) = 0;

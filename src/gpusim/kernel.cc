@@ -5,9 +5,9 @@
 #include <cstring>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "common/bit_util.h"
+#include "common/thread.h"
 
 namespace blusim::gpusim {
 
@@ -26,7 +26,7 @@ LaunchConfig MakeGridStrideConfig(const DeviceSpec& spec, uint64_t items,
 KernelLauncher::KernelLauncher(const DeviceSpec& spec, int workers)
     : workers_(workers), max_shared_mem_(spec.shared_mem_per_smx_bytes) {
   if (workers_ <= 0) {
-    const unsigned hc = std::thread::hardware_concurrency();
+    const unsigned hc = common::Thread::hardware_concurrency();
     workers_ = hc == 0 ? 2 : static_cast<int>(hc);
   }
 }
@@ -88,11 +88,11 @@ Status KernelLauncher::Launch(const LaunchConfig& config,
     return Status::OK();
   }
 
-  std::vector<std::thread> threads;
+  std::vector<common::Thread> threads;
   threads.reserve(static_cast<size_t>(nworkers - 1));
   for (int i = 1; i < nworkers; ++i) threads.emplace_back(run_blocks);
   run_blocks();
-  for (std::thread& t : threads) t.join();
+  common::JoinAll(&threads);
   return Status::OK();
 }
 

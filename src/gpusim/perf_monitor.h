@@ -69,7 +69,8 @@ class PerfMonitor {
   void Reset() EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"gpusim.PerfMonitor.mu",
+                            common::LockRank::kGpusim};
   EventStats stats_[static_cast<int>(GpuEvent::kNumEvents)] GUARDED_BY(mu_);
   std::map<std::string, EventStats> kernel_stats_ GUARDED_BY(mu_);
   std::vector<MemorySample> memory_samples_ GUARDED_BY(mu_);

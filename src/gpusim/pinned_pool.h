@@ -104,7 +104,8 @@ class PinnedHostPool {
   std::unique_ptr<char[]> segment_;
   char* base_ = nullptr;  // 64-byte-aligned start within segment_
   DeviceChecker* checker_ = nullptr;  // set once before use
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"gpusim.PinnedHostPool.mu",
+                            common::LockRank::kGpusim};
   // Sorted by offset, coalesced.
   std::vector<FreeExtent> free_list_ GUARDED_BY(mu_);
   uint64_t allocated_ GUARDED_BY(mu_) = 0;

@@ -102,7 +102,8 @@ class GpuModerator {
   };
 
   ModeratorOptions options_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"groupby.GpuModerator.mu",
+                            common::LockRank::kExec};
   // mutable: feedback reads refresh recency under mu_ from const methods.
   mutable uint64_t use_tick_ GUARDED_BY(mu_) = 0;
   mutable std::map<Signature, FeedbackCell> feedback_ GUARDED_BY(mu_);

@@ -30,7 +30,7 @@ uint64_t SoAValueWidth(const AggSlot& slot) {
 
 // KMV merge and first-error tracking shared by the morsel workers.
 struct SharedStageState {
-  common::Mutex mu;
+  common::Mutex mu{"groupby.Staging.shared_mu", common::LockRank::kExec};
   KmvSketch kmv GUARDED_BY(mu) = KmvSketch(256);
   Status first_error GUARDED_BY(mu);
 };

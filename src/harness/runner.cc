@@ -1,8 +1,7 @@
 #include "harness/runner.h"
 
-#include <thread>
-
 #include "common/annotations.h"
+#include "common/thread.h"
 
 namespace blusim::harness {
 
@@ -54,7 +53,8 @@ Result<std::vector<QueryRunResult>> RunConcurrentStreams(
 
   // Shared across the stream threads; every access goes through `mu`.
   struct StreamState {
-    common::Mutex mu;
+    common::Mutex mu{"harness.RunConcurrentStreams.state_mu",
+                     common::LockRank::kServe};
     std::vector<QueryRunResult> results GUARDED_BY(mu);
     Status first_error GUARDED_BY(mu);
   } state;
@@ -87,11 +87,11 @@ Result<std::vector<QueryRunResult>> RunConcurrentStreams(
     }
   };
 
-  std::vector<std::thread> threads;
+  std::vector<common::Thread> threads;
   threads.reserve(static_cast<size_t>(streams - 1));
   for (int s = 1; s < streams; ++s) threads.emplace_back(stream_fn);
   stream_fn();
-  for (std::thread& t : threads) t.join();
+  common::JoinAll(&threads);
 
   common::MutexLock lock(&state.mu);
   BLUSIM_RETURN_NOT_OK(state.first_error);

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "common/annotations.h"
+#include "common/thread.h"
 
 namespace blusim::harness {
 
@@ -16,7 +16,8 @@ Result<ServedRunResult> RunServedStreams(
   const int reps = std::max(1, options.reps);
 
   struct StreamState {
-    common::Mutex mu;
+    common::Mutex mu{"harness.RunServedStreams.state_mu",
+                     common::LockRank::kServe};
     ServedRunResult run GUARDED_BY(mu);
     Status first_error GUARDED_BY(mu);
   } state;
@@ -73,11 +74,11 @@ Result<ServedRunResult> RunServedStreams(
   };
 
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
+  std::vector<common::Thread> threads;
   threads.reserve(static_cast<size_t>(streams - 1));
   for (int s = 1; s < streams; ++s) threads.emplace_back(stream_fn, s);
   stream_fn(0);
-  for (std::thread& t : threads) t.join();
+  common::JoinAll(&threads);
   const auto end = std::chrono::steady_clock::now();
 
   common::MutexLock lock(&state.mu);

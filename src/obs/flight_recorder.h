@@ -109,7 +109,8 @@ class FlightRecorder {
   void SyncGaugesLocked() REQUIRES(mu_);
 
   FlightRecorderOptions options_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"obs.FlightRecorder.mu",
+                            common::LockRank::kObs};
   std::deque<FlightRecord> records_ GUARDED_BY(mu_);
   size_t bytes_ GUARDED_BY(mu_) = 0;
   size_t pinned_ GUARDED_BY(mu_) = 0;

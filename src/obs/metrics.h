@@ -167,7 +167,8 @@ class MetricsRegistry {
                            const std::string& help, MetricType type)
       EXCLUDES(mu_);
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"obs.MetricsRegistry.mu",
+                            common::LockRank::kObs};
   // deque: stable addresses as instruments register.
   std::deque<Instrument> instruments_ GUARDED_BY(mu_);
   std::map<std::string, size_t> index_ GUARDED_BY(mu_);

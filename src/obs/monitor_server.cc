@@ -112,7 +112,7 @@ Status MonitorServer::Start() {
     port_ = ntohs(bound.sin_port);
   }
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Serve(); });
+  thread_ = common::Thread([this] { Serve(); });
   BLUSIM_LOG(Info) << "[monitor] serving on http://" << options_.bind_address
                    << ":" << port_;
   return Status::OK();

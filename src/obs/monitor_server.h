@@ -5,9 +5,9 @@
 #include <functional>
 #include <map>
 #include <string>
-#include <thread>
 
 #include "common/status.h"
+#include "common/thread.h"
 #include "obs/metrics.h"
 
 namespace blusim::obs {
@@ -69,7 +69,7 @@ class MonitorServer {
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread thread_;
+  common::Thread thread_;
 };
 
 }  // namespace blusim::obs

@@ -79,7 +79,7 @@ class TraceBuilder {
   QueryTrace Finish() EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"obs.TraceBuilder.mu", common::LockRank::kObs};
   QueryTrace trace_ GUARDED_BY(mu_);
   SimTime cursor_ GUARDED_BY(mu_) = 0;
 };

@@ -84,7 +84,8 @@ class WindowedHistogram {
   }
 
   WindowOptions options_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"obs.WindowedHistogram.mu",
+                            common::LockRank::kObs};
   std::vector<Slice> slices_ GUARDED_BY(mu_);
 };
 
@@ -167,7 +168,7 @@ class SloTracker {
 
   SloOptions options_;
   TimeSource clock_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"obs.SloTracker.mu", common::LockRank::kObs};
   // Stable addresses: Record holds series pointers outside the map lock.
   std::map<std::string, std::unique_ptr<Series>> series_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<ShedSeries>> sheds_ GUARDED_BY(mu_);

@@ -52,7 +52,8 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
   // Small mutex: KMV merge and first-error tracking only. Group merging
   // never takes it — phase 2 is per-shard parallel with no shared state.
   struct SharedScanState {
-    common::Mutex mu;
+    common::Mutex mu{"runtime.CpuGroupBy.scan_mu",
+                     common::LockRank::kRuntime};
     KmvSketch global_kmv GUARDED_BY(mu) = KmvSketch(256);
     Status first_error GUARDED_BY(mu);
   } shared;

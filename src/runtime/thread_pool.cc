@@ -10,7 +10,7 @@ namespace blusim::runtime {
 
 ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics) {
   if (num_threads <= 0) {
-    const unsigned hc = std::thread::hardware_concurrency();
+    const unsigned hc = common::Thread::hardware_concurrency();
     num_threads = hc == 0 ? 2 : static_cast<int>(hc);
   }
   AttachMetrics(metrics);
@@ -38,7 +38,7 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  common::JoinAll(&workers_);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -95,7 +95,8 @@ struct ParallelForState {
   std::atomic<uint64_t> next{0};
   std::atomic<uint64_t> remaining;
   std::function<void(uint64_t)> fn;
-  common::Mutex mu;
+  common::Mutex mu{"runtime.ParallelFor.state_mu",
+                   common::LockRank::kRuntime};
   std::condition_variable_any cv;
   bool done GUARDED_BY(mu) = false;
 

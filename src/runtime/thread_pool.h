@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/thread.h"
 #include "obs/metrics.h"
 
 namespace blusim::runtime {
@@ -59,8 +59,8 @@ class ThreadPool {
 
   void WorkerLoop() EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  common::Mutex mu_;
+  std::vector<common::Thread> workers_;
+  common::Mutex mu_{"runtime.ThreadPool.mu", common::LockRank::kRuntime};
   // condition_variable_any waits directly on the annotated MutexLock scope.
   std::condition_variable_any cv_;
   std::deque<QueuedTask> queue_ GUARDED_BY(mu_);

@@ -105,7 +105,8 @@ class GpuScheduler {
 
   std::vector<gpusim::SimDevice*> devices_;
 
-  mutable common::Mutex wait_mu_;
+  mutable common::Mutex wait_mu_{"sched.GpuScheduler.wait_mu",
+                                  common::LockRank::kSched};
   uint64_t next_ticket_ GUARDED_BY(wait_mu_) = 1;
   std::deque<uint64_t> waiters_ GUARDED_BY(wait_mu_);
 

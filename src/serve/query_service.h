@@ -133,7 +133,8 @@ class QueryService {
   std::unique_ptr<obs::SloTracker> slo_;
   std::unique_ptr<obs::FlightRecorder> flight_;
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"serve.QueryService.mu",
+                            common::LockRank::kServe};
   std::condition_variable_any cv_;
   uint64_t next_ticket_ GUARDED_BY(mu_) = 1;
   std::deque<uint64_t> queue_ GUARDED_BY(mu_);

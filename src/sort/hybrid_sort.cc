@@ -53,7 +53,8 @@ struct SortRun {
   // Jobs handed to any worker so far (drives the test-only error injection).
   std::atomic<uint64_t> jobs_started{0};
 
-  common::Mutex stats_mu;
+  common::Mutex stats_mu{"sort.HybridSort.stats_mu",
+                         common::LockRank::kExec};
   HybridSortStats stats GUARDED_BY(stats_mu);
   Status first_error GUARDED_BY(stats_mu);
   // Simulated-time origin of this sort for the per-worker trace lanes.
@@ -531,7 +532,8 @@ Result<std::vector<uint32_t>> HybridSorter::Sort(
     // so the sort completes even when the pool is saturated.
     const int workers = std::max(1, options.num_workers);
     struct WorkerSync {
-      common::Mutex mu;
+      common::Mutex mu{"sort.HybridSort.worker_sync_mu",
+                       common::LockRank::kExec};
       std::condition_variable_any cv;
       int remaining GUARDED_BY(mu) = 0;
     } sync;

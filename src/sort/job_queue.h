@@ -55,7 +55,7 @@ class SortJobQueue {
   uint64_t jobs_skipped() const EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"sort.SortJobQueue.mu", common::LockRank::kExec};
   std::condition_variable_any cv_;
   std::deque<SortJob> queue_ GUARDED_BY(mu_);
   int in_flight_ GUARDED_BY(mu_) = 0;

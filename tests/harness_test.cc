@@ -9,6 +9,7 @@
 #include "harness/monitor_report.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "harness/serve_driver.h"
 #include "workload/data_gen.h"
 #include "workload/queries.h"
 
@@ -59,6 +60,47 @@ TEST(SerialRunnerTest, UnknownTablePropagatesQueryName) {
   auto r = RunSerial(engine_ptr, {wq}, SerialRunOptions{});
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+// Regression tests for the [[nodiscard]] sweep (docs/static_analysis.md
+// §5): a query failure inside a worker stream must surface as the run's
+// returned Status, not vanish into a per-thread lambda. These pin the
+// first_error plumbing in runner.cc and serve_driver.cc.
+
+TEST(ConcurrentRunnerTest, StreamErrorPropagatesOutOfWorkerThreads) {
+  core::EngineConfig config;
+  config.cpu_threads = 2;
+  core::Engine engine(config);  // no tables registered
+  workload::WorkloadQuery wq;
+  wq.spec.name = "ghost-concurrent";
+  wq.spec.fact_table = "missing";
+  ConcurrentRunOptions options;
+  options.streams = 3;
+  auto r = RunConcurrentStreams(&engine, {wq}, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ghost-concurrent"),
+            std::string::npos);
+}
+
+TEST(ServeDriverTest, QueryFailurePropagatesAsRunError) {
+  core::EngineConfig config;
+  config.cpu_threads = 2;
+  core::Engine engine(config);  // no tables registered
+  serve::ServiceOptions sopts;
+  sopts.max_concurrent = 2;
+  serve::QueryService service(&engine, sopts);
+  workload::WorkloadQuery wq;
+  wq.spec.name = "ghost-served";
+  wq.spec.fact_table = "missing";
+  ServedRunOptions options;
+  options.streams = 3;
+  auto r = RunServedStreams(&service, {wq}, options);
+  ASSERT_FALSE(r.ok());
+  // Not shed: a real failure, attributed to the query by name.
+  EXPECT_NE(r.status().code(), StatusCode::kOverloaded);
+  EXPECT_NE(r.status().message().find("ghost-served"), std::string::npos);
+  // The service counted it as failed, not completed.
+  EXPECT_GE(service.stats().failed, 1u);
 }
 
 TEST(ReportTest, Formatters) {

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_COMMON_BAD_H_
+#define FIXTURE_COMMON_BAD_H_
+
+// Known-bad fixture: common (band 0) reaching up into runtime (band 2).
+#include "runtime/thread_pool.h"
+
+#endif  // FIXTURE_COMMON_BAD_H_

@@ -1,0 +1,7 @@
+// Known-bad fixture: a counter family that does not end in _total.
+struct Registry {
+  int* GetCounter(const char* name) { return name ? &v : &v; }
+  int v = 0;
+};
+
+void Register(Registry* r) { r->GetCounter("blusim_fixture_ops"); }

@@ -1,0 +1,7 @@
+// Known-bad fixture: unseeded nondeterminism outside src/harness/.
+#include <random>
+
+unsigned Entropy() {
+  std::random_device rd;
+  return rd();
+}

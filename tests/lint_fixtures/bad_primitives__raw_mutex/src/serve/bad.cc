@@ -1,0 +1,6 @@
+// Known-bad fixture: raw std::mutex outside the annotated chokepoints.
+#include <mutex>
+
+std::mutex g_mu;
+
+void Touch() { std::lock_guard<std::mutex> lock(g_mu); }

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_COMMON_UTIL_H_
+#define FIXTURE_COMMON_UTIL_H_
+
+// Known-good fixture: band-0 header with no project includes.
+inline int Twice(int x) { return 2 * x; }
+
+#endif  // FIXTURE_COMMON_UTIL_H_

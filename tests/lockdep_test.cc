@@ -1,0 +1,220 @@
+// Lockdep (common/lockdep.h) behaviour tests: rank-band violations and
+// acquisition-order inversions must be reported from a SINGLE benign
+// schedule -- the whole point of the order graph is that the two halves
+// of a deadlock never have to interleave for the bug to surface.
+//
+// The suite itself runs with BLUSIM_LOCKDEP enabled in the Debug and TSan
+// CI jobs; these tests seed deliberate violations on locally-scoped
+// mutexes and then clear the global state so the end-of-suite report stays
+// clean for everyone else.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/annotations.h"
+#include "common/lockdep.h"
+#include "common/thread.h"
+#include "gpusim/device_check.h"
+
+namespace blusim::common {
+namespace {
+
+#if BLUSIM_LOCKDEP
+
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!lockdep::Enabled()) {
+      GTEST_SKIP() << "lockdep disabled (BLUSIM_LOCKDEP env override)";
+    }
+    lockdep::ResetForTest();
+  }
+  // Leave no seeded defects behind for the next test or the engine's
+  // shutdown report.
+  void TearDown() override { lockdep::ResetForTest(); }
+};
+
+std::string AllReportsText() {
+  std::string all;
+  for (const LockdepReport& r : lockdep::Reports()) {
+    all += r.ToString();
+    all += '\n';
+  }
+  return all;
+}
+
+TEST_F(LockdepTest, CleanNestingReportsNothing) {
+  Mutex outer("test.lockdep.clean_outer", LockRank::kServe);
+  Mutex inner("test.lockdep.clean_inner", LockRank::kCommon);
+  {
+    MutexLock o(&outer);
+    MutexLock i(&inner);  // walking DOWN the rank bands is the legal order
+  }
+  EXPECT_EQ(lockdep::report_count(), 0u);
+}
+
+TEST_F(LockdepTest, RankWalkUpIsReportedWithNamesAndRanks) {
+  // Acquire a high-band (serve) lock while holding a low-band (common)
+  // lock: an inner layer is calling up into an outer layer.
+  Mutex low("test.lockdep.low", LockRank::kCommon);
+  Mutex high("test.lockdep.high", LockRank::kServe);
+  {
+    MutexLock l(&low);
+    MutexLock h(&high);
+  }
+  ASSERT_GE(lockdep::report_count(), 1u);
+
+  const std::vector<LockdepReport> reports = lockdep::Reports();
+  const LockdepReport* rank_report = nullptr;
+  for (const LockdepReport& r : reports) {
+    if (r.kind == LockdepReport::Kind::kRankViolation) rank_report = &r;
+  }
+  ASSERT_NE(rank_report, nullptr);
+  EXPECT_EQ(rank_report->held_name, "test.lockdep.low");
+  EXPECT_EQ(rank_report->held_rank, LockRank::kCommon);
+  EXPECT_EQ(rank_report->acquired_name, "test.lockdep.high");
+  EXPECT_EQ(rank_report->acquired_rank, LockRank::kServe);
+  // Both acquisition sites carry a backtrace (resolved via execinfo).
+  EXPECT_FALSE(rank_report->held_backtrace.empty());
+  EXPECT_FALSE(rank_report->acquire_backtrace.empty());
+  // The rendered report names both locks.
+  const std::string text = rank_report->ToString();
+  EXPECT_NE(text.find("test.lockdep.low"), std::string::npos) << text;
+  EXPECT_NE(text.find("test.lockdep.high"), std::string::npos) << text;
+}
+
+TEST_F(LockdepTest, RankViolationIsDedupedPerClassPair) {
+  Mutex low("test.lockdep.dedup_low", LockRank::kCommon);
+  Mutex high("test.lockdep.dedup_high", LockRank::kServe);
+  for (int i = 0; i < 3; ++i) {
+    MutexLock l(&low);
+    MutexLock h(&high);
+  }
+  EXPECT_EQ(lockdep::report_count(), 1u) << AllReportsText();
+}
+
+TEST_F(LockdepTest, OrderInversionAcrossThreadsWithoutInterleaving) {
+  // Two same-band locks taken A->B on one thread and B->A on another.
+  // The threads are joined back-to-back -- the acquisitions NEVER overlap
+  // in time, so no actual deadlock can occur in this schedule. The order
+  // graph still closes the cycle on the second thread's edge.
+  Mutex a("test.lockdep.inv_a", LockRank::kExec);
+  Mutex b("test.lockdep.inv_b", LockRank::kExec);
+
+  Thread t1([&] {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  });
+  t1.join();
+  EXPECT_EQ(lockdep::report_count(), 0u) << AllReportsText();
+
+  Thread t2([&] {
+    MutexLock lb(&b);
+    // Seed the b->a edge through lockdep directly instead of locking `a`
+    // for real: TSan's own deadlock detector also builds an order graph
+    // and would (correctly) flag a genuine inverted acquisition, and this
+    // suite must stay TSan-clean. lockdep records the same edge either
+    // way and reports the cycle here.
+    lockdep::OnAcquire(&a, "test.lockdep.inv_a", LockRank::kExec,
+                       /*trylock=*/false);
+    lockdep::OnRelease(&a);
+  });
+  t2.join();
+
+  ASSERT_GE(lockdep::report_count(), 1u);
+  const std::vector<LockdepReport> reports = lockdep::Reports();
+  const LockdepReport* inv = nullptr;
+  for (const LockdepReport& r : reports) {
+    if (r.kind == LockdepReport::Kind::kOrderInversion) inv = &r;
+  }
+  ASSERT_NE(inv, nullptr) << AllReportsText();
+  EXPECT_EQ(inv->held_name, "test.lockdep.inv_b");
+  EXPECT_EQ(inv->acquired_name, "test.lockdep.inv_a");
+  // The report carries the cycle through the order graph and the two
+  // acquisition backtraces.
+  ASSERT_GE(inv->cycle.size(), 2u);
+  EXPECT_FALSE(inv->held_backtrace.empty());
+  EXPECT_FALSE(inv->acquire_backtrace.empty());
+  const std::string text = inv->ToString();
+  EXPECT_NE(text.find("test.lockdep.inv_a"), std::string::npos) << text;
+  EXPECT_NE(text.find("test.lockdep.inv_b"), std::string::npos) << text;
+}
+
+TEST_F(LockdepTest, TryLockRecordsHeldButAddsNoEdges) {
+  Mutex a("test.lockdep.try_a", LockRank::kExec);
+  Mutex b("test.lockdep.try_b", LockRank::kExec);
+  const size_t edges_before = lockdep::edge_count();
+  {
+    MutexLock la(&a);
+    ASSERT_TRUE(b.TryLock());  // trylock cannot deadlock: no a->b edge
+    b.Unlock();
+  }
+  EXPECT_EQ(lockdep::edge_count(), edges_before);
+  EXPECT_EQ(lockdep::report_count(), 0u) << AllReportsText();
+}
+
+TEST_F(LockdepTest, SelfDeadlockOnSameInstanceIsReported) {
+  // Relocking the exact mutex instance this thread already holds would
+  // deadlock immediately at runtime; lockdep reports it instead (the
+  // underlying std::mutex still gets locked by the second MutexLock, so
+  // seed the check through OnAcquire directly).
+  Mutex m("test.lockdep.self", LockRank::kExec);
+  m.Lock();
+  lockdep::OnAcquire(&m, "test.lockdep.self", LockRank::kExec,
+                     /*trylock=*/false);
+  lockdep::OnRelease(&m);
+  m.Unlock();
+  ASSERT_GE(lockdep::report_count(), 1u);
+  const std::vector<LockdepReport> reports = lockdep::Reports();
+  const LockdepReport& r = reports.front();
+  EXPECT_EQ(r.kind, LockdepReport::Kind::kOrderInversion);
+  EXPECT_EQ(r.held_name, "test.lockdep.self");
+  EXPECT_EQ(r.acquired_name, "test.lockdep.self");
+  // Rendered as the degenerate one-node cycle.
+  EXPECT_EQ(r.cycle,
+            (std::vector<std::string>{"test.lockdep.self",
+                                      "test.lockdep.self"}));
+}
+
+TEST_F(LockdepTest, ReportsDrainIntoDeviceCheckerShutdownReport) {
+  // A lock bug must surface in the engine's shutdown defect report like a
+  // memory bug -- even when device checking itself is disabled, since
+  // lockdep has its own gate.
+  Mutex low("test.lockdep.drain_low", LockRank::kCommon);
+  Mutex high("test.lockdep.drain_high", LockRank::kServe);
+  {
+    MutexLock l(&low);
+    MutexLock h(&high);
+  }
+  ASSERT_GE(lockdep::report_count(), 1u);
+
+  gpusim::DeviceChecker checker(/*enabled=*/false);
+  const std::vector<gpusim::DeviceIssue> issues = checker.FinalReport();
+  ASSERT_FALSE(issues.empty());
+  const gpusim::DeviceIssue& issue = issues.front();
+  EXPECT_EQ(issue.kind, gpusim::DeviceIssueKind::kLockRankViolation);
+  EXPECT_EQ(issue.pool, "lockdep");
+  EXPECT_NE(issue.detail.find("test.lockdep.drain_high"), std::string::npos)
+      << issue.detail;
+  EXPECT_NE(issue.detail.find("test.lockdep.drain_low"), std::string::npos)
+      << issue.detail;
+  // Draining consumed the global reports.
+  EXPECT_EQ(lockdep::report_count(), 0u);
+}
+
+#else  // !BLUSIM_LOCKDEP
+
+TEST(LockdepTest, DisabledBuildCompilesRankedConstructors) {
+  // In non-lockdep builds the named constructor must still compile and
+  // the mutex must behave like a plain std::mutex wrapper.
+  Mutex m("test.lockdep.noop", LockRank::kServe);
+  MutexLock lock(&m);
+  SUCCEED();
+}
+
+#endif  // BLUSIM_LOCKDEP
+
+}  // namespace
+}  // namespace blusim::common
