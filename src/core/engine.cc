@@ -25,12 +25,38 @@ namespace {
 std::vector<std::unique_ptr<gpusim::SimDevice>> MakeDevices(
     const EngineConfig& config) {
   std::vector<std::unique_ptr<gpusim::SimDevice>> devices;
-  const int n = config.gpu_enabled ? config.num_devices : 0;
+  if (!config.gpu_enabled) return devices;
+  // device_specs (heterogeneous fleet) overrides the homogeneous pair.
+  const int n = config.device_specs.empty()
+                    ? config.num_devices
+                    : static_cast<int>(config.device_specs.size());
   for (int i = 0; i < n; ++i) {
+    const gpusim::DeviceSpec& spec =
+        config.device_specs.empty()
+            ? config.device_spec
+            : config.device_specs[static_cast<size_t>(i)];
     devices.push_back(std::make_unique<gpusim::SimDevice>(
-        i, config.device_spec, config.host, config.device_workers));
+        i, spec, config.host, config.device_workers));
   }
   return devices;
+}
+
+// The spec the engine-wide cost model calibrates against: first of the
+// heterogeneous fleet, or the homogeneous spec.
+const gpusim::DeviceSpec& PrimarySpec(const EngineConfig& config) {
+  return config.device_specs.empty() ? config.device_spec
+                                     : config.device_specs.front();
+}
+
+// Smallest device memory in the fleet (bounds chunk sizing and the T3 cap
+// when devices are heterogeneous).
+uint64_t MinDeviceMemory(
+    const std::vector<std::unique_ptr<gpusim::SimDevice>>& devices) {
+  uint64_t m = UINT64_MAX;
+  for (const auto& d : devices) {
+    m = std::min(m, d->spec().device_memory_bytes);
+  }
+  return m;
 }
 
 std::vector<gpusim::SimDevice*> DevicePointers(
@@ -108,7 +134,7 @@ Result<std::shared_ptr<Table>> MaterializeRows(
 
 Engine::Engine(EngineConfig config)
     : config_(config),
-      cost_(config.host, config.device_spec),
+      cost_(config.host, PrimarySpec(config)),
       checker_(std::make_unique<gpusim::DeviceChecker>(
           config.check_device < 0 ? gpusim::DeviceChecker::EnabledByDefault()
                                   : config.check_device != 0)),
@@ -196,7 +222,13 @@ OptimizerEstimates Engine::SampleEstimates(
   OptimizerEstimates est;
   const uint64_t n = fact.num_rows();
   if (n == 0) return est;
-  const uint64_t target = std::min<uint64_t>(n, 4096);
+  // Sample size scales with the table: a fixed 4096-row sample cannot
+  // tell a 64k-group domain from a unique key (every sampled key looks
+  // distinct either way), and the near-unique scale-up below would then
+  // inflate the estimate by the sampling ratio -- which mis-routes the
+  // partitioned upgrade for exactly the T2 < n < T3 inputs it exists for.
+  const uint64_t target =
+      std::min<uint64_t>(n, std::max<uint64_t>(4096, n / 64));
   const uint64_t step = std::max<uint64_t>(1, n / target);
   KmvSketch sketch(512);
   uint64_t examined = 0;
@@ -282,12 +314,41 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
         8 + 4 + plan.payload_bytes_per_row() + 8);
     thresholds.t3_max_rows =
         std::min<uint64_t>(thresholds.t3_max_rows,
-                           config_.device_spec.device_memory_bytes /
+                           MinDeviceMemory(devices_) /
                                std::max<uint64_t>(1, per_row));
   }
 
   ExecutionPath path =
       ChooseGroupByPath(estimates, thresholds, !devices_.empty());
+  if (path == ExecutionPath::kGpu && config_.enable_partitioned_gpu &&
+      !devices_.empty()) {
+    // T2 < n < T3 upgrade: when the cost model predicts the concurrent
+    // partitioned CPU+GPU execution beats both one device and the CPU
+    // chain by >= 10%, shard the query instead of running it whole on one
+    // device (docs/partitioned_execution.md).
+    gpusim::PartitionedShape shape = groupby::PartitionedGroupBy::MakeShape(
+        plan, estimates.rows, estimates.groups, MinDeviceMemory(devices_),
+        static_cast<int>(devices_.size()),
+        config_.groupby_options.allow_fusion && config_.enable_fusion,
+        config_.query_dop, pool_.num_threads());
+    if (shape.max_rows_per_chunk > 0) {
+      const double frac =
+          config_.partitioned_cpu_split >= 0.0
+              ? std::clamp(config_.partitioned_cpu_split, 0.0, 1.0)
+              : cost_.ChoosePartitionedCpuFraction(shape);
+      const SimTime t_part = cost_.PartitionedTime(shape, frac);
+      const SimTime t_single = cost_.SingleDeviceGroupByTime(shape);
+      const SimTime t_cpu = static_cast<SimTime>(
+          static_cast<double>(cost_.HostGroupByTime(
+              estimates.rows, estimates.groups,
+              static_cast<int>(plan.slots().size()), 1)) /
+          cost_.HostParallelFactor(config_.query_dop));
+      if (t_part * 100 < std::min(t_single, t_cpu) * 90) {
+        path = ExecutionPath::kPartitioned;
+        trace->Annotate("partitioned_upgrade", "modeled");
+      }
+    }
+  }
   profile->groupby_path = path;
   trace->Annotate("groupby_path", ExecutionPathName(path));
   metrics_
@@ -300,47 +361,167 @@ Result<Engine::GroupByOutcome> Engine::RunGroupBy(
   outcome.path = path;
 
   if (path == ExecutionPath::kPartitioned && config_.enable_partitioned_gpu) {
-    // Extension: range-partitioned multi-device execution with a host
-    // merge (the paper describes the mechanism in section 2.2 but ran
-    // these queries on the CPU). The chunked path stages SoA per device,
-    // so a deferred filter materializes first.
+    // Concurrent hash-partitioned CPU+GPU execution (the mechanism of
+    // section 2.2 plus the co-execution the paper left as future work):
+    // the partition sweep needs explicit row ids, so a deferred filter
+    // materializes first.
     BLUSIM_RETURN_NOT_OK(materialize_selection());
+    groupby::PartitionedOptions popts;
+    popts.gpu = config_.groupby_options;
+    popts.gpu.allow_fusion = popts.gpu.allow_fusion && config_.enable_fusion;
+    popts.gpu.estimated_rows = estimates.rows;
+    popts.gpu.estimated_groups = estimates.groups;
+    popts.wait = opts.wait;
+    popts.cpu_split_fraction = config_.partitioned_cpu_split;
+    popts.cpu_dop = config_.query_dop;
+    popts.cost = &cost_;
     groupby::PartitionedStats pstats;
     auto part_out = groupby::PartitionedGroupBy::Execute(
-        plan, &scheduler_, &pinned_, &pool_, &moderator_, *selection,
-        config_.groupby_options, &pstats);
+        plan, &scheduler_, &pinned_, &pool_, &moderator_, *selection, popts,
+        &pstats);
     if (part_out.ok()) {
+      // Phase accounting: the partition sweep and the device chunks' host
+      // staging are pool work charged at query dop. The CPU and device
+      // lanes run concurrently, so one umbrella phase carries
+      // max(CPU lane, slowest device lane) and the per-chunk phases are
+      // recorded `overlapped` — visible in ExplainAnalyze for attribution
+      // but excluded from elapsed sums and the concurrency replay.
+      PhaseRecord part;
+      part.kind = PhaseRecord::Kind::kCpu;
+      part.label = "groupby-partition-plan";
+      part.cpu_work = pstats.partition_time;
+      part.dop = config_.query_dop;
+      RecordPhase(std::move(part), obs::kCatCpu, profile, trace);
+
+      uint64_t bytes_in = 0;
+      uint64_t bytes_out = 0;
+      uint64_t bytes_avoided = 0;
+      uint64_t cpu_chunks = 0;
+      uint64_t gpu_chunks = 0;
+      uint64_t fallbacks = 0;
       for (const auto& chunk : pstats.chunks) {
-        PhaseRecord gp;
-        gp.kind = PhaseRecord::Kind::kGpu;
-        gp.label = "groupby-partition";
-        gp.device_time = chunk.gpu.total();
-        gp.device_mem = chunk.gpu.device_bytes_reserved;
-        gp.device_id = chunk.device_id;
-        RecordPhase(std::move(gp), obs::kCatGpu, profile, trace);
-        metrics_
-            .GetCounter("blusim_moderator_kernel_total",
-                        {{"kernel",
-                          gpusim::GroupByKernelKindName(
-                              chunk.gpu.kernel_used)}},
-                        "Group-by kernel executions by moderator choice")
-            ->Add(1);
+        if (chunk.on_gpu) {
+          ++gpu_chunks;
+          bytes_in += chunk.gpu.bytes_in;
+          bytes_out += chunk.gpu.bytes_out;
+          bytes_avoided += chunk.gpu.bytes_avoided;
+          PhaseRecord gp;
+          gp.kind = PhaseRecord::Kind::kGpu;
+          gp.label = "groupby-partition";
+          gp.overlapped = true;
+          gp.device_time =
+              chunk.wait_time + chunk.gpu.total() - chunk.gpu.stage_time;
+          gp.device_mem = chunk.gpu.device_bytes_reserved;
+          gp.device_id = chunk.device_id;
+          gp.bytes_moved = chunk.gpu.bytes_in + chunk.gpu.bytes_out;
+          RecordPhase(std::move(gp), obs::kCatGpu, profile, trace);
+          const char* kernel_name =
+              chunk.gpu.fused
+                  ? gpusim::GroupByKernelKindFusedName(chunk.gpu.kernel_used)
+                  : gpusim::GroupByKernelKindName(chunk.gpu.kernel_used);
+          metrics_
+              .GetCounter("blusim_moderator_kernel_total",
+                          {{"kernel", kernel_name}},
+                          "Group-by kernel executions by moderator choice")
+              ->Add(1);
+        } else {
+          ++cpu_chunks;
+          if (chunk.gpu_fallback) ++fallbacks;
+          PhaseRecord cp;
+          cp.kind = PhaseRecord::Kind::kCpu;
+          cp.label = "groupby-partition-cpu";
+          cp.overlapped = true;
+          cp.cpu_work = chunk.wait_time + chunk.cpu_time;
+          cp.dop = 1;
+          RecordPhase(std::move(cp), obs::kCatCpu, profile, trace);
+        }
       }
+      if (pstats.stage_time > 0) {
+        PhaseRecord stage;
+        stage.kind = PhaseRecord::Kind::kCpu;
+        stage.label = "groupby-partition-stage";
+        stage.cpu_work = pstats.stage_time;
+        stage.dop = config_.query_dop;
+        stage.bytes_moved = bytes_in;
+        RecordPhase(std::move(stage), obs::kCatCpu, profile, trace);
+      }
+      PhaseRecord lanes;
+      lanes.kind = PhaseRecord::Kind::kCpu;
+      lanes.label = "groupby-partitioned";
+      lanes.cpu_work = std::max(pstats.cpu_lane_time, pstats.gpu_lane_time);
+      lanes.dop = 1;
+      RecordPhase(std::move(lanes), obs::kCatCpu, profile, trace);
       PhaseRecord merge;
       merge.kind = PhaseRecord::Kind::kCpu;
       merge.label = "groupby-merge";
       merge.cpu_work = pstats.merge_time;
       merge.dop = 1;
       RecordPhase(std::move(merge), obs::kCatCpu, profile, trace);
+
+      metrics_
+          .GetCounter("blusim_partitioned_queries_total", {},
+                      "Queries executed on the partitioned CPU+GPU path")
+          ->Add(1);
+      metrics_
+          .GetCounter("blusim_partitioned_chunks_total", {{"side", "gpu"}},
+                      "Partition chunks by executing side")
+          ->Add(gpu_chunks);
+      metrics_
+          .GetCounter("blusim_partitioned_chunks_total", {{"side", "cpu"}},
+                      "Partition chunks by executing side")
+          ->Add(cpu_chunks);
+      metrics_
+          .GetCounter("blusim_partitioned_rows_total", {{"side", "gpu"}},
+                      "Partitioned group-by input rows by executing side")
+          ->Add(pstats.gpu_rows);
+      metrics_
+          .GetCounter("blusim_partitioned_rows_total", {{"side", "cpu"}},
+                      "Partitioned group-by input rows by executing side")
+          ->Add(pstats.cpu_rows);
+      metrics_
+          .GetCounter("blusim_partitioned_gpu_fallbacks_total", {},
+                      "Partition chunks whose device attempt retried on the "
+                      "CPU lane")
+          ->Add(fallbacks);
+      metrics_
+          .GetHistogram("blusim_partitioned_cpu_split_percent", {},
+                        "Target CPU row share per partitioned query "
+                        "(percent)")
+          ->Observe(static_cast<uint64_t>(pstats.cpu_split_fraction * 100.0));
+      metrics_
+          .GetCounter("blusim_bytes_h2d_total", {{"op", "groupby"}},
+                      "Host-to-device bytes moved (true wire sizes)")
+          ->Add(bytes_in);
+      metrics_
+          .GetCounter("blusim_bytes_d2h_total", {{"op", "groupby"}},
+                      "Device-to-host bytes moved (true wire sizes)")
+          ->Add(bytes_out);
+      metrics_
+          .GetCounter("blusim_bytes_staged_avoided_total",
+                      {{"op", "groupby"}},
+                      "Staged bytes data-path fusion avoided shipping "
+                      "versus SoA staging of the same survivor rows")
+          ->Add(bytes_avoided);
+
+      trace->Annotate("partitions", std::to_string(pstats.num_partitions));
+      trace->Annotate("cpu_split",
+                      std::to_string(pstats.cpu_split_fraction));
       trace->Annotate("actual_groups",
                       std::to_string(part_out->table->num_rows()));
       outcome.table = part_out->table;
-      outcome.gpu_used = true;
+      outcome.gpu_used = gpu_chunks > 0;
+      if (!outcome.gpu_used) profile->degraded = true;
       return outcome;
     }
-    // Partitioned path failed: fall through to the CPU chain below.
+    // Partitioned path failed outright: degrade to the CPU chain below.
     profile->groupby_path = ExecutionPath::kCpu;
     outcome.path = ExecutionPath::kCpu;
+    profile->degraded = true;
+    trace->Annotate("groupby_fallback", "partitioned");
+    metrics_
+        .GetCounter("blusim_router_groupby_fallbacks_total", {},
+                    "GPU-routed group-bys that fell back to the CPU chain")
+        ->Add(1);
   }
 
   if (path == ExecutionPath::kGpu) {
@@ -640,7 +821,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query,
       ExecutionPath path = ChooseSortPath(
           base->num_rows(), sort_bytes, config_.thresholds,
           !devices_.empty(),
-          devices_.empty() ? 0 : config_.device_spec.device_memory_bytes);
+          devices_.empty() ? 0 : MinDeviceMemory(devices_));
       if (path == ExecutionPath::kGpu &&
           ((opts.device_budget_bytes > 0 &&
             sort_bytes > opts.device_budget_bytes) ||
@@ -728,6 +909,7 @@ Result<QueryResult> Engine::Execute(const QuerySpec& query,
   profile.result_rows = result->num_rows();
   profile.total_elapsed = 0;
   for (const PhaseRecord& phase : profile.phases) {
+    if (phase.overlapped) continue;  // carried by an umbrella phase
     profile.total_elapsed += phase.elapsed;
   }
 

@@ -32,6 +32,11 @@ struct EngineConfig {
   gpusim::HostSpec host;
   gpusim::DeviceSpec device_spec;
   int num_devices = 2;
+  // Heterogeneous fleet: when non-empty, one device is built per entry
+  // (overriding device_spec and num_devices). Lets one engine shard a
+  // query across mixed hardware generations (gpusim::K40Spec / HbmSpec /
+  // NvlinkSpec).
+  std::vector<gpusim::DeviceSpec> device_specs;
   // Host worker threads simulating each device's SMXs (execution fidelity
   // only; modeled kernel times come from the cost model).
   int device_workers = 2;
@@ -50,9 +55,14 @@ struct EngineConfig {
   // record stream. false reproduces the unfused SoA pipeline everywhere.
   bool enable_fusion = true;
   // Enables the partitioned multi-device path for inputs above T3
-  // (section 2.2). false reproduces the paper's prototype, which ran
-  // oversize queries on the CPU.
+  // (section 2.2) and the router's partitioned upgrade inside the
+  // T2 < n < T3 band when the cost model predicts concurrent CPU+GPU
+  // execution beats one device. false reproduces the paper's prototype,
+  // which ran oversize queries on the CPU.
   bool enable_partitioned_gpu = false;
+  // CPU row share for partitioned executions: negative = cost model
+  // chooses (CostModel::ChoosePartitionedCpuFraction), otherwise forced.
+  double partitioned_cpu_split = -1.0;
   RouterThresholds thresholds;
   groupby::ModeratorOptions moderator_options;
   groupby::GpuGroupByOptions groupby_options;

@@ -39,6 +39,12 @@ struct PhaseRecord {
   // allocations): pinned staging writes for CPU stage phases, PCIe traffic
   // (both directions) for GPU phases. 0 = the phase moves no bulk data.
   uint64_t bytes_moved = 0;
+  // True for phases that ran inside another phase's wall-clock window (the
+  // partitioned path's per-chunk lanes, whose time an umbrella phase
+  // carries). Excluded from QueryProfile::total_elapsed, from the
+  // ExplainAnalyze sum, and from the concurrency simulator's replay —
+  // kept in the list for per-chunk attribution.
+  bool overlapped = false;
 
   // Elapsed time on an otherwise-idle system (serial runs): cpu work
   // divided by the parallel speedup, or the device occupancy.

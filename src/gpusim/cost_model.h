@@ -37,6 +37,28 @@ struct GroupByKernelParams {
   bool lock_typed_payload = false;  // payload type with no atomic support
 };
 
+// Shape of a partitioned CPU+GPU group-by execution, feeding
+// CostModel::PartitionedTime / ChoosePartitionedCpuFraction and the
+// router's partitioned-vs-single-device upgrade decision
+// (docs/partitioned_execution.md).
+struct PartitionedShape {
+  uint64_t rows = 0;            // selected input rows
+  uint64_t groups = 0;          // estimated distinct groups
+  int num_aggregates = 1;
+  int key_bytes = 8;
+  int payload_bytes = 8;        // per-row payload width (all aggregates)
+  uint64_t gpu_bytes_per_row = 0;  // staged wire bytes per device-bound row
+  int record_bytes = 0;         // fused record stride (0 = SoA staging)
+  uint64_t entry_bytes = 0;     // device hash-table entry bytes (readback)
+  uint64_t max_rows_per_chunk = 0;  // device chunk bound (0 = unbounded)
+  uint32_t num_partitions = 0;  // hash-partition fan-out (0 = derive from
+                                // max_rows_per_chunk, legacy behaviour)
+  int num_devices = 0;
+  int cpu_dop = 1;              // DB2 degree of parallelism, CPU lane
+  int stage_dop = 1;            // thread-pool parallelism for staging
+  bool fused = true;            // device chunks use the fused record path
+};
+
 // Deterministic analytical cost model, calibrated to the paper's hardware
 // (Power S824 CPU side, Tesla K40 device side). All results are simulated
 // microseconds (SimTime).
@@ -112,6 +134,24 @@ class CostModel {
   // Effective parallel speedup for `dop` threads on this host: linear in
   // physical cores, diminishing returns across SMT threads.
   double HostParallelFactor(int dop) const;
+
+  // --- Partitioned CPU+GPU group-by (docs/partitioned_execution.md) ---
+  // Modeled end-to-end time of a hash-partitioned concurrent execution
+  // where the CPU lane takes `cpu_fraction` of the rows and `num_devices`
+  // device lanes drain the rest: partition sweep + max(CPU lane, slowest
+  // device lane) + concatenation merge. Mirrors the engine's phase
+  // accounting (host prep charged at cpu_dop parallelism).
+  SimTime PartitionedTime(const PartitionedShape& shape,
+                          double cpu_fraction) const;
+
+  // Argmin of PartitionedTime over a 1/16-step fraction grid. Returns 1.0
+  // (all-CPU) when the shape has no devices.
+  double ChoosePartitionedCpuFraction(const PartitionedShape& shape) const;
+
+  // Modeled time of the same query on one device, unpartitioned (stage +
+  // transfer + init + kernel + readback); the router's upgrade comparison
+  // baseline. Ignores max_rows_per_chunk (assumes the input fits).
+  SimTime SingleDeviceGroupByTime(const PartitionedShape& shape) const;
 
  private:
   HostSpec host_;

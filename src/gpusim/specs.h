@@ -35,6 +35,70 @@ struct DeviceSpec {
   }
 };
 
+// --- Named hardware-generation profiles ---
+//
+// The paper's testbed is fixed at the K40; "Rethinking Analytical
+// Processing in the GPU Era" (PAPERS.md) argues the hybrid tradeoffs shift
+// with each generation's memory bandwidth and host interconnect. These
+// profiles let the crossover benches sweep generations: the baseline K40,
+// an HBM-class part (P100-era: HBM2 device memory, more/denser SMs), and
+// an NVLink-era part (V100-class compute plus a much faster pinned host
+// link and lower per-transfer latency).
+
+// The paper's Tesla K40 (identical to a default-constructed DeviceSpec).
+inline DeviceSpec K40Spec() { return DeviceSpec{}; }
+
+// HBM-class generation: P100-era compute and HBM2 bandwidth, still on a
+// PCIe gen3 host link.
+inline DeviceSpec HbmSpec() {
+  DeviceSpec s;
+  s.name = "HBM-class (simulated P100-era)";
+  s.num_smx = 56;
+  s.cores_per_smx = 64;
+  s.device_memory_bytes = 16ULL << 30;
+  s.core_clock_ghz = 1.33;
+  s.mem_bandwidth_gbps = 732.0;
+  s.pcie_pinned_gbps = 12.0;
+  s.pcie_unpinned_gbps = 2.8;
+  s.pcie_latency_us = 8.0;
+  return s;
+}
+
+// NVLink-era generation: V100-class compute and a host interconnect that
+// moves pinned transfers off PCIe entirely (per-direction NVLink
+// bandwidth, much lower setup latency).
+inline DeviceSpec NvlinkSpec() {
+  DeviceSpec s;
+  s.name = "NVLink-era (simulated V100-class)";
+  s.num_smx = 80;
+  s.cores_per_smx = 64;
+  s.device_memory_bytes = 16ULL << 30;
+  s.core_clock_ghz = 1.38;
+  s.mem_bandwidth_gbps = 900.0;
+  s.pcie_pinned_gbps = 40.0;
+  s.pcie_unpinned_gbps = 6.0;
+  s.pcie_latency_us = 5.0;
+  return s;
+}
+
+// By-name lookup ("k40" / "hbm" / "nvlink") for benches and the harness.
+// Returns false (and leaves `out` untouched) for an unknown name.
+inline bool DeviceSpecByName(const std::string& name, DeviceSpec* out) {
+  if (name == "k40") {
+    *out = K40Spec();
+    return true;
+  }
+  if (name == "hbm") {
+    *out = HbmSpec();
+    return true;
+  }
+  if (name == "nvlink") {
+    *out = NvlinkSpec();
+    return true;
+  }
+  return false;
+}
+
 // Host description. Defaults model the IBM Power S824 from the paper:
 // 2 sockets x 12 cores = 24 cores, SMT4 (96 hardware threads), 3.92 GHz,
 // 512 GB RAM.

@@ -106,6 +106,13 @@ ConcurrencyResult SimulateConcurrent(const ConcurrencyConfig& config,
         ++s.query;
         continue;
       }
+      if (phase->overlapped) {
+        // Per-chunk lanes of a partitioned execution: their wall time is
+        // carried by the umbrella phase, so replaying them would double-
+        // count the work.
+        ++s.phase;
+        continue;
+      }
       if (phase->kind == PhaseRecord::Kind::kCpu) {
         if (phase->cpu_work <= 0) {
           ++s.phase;

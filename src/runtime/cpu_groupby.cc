@@ -28,7 +28,7 @@ struct MorselPartial {
 };
 
 template <typename Key, typename GetKey>
-Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
+Result<CpuFlatGroups> Run(const GroupByPlan& plan, ThreadPool* pool,
                           const std::vector<uint32_t>* selection,
                           GetKey get_key, CpuGroupByStats* stats) {
   const uint64_t total_rows =
@@ -126,7 +126,7 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
     }
   }
 
-  GroupByOutput out;
+  CpuFlatGroups out;
   out.kmv_estimate = kmv_estimate;
   out.input_rows = total_rows;
 
@@ -134,8 +134,8 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
   if (num_morsels == 1) {
     const FlatAggTable<Key>& only = partials[0]->table;
     out.num_groups = only.num_groups();
-    BLUSIM_ASSIGN_OR_RETURN(
-        out.table, MaterializeGroupsFlat(plan, only.rep_rows(), only.accs()));
+    out.rep_rows = only.rep_rows();
+    out.accs = only.accs();
     return out;
   }
 
@@ -187,28 +187,22 @@ Result<GroupByOutput> Run(const GroupByPlan& plan, ThreadPool* pool,
 
   uint64_t total_groups = 0;
   for (const auto& t : shard_tables) total_groups += t->num_groups();
-  std::vector<uint32_t> rep_rows;
-  std::vector<AccValue> accs;
-  rep_rows.reserve(total_groups);
-  accs.reserve(total_groups * num_slots);
+  out.rep_rows.reserve(total_groups);
+  out.accs.reserve(total_groups * num_slots);
   for (const auto& t : shard_tables) {
-    rep_rows.insert(rep_rows.end(), t->rep_rows().begin(),
-                    t->rep_rows().end());
-    accs.insert(accs.end(), t->accs().begin(), t->accs().end());
+    out.rep_rows.insert(out.rep_rows.end(), t->rep_rows().begin(),
+                        t->rep_rows().end());
+    out.accs.insert(out.accs.end(), t->accs().begin(), t->accs().end());
     if (stats != nullptr) stats->merge_rehashes += t->rehash_count();
   }
 
   out.num_groups = total_groups;
-  BLUSIM_ASSIGN_OR_RETURN(out.table,
-                          MaterializeGroupsFlat(plan, rep_rows, accs));
   return out;
 }
 
-}  // namespace
-
-Result<GroupByOutput> CpuGroupBy::Execute(
-    const GroupByPlan& plan, ThreadPool* pool,
-    const std::vector<uint32_t>* selection, CpuGroupByStats* stats) {
+Result<CpuFlatGroups> RunToFlat(const GroupByPlan& plan, ThreadPool* pool,
+                                const std::vector<uint32_t>* selection,
+                                CpuGroupByStats* stats) {
   if (plan.wide_key()) {
     return Run<WideKey>(
         plan, pool, selection,
@@ -220,6 +214,28 @@ Result<GroupByOutput> CpuGroupBy::Execute(
   return Run<uint64_t>(
       plan, pool, selection,
       [](const Stride& s, uint64_t i) { return s.packed_keys[i]; }, stats);
+}
+
+}  // namespace
+
+Result<GroupByOutput> CpuGroupBy::Execute(
+    const GroupByPlan& plan, ThreadPool* pool,
+    const std::vector<uint32_t>* selection, CpuGroupByStats* stats) {
+  BLUSIM_ASSIGN_OR_RETURN(CpuFlatGroups flat,
+                          RunToFlat(plan, pool, selection, stats));
+  GroupByOutput out;
+  out.num_groups = flat.num_groups;
+  out.kmv_estimate = flat.kmv_estimate;
+  out.input_rows = flat.input_rows;
+  BLUSIM_ASSIGN_OR_RETURN(
+      out.table, MaterializeGroupsFlat(plan, flat.rep_rows, flat.accs));
+  return out;
+}
+
+Result<CpuFlatGroups> CpuGroupBy::ExecuteToFlat(
+    const GroupByPlan& plan, ThreadPool* pool,
+    const std::vector<uint32_t>* selection, CpuGroupByStats* stats) {
+  return RunToFlat(plan, pool, selection, stats);
 }
 
 }  // namespace blusim::runtime

@@ -7,6 +7,7 @@
 
 #include "columnar/table.h"
 #include "common/status.h"
+#include "runtime/group_result.h"
 #include "runtime/groupby_plan.h"
 #include "runtime/thread_pool.h"
 
@@ -35,6 +36,19 @@ struct CpuGroupByStats {
   uint64_t merge_rehashes = 0;
 };
 
+// Flat (unmaterialized) result of the CPU chain: representative row ids
+// plus the accumulator block per group, in the same layout
+// MaterializeGroupsFlat consumes. The partitioned CPU+GPU path collects
+// one of these per CPU-side partition and concatenates them with the
+// device partitions' groups before materializing once.
+struct CpuFlatGroups {
+  std::vector<uint32_t> rep_rows;
+  std::vector<AccValue> accs;  // num_groups x plan.slots().size()
+  uint64_t num_groups = 0;
+  uint64_t kmv_estimate = 0;
+  uint64_t input_rows = 0;
+};
+
 // The original DB2 BLU CPU group-by chain (paper figure 1):
 // parallel threads run LCOG/LCOV -> CCAT -> HASH -> LGHT (local flat
 // open-addressing tables with AGGD/SUM/CNT applied inline), then the local
@@ -46,6 +60,15 @@ class CpuGroupBy {
  public:
   // `selection`: optional filtered/joined row-id list; nullptr = all rows.
   static Result<GroupByOutput> Execute(
+      const GroupByPlan& plan, ThreadPool* pool,
+      const std::vector<uint32_t>* selection = nullptr,
+      CpuGroupByStats* stats = nullptr);
+
+  // Same chain, but stops before materialization and hands back the flat
+  // rep-row/accumulator arrays. Safe to call from several threads at once
+  // (ParallelFor supports concurrent callers); the partitioned group-by
+  // runs one call per CPU-side partition.
+  static Result<CpuFlatGroups> ExecuteToFlat(
       const GroupByPlan& plan, ThreadPool* pool,
       const std::vector<uint32_t>* selection = nullptr,
       CpuGroupByStats* stats = nullptr);

@@ -9,6 +9,8 @@
 
 #include "common/rng.h"
 #include "core/engine.h"
+#include "groupby/gpu_groupby.h"
+#include "groupby/layout.h"
 #include "runtime/cpu_groupby.h"
 
 namespace blusim::groupby {
@@ -67,16 +69,25 @@ TEST_F(PartitionedTest, MatchesCpuChainAcrossChunks) {
   for (uint32_t i = 0; i < selection.size(); ++i) selection[i] = i;
 
   PartitionedStats stats;
+  // Force a device-only split so every partition goes through a device
+  // lane and the multi-device sharding assertion below is deterministic.
+  PartitionedOptions popts;
+  popts.cpu_split_fraction = 0.0;
   auto out = PartitionedGroupBy::Execute(plan.value(), &scheduler_, &pinned_,
-                                         &pool_, &moderator_, selection, {},
-                                         &stats);
+                                         &pool_, &moderator_, selection,
+                                         popts, &stats);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   EXPECT_GE(stats.chunks.size(), 2u) << "input should not fit one chunk";
   EXPECT_GT(stats.merge_time, 0);
   EXPECT_GT(stats.elapsed, 0);
+  EXPECT_EQ(stats.cpu_rows, 0u);
+  EXPECT_EQ(stats.gpu_rows, selection.size());
   // Both devices participated.
   std::set<int> devices;
-  for (const auto& c : stats.chunks) devices.insert(c.device_id);
+  for (const auto& c : stats.chunks) {
+    EXPECT_TRUE(c.on_gpu) << "partition " << c.partition;
+    devices.insert(c.device_id);
+  }
   EXPECT_EQ(devices.size(), 2u);
 
   auto cpu = runtime::CpuGroupBy::Execute(plan.value(), &pool_, &selection);
@@ -136,6 +147,75 @@ TEST_F(PartitionedTest, MaxRowsPerChunkScalesWithMemory) {
   EXPECT_EQ(PartitionedGroupBy::MaxRowsPerChunk(plan.value(), 1u << 24,
                                                 1 << 20),
             0u);
+}
+
+TEST_F(PartitionedTest, FusedChunksPackMoreRowsThanSoA) {
+  auto t = MakeTable(1000, 100);
+  auto plan = GroupByPlan::Make(*t, Spec());
+  ASSERT_TRUE(plan.ok());
+  const uint64_t mem = 4ULL << 20;
+  const uint64_t groups = 1000;
+
+  // Fused records are denser than the SoA arrays: same budget, more rows.
+  const uint64_t soa = PartitionedGroupBy::MaxRowsPerChunk(
+      plan.value(), groups, mem, StageMode::kSoA);
+  const uint64_t fused = PartitionedGroupBy::MaxRowsPerChunk(
+      plan.value(), groups, mem, StageMode::kFusedRecords);
+  ASSERT_GT(soa, 0u);
+  EXPECT_GT(fused, soa);
+
+  // Pin the footprint formula: half the device for the chunk, minus the
+  // full-estimate hash table, divided by the per-row staged bytes of the
+  // chunk's staging mode.
+  const HashTableLayout layout(plan.value());
+  const uint64_t budget = mem / 2;
+  const uint64_t table_bytes = layout.TableBytes(ChooseCapacity(groups));
+  constexpr uint64_t kProbeRows = 4096;
+  const uint64_t fused_per_row =
+      (GpuGroupBy::FusedDeviceBytesNeeded(plan.value(), kProbeRows, 64) -
+       layout.TableBytes(64)) /
+      kProbeRows;
+  EXPECT_EQ(fused, (budget - table_bytes) / fused_per_row);
+  const uint64_t soa_per_row =
+      (GpuGroupBy::DeviceBytesNeeded(plan.value(), kProbeRows, 64) -
+       layout.TableBytes(64)) /
+      kProbeRows;
+  EXPECT_EQ(soa, (budget - table_bytes) / soa_per_row);
+}
+
+TEST_F(PartitionedTest, ChunkCountsTrackStageMode) {
+  auto t = MakeTable(120000, 5000);
+  auto plan = GroupByPlan::Make(*t, Spec());
+  ASSERT_TRUE(plan.ok());
+  std::vector<uint32_t> selection(t->num_rows());
+  for (uint32_t i = 0; i < selection.size(); ++i) selection[i] = i;
+
+  // Recompute the expected fan-out from the public chunk bound: double
+  // the partition count until the average partition fits one chunk.
+  auto expected_fanout = [&](StageMode m) {
+    uint32_t p = 8;  // max(min fan-out, 4 partitions per device x 2)
+    for (;;) {
+      const uint64_t mr = PartitionedGroupBy::MaxRowsPerChunk(
+          plan.value(), std::max<uint64_t>(1, 5000 / p), 4ULL << 20, m);
+      if ((selection.size() + p - 1) / p <= mr || p >= 1024) return p;
+      p *= 2;
+    }
+  };
+
+  for (const bool allow_fusion : {false, true}) {
+    PartitionedOptions popts;
+    popts.gpu.allow_fusion = allow_fusion;
+    popts.gpu.estimated_groups = 5000;
+    PartitionedStats stats;
+    auto out = PartitionedGroupBy::Execute(plan.value(), &scheduler_,
+                                           &pinned_, &pool_, &moderator_,
+                                           selection, popts, &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    if (!allow_fusion) {
+      EXPECT_EQ(stats.stage_mode, StageMode::kSoA);
+    }
+    EXPECT_EQ(stats.num_partitions, expected_fanout(stats.stage_mode));
+  }
 }
 
 TEST_F(PartitionedTest, EngineRunsOversizeQueryOnPartitionedPath) {
