@@ -5,11 +5,22 @@
 // oversubscribed points are where admission waits, shedding and
 // degradation appear.
 //
-// Emits BENCH_serve.json with throughput vs. stream count. Env knobs:
-// BLUSIM_SERVE_REPS (default 1), BLUSIM_SERVE_MAX_CONCURRENT (default 3),
-// BLUSIM_SERVE_QUEUE (default 16), plus bench_common's BLUSIM_SCALE_ROWS.
+// Emits BENCH_serve.json with throughput vs. stream count, then an
+// open-arrival async phase: SubmitAsync keeps BLUSIM_SERVE_INFLIGHT
+// (default 1000) queries outstanding from ONE client thread across
+// BLUSIM_SERVE_TENANTS (default 100) weighted tenants over the same
+// 3 device slots, and the per-tenant achieved admission share is gated
+// against the configured weights (15% when enough admissions landed).
+//
+// Env knobs: BLUSIM_SERVE_REPS (default 1), BLUSIM_SERVE_MAX_CONCURRENT
+// (default 3), BLUSIM_SERVE_QUEUE (default 16), BLUSIM_SERVE_TENANTS,
+// BLUSIM_SERVE_INFLIGHT, BLUSIM_SERVE_TARGET (completions before the
+// fairness snapshot, default 4800), BLUSIM_SERVE_DEADLINE_TENANTS
+// (default 4), BLUSIM_SERVE_DEADLINE_US (default 250000), plus
+// bench_common's BLUSIM_SCALE_ROWS.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -147,6 +158,66 @@ int main() {
     points.push_back(p);
   }
 
+  // ---- Async multi-tenant phase: one client thread, weighted tenants ----
+  harness::AsyncRunOptions aopts;
+  aopts.tenants = static_cast<int>(EnvU64("BLUSIM_SERVE_TENANTS", 100));
+  aopts.in_flight = static_cast<int>(EnvU64("BLUSIM_SERVE_INFLIGHT", 1000));
+  aopts.target_completions = EnvU64("BLUSIM_SERVE_TARGET", 4800);
+  aopts.deadline_tenants =
+      static_cast<int>(EnvU64("BLUSIM_SERVE_DEADLINE_TENANTS", 4));
+  aopts.deadline_us =
+      static_cast<int64_t>(EnvU64("BLUSIM_SERVE_DEADLINE_US", 250000));
+
+  harness::AsyncRunResult arun;
+  serve::ServiceStats astats;
+  {
+    auto engine = bench::MakeBenchEngine(setup, true);
+    serve::ServiceOptions sopts;
+    sopts.max_concurrent = max_concurrent;
+    // The queue must hold the whole open-arrival window.
+    sopts.max_queue_depth = static_cast<size_t>(aopts.in_flight);
+    sopts.tenant_classes = harness::MakeAsyncTenantClasses(aopts);
+    serve::QueryService service(engine.get(), sopts);
+    auto run = harness::RunServedAsync(&service, pool, aopts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "async serve run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    arun = std::move(run).value();
+    astats = service.stats();
+  }
+
+  // Fairness: achieved admission share vs configured weight share at the
+  // snapshot instant, over tenants that were never shed. Gated only when
+  // a tenant's expected admissions are large enough for the stride
+  // quantization (+-1 per tenant) to sit inside the tolerance.
+  constexpr double kFairnessTolerance = 0.15;
+  constexpr double kMinExpectedAdmissions = 15.0;
+  double total_weight = 0;
+  for (const auto& t : arun.tenants) total_weight += t.weight;
+  double max_rel_err = 0;
+  int fairness_checked = 0;
+  bool fairness_gated = false;
+  for (const auto& t : arun.tenants) {
+    if (t.deadline_class || t.shed > 0) continue;
+    const double expected_share = t.weight / total_weight;
+    const double expected_admissions =
+        expected_share * static_cast<double>(arun.total_admitted_at_snapshot);
+    const double achieved_share =
+        arun.total_admitted_at_snapshot > 0
+            ? static_cast<double>(t.admitted_at_snapshot) /
+                  static_cast<double>(arun.total_admitted_at_snapshot)
+            : 0;
+    const double rel_err =
+        expected_share > 0
+            ? std::abs(achieved_share - expected_share) / expected_share
+            : 0;
+    ++fairness_checked;
+    max_rel_err = std::max(max_rel_err, rel_err);
+    if (expected_admissions >= kMinExpectedAdmissions) fairness_gated = true;
+  }
+
   harness::ReportTable table({"Streams", "Completed", "Shed", "Degraded",
                               "Wall q/s", "Mean sim (ms)", "E2E p50/p95/p99",
                               "Wait p50/p95/p99"});
@@ -168,6 +239,28 @@ int main() {
       "deadline (%lld us) or budget (%llu bytes) degrade to the CPU path.\n",
       static_cast<long long>(gpu_deadline),
       static_cast<unsigned long long>(device_budget));
+
+  const double async_qps =
+      arun.wall_us > 0 ? static_cast<double>(arun.completed) * 1e6 /
+                             static_cast<double>(arun.wall_us)
+                       : 0;
+  const double wakeups_per_submission =
+      arun.submitted > 0 ? static_cast<double>(arun.wakeups) /
+                               static_cast<double>(arun.submitted)
+                         : 0;
+  std::printf(
+      "\nAsync open-arrival: %d tenants, %d in flight from one client "
+      "thread,\n%d slots: %llu completed (%llu shed, %llu degraded, %llu "
+      "failed),\npeak in-flight %d, %.2f wakeups/submission, %.1f q/s.\n"
+      "Fairness (weights %s): max |achieved-expected|/expected = %.1f%% "
+      "over %d tenants%s.\n",
+      aopts.tenants, aopts.in_flight, max_concurrent,
+      static_cast<unsigned long long>(arun.completed),
+      static_cast<unsigned long long>(arun.shed),
+      static_cast<unsigned long long>(arun.degraded),
+      static_cast<unsigned long long>(arun.failed), arun.peak_inflight,
+      wakeups_per_submission, async_qps, "1/2/4", max_rel_err * 100.0,
+      fairness_checked, fairness_gated ? "" : " (ungated: small sample)");
 
   FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f == nullptr) {
@@ -204,8 +297,94 @@ int main() {
         p.wait_p50_ms, p.wait_p95_ms, p.wait_p99_ms,
         i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+
+  std::fprintf(
+      f,
+      "  \"async\": {\n"
+      "    \"tenants\": %d, \"in_flight\": %d, \"device_slots\": %d,\n"
+      "    \"target_completions\": %llu,\n"
+      "    \"deadline_tenants\": %d, \"deadline_us\": %lld,\n"
+      "    \"submitted\": %llu, \"completed\": %llu, \"shed\": %llu,\n"
+      "    \"deadline_shed\": %llu, \"degraded\": %llu, \"failed\": %llu,\n"
+      "    \"wall_us\": %lld, \"wall_to_target_us\": %lld,\n"
+      "    \"queries_per_sec\": %.2f,\n"
+      "    \"peak_inflight\": %d, \"wakeups\": %llu,\n"
+      "    \"wakeups_per_submission\": %.3f,\n"
+      "    \"e2e_p50_ms\": %.2f, \"e2e_p95_ms\": %.2f, "
+      "\"e2e_p99_ms\": %.2f,\n"
+      "    \"admission_wait_p50_ms\": %.2f, "
+      "\"admission_wait_p95_ms\": %.2f, "
+      "\"admission_wait_p99_ms\": %.2f,\n"
+      "    \"fairness\": {\"gated\": %s, \"tolerance\": %.2f,\n"
+      "      \"max_rel_err\": %.4f, \"tenants_checked\": %d,\n"
+      "      \"total_admitted_at_snapshot\": %llu},\n"
+      "    \"per_tenant\": [\n",
+      aopts.tenants, aopts.in_flight, max_concurrent,
+      static_cast<unsigned long long>(aopts.target_completions),
+      aopts.deadline_tenants, static_cast<long long>(aopts.deadline_us),
+      static_cast<unsigned long long>(arun.submitted),
+      static_cast<unsigned long long>(arun.completed),
+      static_cast<unsigned long long>(arun.shed),
+      static_cast<unsigned long long>(astats.deadline_shed),
+      static_cast<unsigned long long>(arun.degraded),
+      static_cast<unsigned long long>(arun.failed),
+      static_cast<long long>(arun.wall_us),
+      static_cast<long long>(arun.wall_to_target_us), async_qps,
+      arun.peak_inflight, static_cast<unsigned long long>(arun.wakeups),
+      wakeups_per_submission, PercentileMs(arun.e2e_us, 0.50),
+      PercentileMs(arun.e2e_us, 0.95), PercentileMs(arun.e2e_us, 0.99),
+      PercentileMs(arun.wait_us, 0.50), PercentileMs(arun.wait_us, 0.95),
+      PercentileMs(arun.wait_us, 0.99), fairness_gated ? "true" : "false",
+      kFairnessTolerance, max_rel_err, fairness_checked,
+      static_cast<unsigned long long>(arun.total_admitted_at_snapshot));
+  for (size_t i = 0; i < arun.tenants.size(); ++i) {
+    const harness::AsyncTenantOutcome& t = arun.tenants[i];
+    const double expected_share =
+        total_weight > 0 ? t.weight / total_weight : 0;
+    const double achieved_share =
+        arun.total_admitted_at_snapshot > 0
+            ? static_cast<double>(t.admitted_at_snapshot) /
+                  static_cast<double>(arun.total_admitted_at_snapshot)
+            : 0;
+    std::fprintf(
+        f,
+        "      {\"tenant\": \"%s\", \"weight\": %.1f, "
+        "\"deadline_class\": %s,\n"
+        "       \"admitted_at_snapshot\": %llu, \"achieved_share\": %.5f, "
+        "\"expected_share\": %.5f,\n"
+        "       \"admitted\": %llu, \"completed\": %llu, \"shed\": %llu, "
+        "\"busy_us\": %llu,\n"
+        "       \"device_budget_bytes\": %llu}%s\n",
+        t.tenant.c_str(), t.weight, t.deadline_class ? "true" : "false",
+        static_cast<unsigned long long>(t.admitted_at_snapshot),
+        achieved_share, expected_share,
+        static_cast<unsigned long long>(t.admitted),
+        static_cast<unsigned long long>(t.completed),
+        static_cast<unsigned long long>(t.shed),
+        static_cast<unsigned long long>(t.busy_us),
+        static_cast<unsigned long long>(t.device_budget_bytes),
+        i + 1 < arun.tenants.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_serve.json\n");
+
+  // Acceptance gates: an open-arrival run must finish with zero failures
+  // (sheds are policy), and -- when the sample is large enough to gate --
+  // achieved tenant shares must track weights within the tolerance.
+  if (arun.failed > 0) {
+    std::fprintf(stderr, "FAIL: %llu async queries failed: %s\n",
+                 static_cast<unsigned long long>(arun.failed),
+                 arun.first_error.ToString().c_str());
+    return 1;
+  }
+  if (fairness_gated && max_rel_err > kFairnessTolerance) {
+    std::fprintf(stderr,
+                 "FAIL: tenant share deviates %.1f%% from weights "
+                 "(tolerance %.0f%%)\n",
+                 max_rel_err * 100.0, kFairnessTolerance * 100.0);
+    return 1;
+  }
   return 0;
 }

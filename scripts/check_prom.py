@@ -16,6 +16,9 @@ Checks performed:
   - histogram `_bucket` series are cumulative (monotone non-decreasing in
     `le` order) and end with an `+Inf` bucket
   - histogram `_count` equals the `+Inf` bucket; `_sum` is present
+  - no label carries an empty value (an empty value means the emitter
+    dropped a dimension instead of mapping it to a reserved token, e.g.
+    the serve path's `tenant="-"` for tenantless submissions)
   - every `--require`d family is present with at least one sample
 
 Exits non-zero with a message per failure. Standard library only.
@@ -118,6 +121,12 @@ def check(text, required):
         except ValueError as e:
             errors.append(f"line {lineno}: {e}")
             continue
+        for key, value in labels.items():
+            if value == "" and key != "le":
+                errors.append(
+                    f"line {lineno}: empty value for label {key!r} on "
+                    f"{name} (map absent dimensions to a reserved token "
+                    f"such as \"-\" instead)")
         if family not in types:
             errors.append(
                 f"line {lineno}: sample {name} has no preceding # TYPE")

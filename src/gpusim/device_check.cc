@@ -132,9 +132,16 @@ uint64_t DeviceChecker::Register(AllocRecord record) {
   record.query_id = common::CurrentTaskTag();
   auto name = query_names_.find(record.query_id);
   if (name != query_names_.end()) record.query_name = name->second;
+  ++allocs_by_query_[record.query_id];
   const uint64_t id = record.id;
   allocations_.emplace(id, std::move(record));
   return id;
+}
+
+uint64_t DeviceChecker::allocations_by_query(uint64_t query_id) const {
+  common::MutexLock lock(&mu_);
+  auto it = allocs_by_query_.find(query_id);
+  return it == allocs_by_query_.end() ? 0 : it->second;
 }
 
 uint64_t DeviceChecker::OnDeviceAlloc(char* storage, uint64_t user_bytes) {

@@ -153,6 +153,12 @@ class DeviceChecker {
   // Live (not yet freed) device+pinned allocations, for tests.
   size_t live_allocations() const EXCLUDES(mu_);
 
+  // Allocations ever registered under `query_id` (0 = outside any query
+  // scope). Lets attribution tests assert where work landed even when it
+  // produced no defects -- e.g. that hybrid-sort worker threads tag their
+  // allocations with the owning query, not query 0.
+  uint64_t allocations_by_query(uint64_t query_id) const EXCLUDES(mu_);
+
  private:
   struct AllocRecord {
     uint64_t id = 0;
@@ -183,6 +189,8 @@ class DeviceChecker {
                             common::LockRank::kGpusim};
   uint64_t next_id_ GUARDED_BY(mu_) = 1;
   uint64_t quarantine_bytes_ GUARDED_BY(mu_) = 0;
+  // Lifetime allocation counts per owning query id (never erased).
+  std::map<uint64_t, uint64_t> allocs_by_query_ GUARDED_BY(mu_);
   std::map<uint64_t, AllocRecord> allocations_ GUARDED_BY(mu_);
   std::vector<DeviceIssue> issues_ GUARDED_BY(mu_);
   std::map<uint64_t, std::string> query_names_ GUARDED_BY(mu_);

@@ -1,6 +1,8 @@
 #ifndef BLUSIM_HARNESS_SERVE_DRIVER_H_
 #define BLUSIM_HARNESS_SERVE_DRIVER_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/runner.h"
@@ -32,6 +34,85 @@ Result<ServedRunResult> RunServedStreams(
     serve::QueryService* service,
     const std::vector<workload::WorkloadQuery>& queries,
     const ServedRunOptions& options);
+
+// Open-arrival closed-loop driver over SubmitAsync: ONE client thread
+// keeps `in_flight` queries outstanding across `tenants` tenants (each
+// tenant holds in_flight/tenants slots; a completion callback refills the
+// same tenant's slot), so every tenant stays backlogged and the service's
+// weighted stride scheduler decides who runs. The multi-tenant analogue of
+// RunServedStreams for the paper's many-users-few-GPUs regime.
+struct AsyncRunOptions {
+  int tenants = 100;
+  // Total outstanding submissions across all tenants (floored to one per
+  // tenant). A single client thread sustains all of them.
+  int in_flight = 1000;
+  // Stop refilling once this many queries have completed (the fairness
+  // snapshot is taken at that instant, while every tenant is still
+  // backlogged), then drain. Must be reachable by the non-deadline
+  // tenants; 0 snapshots after the priming wave drains.
+  uint64_t target_completions = 2000;
+  // Per-tenant admission weights, cycled by tenant index (empty = 1.0).
+  // Pass MakeAsyncTenantClasses(options) as ServiceOptions::tenant_classes
+  // when building the service so the two sides agree.
+  std::vector<double> weights = {1.0, 2.0, 4.0};
+  // The first `deadline_tenants` tenants submit with this queue deadline
+  // (microseconds; 0 = none): under saturation their tickets shed instead
+  // of waiting, demonstrating deadline-bounded admission.
+  int deadline_tenants = 0;
+  int64_t deadline_us = 0;
+};
+
+// Per-tenant outcome of an async run (final counts plus the admission
+// count captured at the fairness snapshot).
+struct AsyncTenantOutcome {
+  std::string tenant;
+  double weight = 1.0;
+  bool deadline_class = false;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t busy_us = 0;
+  uint64_t device_budget_bytes = 0;
+  // Admissions when target_completions was reached -- the fairness basis:
+  // achieved share = admitted_at_snapshot / total_admitted_at_snapshot.
+  uint64_t admitted_at_snapshot = 0;
+};
+
+struct AsyncRunResult {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t degraded = 0;
+  uint64_t failed = 0;  // non-overload errors (first one in first_error)
+  Status first_error;
+  int64_t wall_us = 0;            // start -> full drain
+  int64_t wall_to_target_us = 0;  // start -> target_completions reached
+  int peak_inflight = 0;          // service-side high-water mark
+  uint64_t wakeups = 0;           // service-side admission notifications
+  uint64_t total_admitted_at_snapshot = 0;
+  // Wall-clock submit-to-resolve and admission-wait, completed queries.
+  std::vector<int64_t> e2e_us;
+  std::vector<int64_t> wait_us;
+  std::vector<AsyncTenantOutcome> tenants;
+};
+
+// Canonical tenant label for tenant `index` ("t000", "t001", ...), shared
+// by the driver and the bench/CI configuration.
+std::string AsyncTenantName(int index);
+
+// The weighted admission classes matching `options` (weights cycled by
+// tenant index), for ServiceOptions::tenant_classes.
+std::vector<serve::TenantClassSpec> MakeAsyncTenantClasses(
+    const AsyncRunOptions& options);
+
+// Runs the open-arrival loop. Queries are drawn round-robin per tenant
+// from `queries`. Sheds are policy, not errors; a non-overload failure is
+// counted (and reported in first_error) but does not abort the drain.
+Result<AsyncRunResult> RunServedAsync(
+    serve::QueryService* service,
+    const std::vector<workload::WorkloadQuery>& queries,
+    const AsyncRunOptions& options);
 
 }  // namespace blusim::harness
 

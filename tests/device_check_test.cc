@@ -17,7 +17,9 @@
 #include "core/engine.h"
 #include "gpusim/device_memory.h"
 #include "gpusim/pinned_pool.h"
+#include "gpusim/sim_device.h"
 #include "runtime/thread_pool.h"
+#include "sort/hybrid_sort.h"
 #include "workload/data_gen.h"
 #include "workload/queries.h"
 
@@ -306,6 +308,52 @@ TEST(DeviceCheckConcurrencyTest, PoolWorkerAllocationsKeepAttribution) {
   const DeviceIssue issue = checker.issues().front();
   EXPECT_EQ(issue.query_id, 41u);
   EXPECT_EQ(issue.query_name, "q41-pool");
+}
+
+// Regression for the same bug at full depth: a real hybrid sort fans its
+// GPU jobs out across shared pool workers, and every device/pinned
+// allocation those workers make must attribute to the submitting query --
+// not to query 0 (where they landed before the task tag crossed
+// ThreadPool::Submit). Asserted through the checker's per-query
+// allocation counts, so the attribution is visible without any defect.
+TEST(DeviceCheckConcurrencyTest, HybridSortWorkerAllocationsKeepAttribution) {
+  DeviceChecker checker(true);
+  gpusim::DeviceSpec spec;
+  gpusim::HostSpec host;
+  gpusim::SimDevice device(0, spec, host, 2);
+  device.memory().AttachChecker(&checker);
+  PinnedHostPool pinned(32ULL << 20);
+  pinned.AttachChecker(&checker);
+  runtime::ThreadPool pool(2);
+
+  columnar::Schema schema;
+  schema.AddField({"k", columnar::DataType::kInt64, false});
+  columnar::Table table(schema);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    table.column(0).AppendInt64(static_cast<int64_t>((i * 2654435761u) % 9973));
+  }
+
+  {
+    DeviceChecker::ScopedQuery scope(&checker, 77, "q77-hybrid-sort");
+    sort::HybridSortOptions options;
+    options.device = &device;
+    options.pinned_pool = &pinned;
+    options.min_gpu_rows = 1024;  // small: jobs actually reach the device
+    options.num_workers = 2;
+    options.pool = &pool;
+    sort::HybridSortStats stats;
+    auto perm = sort::HybridSorter::Sort(
+        table, {{0, /*ascending=*/true}}, options, &stats);
+    ASSERT_TRUE(perm.ok()) << perm.status().ToString();
+    ASSERT_GT(stats.jobs_gpu, 0u) << "sort never used the device; the "
+                                     "attribution path was not exercised";
+  }
+
+  EXPECT_GT(checker.allocations_by_query(77), 0u);
+  EXPECT_EQ(checker.allocations_by_query(0), 0u)
+      << "worker-thread allocations attributed to query 0";
+  EXPECT_EQ(checker.issue_count(), 0u);
+  EXPECT_EQ(checker.live_allocations(), 0u);
 }
 
 // End-to-end: an engine with the checker forced on runs a real query
